@@ -1,0 +1,44 @@
+"""Ablation: lazy cooperative takeover vs immediate flush (CPE-style).
+
+DESIGN.md's first design-choice ablation.  Cooperative Partitioning
+and Dynamic CPE make the same kind of way-aligned decisions, but CP
+scrubs lazily (flush-on-access) while CPE stalls everything to flush
+reassigned ways at once.  Comparing the two on the phase-heavy
+workloads isolates the cost of immediate flushing.
+"""
+
+from repro.metrics.speedup import geometric_mean
+
+PHASE_HEAVY = ("G2-4", "G2-6", "G2-7", "G2-12", "G2-13")
+
+
+def test_ablation_lazy_vs_immediate_flush(benchmark, runner, two_core_config, two_core_groups):
+    groups = [g for g in two_core_groups if g in PHASE_HEAVY] or two_core_groups[:3]
+
+    def sweep():
+        rows = {}
+        for group in groups:
+            cp = runner.run_group(group, two_core_config, "cooperative")
+            cpe = runner.run_group(group, two_core_config, "cpe")
+            rows[group] = {
+                "cp_ws": runner.weighted_speedup_of(cp, two_core_config),
+                "cpe_ws": runner.weighted_speedup_of(cpe, two_core_config),
+                "cp_flushes": cp.policy_stats.transfer_flushes,
+                "cpe_flushes": cpe.policy_stats.transfer_flushes,
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: lazy takeover (CP) vs immediate flush (CPE) ===")
+    print(f"{'group':<8}{'CP WS':>9}{'CPE WS':>9}{'CP flushes':>12}{'CPE flushes':>13}")
+    for group, row in rows.items():
+        print(
+            f"{group:<8}{row['cp_ws']:>9.3f}{row['cpe_ws']:>9.3f}"
+            f"{row['cp_flushes']:>12}{row['cpe_flushes']:>13}"
+        )
+    cp_mean = geometric_mean([max(rows[g]["cp_ws"], 1e-9) for g in rows])
+    cpe_mean = geometric_mean([max(rows[g]["cpe_ws"], 1e-9) for g in rows])
+    print(f"mean WS: CP={cp_mean:.3f} CPE={cpe_mean:.3f}")
+    # Lazy flushing must not lose badly to the immediate variant on
+    # phase-heavy workloads (the paper's Section 4 argument).
+    assert cp_mean > cpe_mean * 0.9

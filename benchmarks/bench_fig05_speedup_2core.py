@@ -1,0 +1,38 @@
+"""Figure 5: weighted speedup of the two-application workloads.
+
+Runs all five schemes over the G2-* groups and prints weighted
+speedups normalised to Fair Share, as in the paper's bar chart.
+
+Shape checks (see EXPERIMENTS.md for the full discussion): the
+partitioned schemes must never trail Fair Share badly, and Cooperative
+Partitioning must track UCP closely (the paper reports 1.13 vs 1.14;
+our synthetic traces compress the absolute speedups, so the check is
+on the CP:UCP ratio rather than the absolute level).
+"""
+
+from conftest import print_series
+
+from repro.metrics.speedup import geometric_mean
+from repro.sim.runner import ALL_POLICIES
+
+
+def test_fig05_weighted_speedup_two_core(benchmark, runner, two_core_config, two_core_groups):
+    def sweep():
+        results = runner.sweep(two_core_config, groups=two_core_groups)
+        return runner.normalized_weighted_speedup(results, two_core_config)
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    average = {
+        policy: geometric_mean([table[g][policy] for g in two_core_groups])
+        for policy in ALL_POLICIES
+    }
+    print_series(
+        "Figure 5: weighted speedup (two-core, normalised to Fair Share)",
+        table, ALL_POLICIES, average,
+    )
+    assert average["fair_share"] == 1.0
+    # CP within a few percent of UCP, as in the paper.
+    assert average["cooperative"] > average["ucp"] - 0.08
+    # No scheme collapses.
+    for policy in ALL_POLICIES:
+        assert average[policy] > 0.85

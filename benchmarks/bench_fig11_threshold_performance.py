@@ -1,0 +1,37 @@
+"""Figure 11: impact of the takeover threshold on performance.
+
+Sweeps T over the paper's values {0, 0.01, 0.05, 0.1, 0.2} on the
+two-core workloads, normalising each group's weighted speedup to the
+T=0 run.  The paper finds no loss up to T=0.05 and growing losses
+beyond, which justifies its default of 0.05.
+"""
+
+THRESHOLDS = (0.0, 0.01, 0.05, 0.10, 0.20)
+
+
+def test_fig11_threshold_vs_performance(benchmark, runner, two_core_config, two_core_groups):
+    def sweep():
+        table = {}
+        for group in two_core_groups:
+            row = {}
+            for threshold in THRESHOLDS:
+                config = two_core_config.with_threshold(threshold)
+                run = runner.run_group(group, config, "cooperative")
+                row[threshold] = runner.weighted_speedup_of(run, config)
+            table[group] = {t: row[t] / row[0.0] for t in THRESHOLDS}
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Figure 11: weighted speedup vs takeover threshold (norm. to T=0) ===")
+    print(f"{'group':<8}" + "".join(f"{'T=' + str(t):>10}" for t in THRESHOLDS))
+    for group, row in table.items():
+        print(f"{group:<8}" + "".join(f"{row[t]:>10.3f}" for t in THRESHOLDS))
+    averages = {
+        t: sum(table[g][t] for g in table) / len(table) for t in THRESHOLDS
+    }
+    print(f"{'AVG':<8}" + "".join(f"{averages[t]:>10.3f}" for t in THRESHOLDS))
+    # Small thresholds cost (almost) nothing.
+    assert averages[0.01] > 0.95
+    assert averages[0.05] > 0.93
+    # Larger thresholds must not *help* performance on average.
+    assert averages[0.20] <= averages[0.0] + 0.02

@@ -1,0 +1,35 @@
+"""Figure 13: impact of the takeover threshold on static energy.
+
+With T=0 the lookahead allocates every way (UCP semantics) and
+nothing can be gated; raising T leaves weak-utility ways unallocated
+and powered off, so static energy falls with T.
+"""
+
+THRESHOLDS = (0.0, 0.01, 0.05, 0.10, 0.20)
+
+
+def test_fig13_threshold_vs_static_energy(benchmark, runner, two_core_config, two_core_groups):
+    def sweep():
+        table = {}
+        for group in two_core_groups:
+            row = {}
+            for threshold in THRESHOLDS:
+                config = two_core_config.with_threshold(threshold)
+                run = runner.run_group(group, config, "cooperative")
+                row[threshold] = run.static_power_nw
+            table[group] = {t: row[t] / row[0.0] for t in THRESHOLDS}
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Figure 13: static energy vs takeover threshold (norm. to T=0) ===")
+    print(f"{'group':<8}" + "".join(f"{'T=' + str(t):>10}" for t in THRESHOLDS))
+    for group, row in table.items():
+        print(f"{group:<8}" + "".join(f"{row[t]:>10.3f}" for t in THRESHOLDS))
+    averages = {
+        t: sum(table[g][t] for g in table) / len(table) for t in THRESHOLDS
+    }
+    print(f"{'AVG':<8}" + "".join(f"{averages[t]:>10.3f}" for t in THRESHOLDS))
+    # T=0 can gate nothing; the paper's default already saves.
+    assert averages[0.05] < 1.0
+    # Static savings grow (weakly) with the threshold.
+    assert averages[0.20] <= averages[0.05] + 0.03

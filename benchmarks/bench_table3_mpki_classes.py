@@ -1,0 +1,31 @@
+"""Table 3: MPKI classification of the 19 SPEC CPU2006 applications.
+
+Runs every benchmark alone on the full (scaled) LLC, measures its
+misses per kilo-instruction, and checks that each lands in the
+High / Medium / Low class the paper reports.
+"""
+
+from repro.workloads.profiles import BENCHMARK_PROFILES, classify_mpki
+
+
+def test_table3_mpki_classification(benchmark, runner, two_core_config):
+    def measure():
+        return {
+            name: runner.alone(name, two_core_config).mpki
+            for name in sorted(BENCHMARK_PROFILES)
+        }
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n=== Table 3: MPKI classification ===")
+    print(f"{'benchmark':<12}{'paper MPKI':>12}{'measured':>12}{'class':>9}{'ok':>5}")
+    mismatches = []
+    for name, mpki in measured.items():
+        profile = BENCHMARK_PROFILES[name]
+        ok = classify_mpki(mpki) == profile.mpki_class
+        if not ok:
+            mismatches.append(name)
+        print(
+            f"{name:<12}{profile.mpki:>12.2f}{mpki:>12.2f}"
+            f"{profile.mpki_class.value:>9}{'OK' if ok else 'BAD':>5}"
+        )
+    assert not mismatches, f"class mismatches: {mismatches}"

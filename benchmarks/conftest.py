@@ -1,0 +1,72 @@
+"""Shared infrastructure for the per-table/per-figure benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at a
+laptop-feasible scale and prints the same rows/series the paper
+reports.  All benchmarks in a pytest session share one
+:class:`~repro.sim.runner.ExperimentRunner`, so the expensive sweeps
+(14 groups x 5 schemes) are computed once and reused by every figure
+that reads them.
+
+Environment knobs:
+
+* ``REPRO_BENCH_REFS`` — references per core for two-core sweeps
+  (default 60000; the four-core sweeps use 5/6 of it).
+* ``REPRO_BENCH_GROUPS`` — comma-separated subset of groups (e.g.
+  ``G2-1,G2-8``) for quick runs; default is all fourteen.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.config import scaled_four_core, scaled_two_core
+from repro.sim.runner import get_shared_runner
+from repro.workloads.groups import group_names
+
+BENCH_REFS = int(os.environ.get("REPRO_BENCH_REFS", "60000"))
+
+
+def _selected_groups(n_cores: int) -> list[str]:
+    requested = os.environ.get("REPRO_BENCH_GROUPS")
+    names = group_names(n_cores)
+    if not requested:
+        return names
+    chosen = [g.strip() for g in requested.split(",")]
+    return [g for g in names if g in chosen] or names
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return get_shared_runner()
+
+
+@pytest.fixture(scope="session")
+def two_core_config():
+    return scaled_two_core(refs_per_core=BENCH_REFS)
+
+
+@pytest.fixture(scope="session")
+def four_core_config():
+    return scaled_four_core(refs_per_core=BENCH_REFS * 5 // 6)
+
+
+@pytest.fixture(scope="session")
+def two_core_groups():
+    return _selected_groups(2)
+
+
+@pytest.fixture(scope="session")
+def four_core_groups():
+    return _selected_groups(4)
+
+
+def print_series(title: str, rows: dict[str, dict[str, float]], policies, average):
+    """Render one figure's data as the paper's bar-chart rows."""
+    print(f"\n=== {title} ===")
+    header = f"{'group':<8}" + "".join(f"{p:>14}" for p in policies)
+    print(header)
+    for group, row in rows.items():
+        print(f"{group:<8}" + "".join(f"{row[p]:>14.3f}" for p in policies))
+    print(f"{'AVG':<8}" + "".join(f"{average[p]:>14.3f}" for p in policies))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario: prototyping a new partitioning policy against the suite.
+
+The library's policy interface (probe ways / fill ways / victim /
+epoch decision) is small enough to drop in research ideas.  This
+example implements *Static Priority Partitioning* — a QoS-style scheme
+that pins 6 of 8 ways to a designated high-priority core — and races
+it against the built-in schemes on a two-application mix.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro import ExperimentRunner, scaled_two_core
+from repro.partitioning.base import BaseSharedCachePolicy
+from repro.sim.simulator import CMPSimulator
+
+
+class StaticPriorityPolicy(BaseSharedCachePolicy):
+    """Way-aligned static partition favouring one core (QoS pinning)."""
+
+    name = "Static Priority (6/2)"
+    needs_monitors = False
+
+    def __init__(self, *args, priority_core: int = 0, priority_ways: int = 6, **kwargs):
+        super().__init__(*args, **kwargs)
+        ways = self.geometry.ways
+        boundary = priority_ways
+        self._partitions = [
+            tuple(range(boundary)) if core == priority_core
+            else tuple(range(boundary, ways))
+            for core in range(self.n_cores)
+        ]
+
+    def _probe_ways(self, core):
+        return self._partitions[core]
+
+    def _fill_ways(self, core):
+        return self._partitions[core]
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    config = scaled_two_core(refs_per_core=50_000)
+    group = "G2-12"  # soplex (streaming) + gcc (capacity-hungry)
+    benchmarks = ("soplex", "gcc")
+
+    print(f"Group {group}: {', '.join(benchmarks)} — gcc is the priority app")
+    print()
+
+    results = {}
+    for policy in ("fair_share", "ucp", "cooperative"):
+        results[policy] = runner.run_group(group, config, policy)
+
+    # Wire the custom policy through the same simulator plumbing.
+    traces = [runner.trace_for(b, config) for b in benchmarks]
+    simulator = CMPSimulator(config, traces, "unmanaged")
+    simulator.policy = StaticPriorityPolicy(
+        simulator.cache, simulator.memory, simulator.energy, simulator.stats,
+        priority_core=1,  # gcc
+    )
+    simulator.hierarchy.llc_policy = simulator.policy
+    results["custom"] = simulator.run()
+
+    print(f"{'scheme':<26}{'weighted speedup':>17}{'gcc IPC':>9}{'ways probed':>13}")
+    for run in results.values():
+        speedup = runner.weighted_speedup_of(run, config)
+        gcc_ipc = run.cores[1].ipc
+        print(
+            f"{run.policy:<26}{speedup:>17.3f}{gcc_ipc:>9.3f}"
+            f"{run.average_ways_probed:>13.2f}"
+        )
+    print()
+    print("The pinned partition boosts gcc at soplex's expense; the dynamic")
+    print("schemes find a similar split automatically when it is worthwhile.")
+
+
+if __name__ == "__main__":
+    main()

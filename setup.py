@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on machines whose setuptools
+cannot build PEP 660 editable wheels (e.g. offline boxes).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — Cooperative Partitioning (HPCA 2012) reproduction library.
+
+A from-scratch, pure-Python implementation of Sundararajan et al.,
+"Cooperative Partitioning: Energy-Efficient Cache Partitioning for
+High-Performance CMPs" (HPCA 2012), together with everything needed to
+regenerate the paper's evaluation: a trace-driven CMP cache simulator,
+UMON utility monitoring, a CACTI-like energy model, synthetic SPEC
+CPU2006 workloads and the four comparison schemes.
+
+Quickstart::
+
+    from repro import ExperimentRunner, scaled_two_core
+
+    runner = ExperimentRunner()
+    config = scaled_two_core()
+    run = runner.run_group("G2-8", config, "cooperative")
+    print(run.average_ways_probed, run.dynamic_energy_nj)
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.policy import CooperativePartitioningPolicy
+from repro.core.transfer import TransferPlan, plan_transfers
+from repro.energy.cacti import CactiEnergyModel, OverheadBits
+from repro.metrics.speedup import geometric_mean, normalize, weighted_speedup
+from repro.partitioning.lookahead import AllocationResult, lookahead_partition
+from repro.partitioning.registry import POLICY_NAMES, create_policy
+from repro.sim.config import (
+    SystemConfig,
+    paper_four_core,
+    paper_two_core,
+    scaled_four_core,
+    scaled_two_core,
+)
+from repro.sim.runner import ALL_POLICIES, AloneResult, ExperimentRunner, get_shared_runner
+from repro.sim.simulator import CMPSimulator
+from repro.sim.stats import CoreResult, RunResult
+from repro.workloads.groups import FOUR_CORE_GROUPS, TWO_CORE_GROUPS, group_benchmarks, group_names
+from repro.workloads.profiles import BENCHMARK_PROFILES, MPKIClass, profile_for
+from repro.workloads.trace import Trace, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_POLICIES",
+    "AllocationResult",
+    "AloneResult",
+    "BENCHMARK_PROFILES",
+    "CMPSimulator",
+    "CacheGeometry",
+    "CactiEnergyModel",
+    "CooperativePartitioningPolicy",
+    "CoreResult",
+    "ExperimentRunner",
+    "FOUR_CORE_GROUPS",
+    "MPKIClass",
+    "OverheadBits",
+    "POLICY_NAMES",
+    "RunResult",
+    "SystemConfig",
+    "TWO_CORE_GROUPS",
+    "Trace",
+    "TransferPlan",
+    "create_policy",
+    "generate_trace",
+    "geometric_mean",
+    "get_shared_runner",
+    "group_benchmarks",
+    "group_names",
+    "lookahead_partition",
+    "normalize",
+    "paper_four_core",
+    "paper_two_core",
+    "plan_transfers",
+    "profile_for",
+    "scaled_four_core",
+    "scaled_two_core",
+    "weighted_speedup",
+]

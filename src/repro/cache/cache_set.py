@@ -1,0 +1,150 @@
+"""One cache set: parallel line-state arrays plus a true-LRU stack.
+
+The set is the unit every policy in the paper manipulates: lookups are
+restricted to permitted ways (RAP registers), fills are restricted to
+writable ways (WAP registers), and victim selection walks the LRU
+stack filtered by those same way subsets.  Everything here is plain
+integer/list manipulation so the simulator's inner loop stays fast.
+"""
+
+from __future__ import annotations
+
+from repro.cache.line import NO_OWNER, CacheLine
+
+#: Sentinel way index meaning "not found".
+NO_WAY = -1
+
+
+class CacheSet:
+    """State of a single set in a set-associative cache.
+
+    Line state lives in parallel lists indexed by way.  ``lru`` holds
+    way indices ordered most-recently-used first, which makes both
+    "find LRU victim among a subset of ways" and the UMON stack
+    distance computation O(associativity).
+    """
+
+    __slots__ = ("ways", "tags", "dirty", "owner", "lru")
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError(f"a cache set needs at least one way, got {ways}")
+        self.ways = ways
+        self.tags: list[int | None] = [None] * ways
+        self.dirty: list[bool] = [False] * ways
+        self.owner: list[int] = [NO_OWNER] * ways
+        # MRU first.  Initialised to way order; invalid ways are always
+        # preferred as victims regardless of their stack position.
+        self.lru: list[int] = list(range(ways))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def find(self, tag: int, ways: tuple[int, ...] | None = None) -> int:
+        """Return the way holding ``tag`` among ``ways`` (all if None).
+
+        Returns :data:`NO_WAY` when the tag is absent from the searched
+        ways.  Searching a subset models the RAP-restricted probes that
+        give Cooperative Partitioning its dynamic-energy savings.
+        """
+        tags = self.tags
+        if ways is None:
+            for way in range(self.ways):
+                if tags[way] == tag:
+                    return way
+            return NO_WAY
+        for way in ways:
+            if tags[way] == tag:
+                return way
+        return NO_WAY
+
+    def touch(self, way: int) -> None:
+        """Move ``way`` to the MRU position of the recency stack."""
+        lru = self.lru
+        if lru[0] != way:
+            lru.remove(way)
+            lru.insert(0, way)
+
+    def stack_position(self, way: int) -> int:
+        """Recency position of ``way`` (0 = MRU)."""
+        return self.lru.index(way)
+
+    # ------------------------------------------------------------------
+    # Victim selection
+    # ------------------------------------------------------------------
+    def victim(self, ways: tuple[int, ...] | None = None) -> int:
+        """LRU victim among ``ways`` (all ways if None).
+
+        Invalid ways are returned first (fill before evict); otherwise
+        the least recently used permitted way is chosen.
+        """
+        candidates = range(self.ways) if ways is None else ways
+        for way in candidates:
+            if self.tags[way] is None:
+                return way
+        allowed = set(candidates)
+        for way in reversed(self.lru):
+            if way in allowed:
+                return way
+        raise ValueError("victim() called with an empty way set")
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def install(self, way: int, tag: int, owner: int, dirty: bool) -> None:
+        """Fill ``way`` with a new line and make it MRU."""
+        self.tags[way] = tag
+        self.dirty[way] = dirty
+        self.owner[way] = owner
+        self.touch(way)
+
+    def invalidate(self, way: int) -> None:
+        """Drop the line in ``way`` (used by power-gating and CPE flushes)."""
+        self.tags[way] = None
+        self.dirty[way] = False
+        self.owner[way] = NO_OWNER
+
+    def mark_dirty(self, way: int) -> None:
+        """Record a write to the line in ``way``."""
+        self.dirty[way] = True
+
+    def clean(self, way: int) -> None:
+        """Clear the dirty bit after the line is flushed to memory."""
+        self.dirty[way] = False
+
+    def set_owner(self, way: int, owner: int) -> None:
+        """Reassign the per-line owner bits (cooperative takeover)."""
+        self.owner[way] = owner
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def line(self, way: int) -> CacheLine:
+        """Read-only snapshot of the line in ``way``."""
+        tag = self.tags[way]
+        return CacheLine(
+            tag=tag,
+            valid=tag is not None,
+            dirty=self.dirty[way],
+            owner=self.owner[way],
+        )
+
+    def valid_ways(self) -> list[int]:
+        """Ways currently holding valid lines."""
+        return [way for way in range(self.ways) if self.tags[way] is not None]
+
+    def occupancy(self, core: int) -> int:
+        """Number of valid lines in this set owned by ``core``."""
+        count = 0
+        for way in range(self.ways):
+            if self.tags[way] is not None and self.owner[way] == core:
+                count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(
+            f"w{way}:{'-' if self.tags[way] is None else self.tags[way]}"
+            f"{'*' if self.dirty[way] else ''}@{self.owner[way]}"
+            for way in range(self.ways)
+        )
+        return f"CacheSet({entries}; lru={self.lru})"

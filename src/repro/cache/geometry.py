@@ -1,0 +1,91 @@
+"""Cache geometry: sizes, associativity and address decomposition.
+
+All caches in the simulator operate on *line addresses* (byte address
+right-shifted by the line-size bits).  Decomposing a line address into
+a set index and a tag is the single most frequent operation in the
+simulator, so :class:`CacheGeometry` precomputes the masks and shifts
+once and exposes plain-integer arithmetic helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Immutable description of a cache's shape.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total data capacity of the cache in bytes.
+    line_bytes:
+        Cache line (block) size in bytes.  The paper uses 64 B lines
+        throughout (Table 2).
+    ways:
+        Associativity.  The paper evaluates an 8-way 2 MB L2 for the
+        two-core system and a 16-way 4 MB L2 for the four-core system.
+    """
+
+    size_bytes: int
+    line_bytes: int
+    ways: int
+    num_sets: int = field(init=False)
+    line_shift: int = field(init=False)
+    set_mask: int = field(init=False)
+    set_shift: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.line_bytes):
+            raise ValueError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if self.ways <= 0:
+            raise ValueError(f"ways must be positive, got {self.ways}")
+        lines = self.size_bytes // self.line_bytes
+        if lines == 0 or self.size_bytes % self.line_bytes:
+            raise ValueError(
+                f"size_bytes={self.size_bytes} is not a positive multiple of "
+                f"line_bytes={self.line_bytes}"
+            )
+        if lines % self.ways:
+            raise ValueError(f"{lines} lines do not divide into {self.ways} ways")
+        num_sets = lines // self.ways
+        if not _is_power_of_two(num_sets):
+            raise ValueError(f"number of sets must be a power of two, got {num_sets}")
+        object.__setattr__(self, "num_sets", num_sets)
+        object.__setattr__(self, "line_shift", self.line_bytes.bit_length() - 1)
+        object.__setattr__(self, "set_mask", num_sets - 1)
+        object.__setattr__(self, "set_shift", num_sets.bit_length() - 1)
+
+    @property
+    def total_lines(self) -> int:
+        """Total number of cache lines the cache can hold."""
+        return self.num_sets * self.ways
+
+    def line_address(self, byte_address: int) -> int:
+        """Convert a byte address into a line address."""
+        return byte_address >> self.line_shift
+
+    def set_index(self, line_address: int) -> int:
+        """Set index a line address maps to."""
+        return line_address & self.set_mask
+
+    def tag(self, line_address: int) -> int:
+        """Tag bits of a line address (everything above the set index)."""
+        return line_address >> self.set_shift
+
+    def rebuild_line_address(self, tag: int, set_index: int) -> int:
+        """Inverse of :meth:`set_index`/:meth:`tag` — used for writebacks."""
+        return (tag << self.set_shift) | set_index
+
+    def describe(self) -> str:
+        """Human-readable one-line summary, e.g. ``2MB, 64B lines, 8-way``."""
+        if self.size_bytes % (1024 * 1024) == 0:
+            size = f"{self.size_bytes // (1024 * 1024)}MB"
+        else:
+            size = f"{self.size_bytes // 1024}kB"
+        return f"{size}, {self.line_bytes}B lines, {self.ways}-way, {self.num_sets} sets"

@@ -1,0 +1,112 @@
+"""Victim-selection strategies.
+
+The schemes compared in the paper differ in *which* line they evict on
+a fill:
+
+* plain LRU over all ways — the Unmanaged baseline;
+* LRU restricted to the core's permitted ways — Fair Share and the
+  way-aligned schemes (Cooperative Partitioning probes/fills only ways
+  the RAP/WAP registers allow, so the restriction is supplied by the
+  policy as a way subset);
+* UCP's partition-aware selection — when a core is over its target
+  occupancy the victim comes from its own lines, otherwise from the
+  LRU line of an over-occupying core, which is how UCP migrates
+  capacity lazily through the replacement policy (Section 2.5, [20]);
+* random among permitted ways — used for the way-choice ablation the
+  paper discusses under "Performance Overheads" (Section 2.5).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.cache.cache_set import CacheSet
+
+
+class VictimSelector(ABC):
+    """Strategy interface: choose the way a new line is filled into."""
+
+    @abstractmethod
+    def select(self, cset: CacheSet, core: int, ways: tuple[int, ...]) -> int:
+        """Return the victim way for ``core`` among the ``ways`` subset."""
+
+
+class LRUVictimSelector(VictimSelector):
+    """Evict the least recently used line among the permitted ways."""
+
+    def select(self, cset: CacheSet, core: int, ways: tuple[int, ...]) -> int:
+        return cset.victim(ways)
+
+
+class RandomVictimSelector(VictimSelector):
+    """Evict a uniformly random valid line among the permitted ways.
+
+    Invalid ways are still filled first so capacity is never wasted.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, cset: CacheSet, core: int, ways: tuple[int, ...]) -> int:
+        for way in ways:
+            if cset.tags[way] is None:
+                return way
+        return self._rng.choice(list(ways))
+
+
+class PartitionAwareVictimSelector(VictimSelector):
+    """UCP's replacement-driven partition enforcement.
+
+    ``targets`` maps each core to its way allocation.  On a miss by
+    ``core``:
+
+    * if the core's occupancy in the set is below its target, the
+      victim is the LRU line belonging to some core that is *over* its
+      target (capacity migrates toward the new partition);
+    * otherwise the victim is the core's own LRU line (the partition is
+      respected in steady state).
+
+    This is exactly the lazy migration whose slow convergence Figure 15
+    of the paper measures against cooperative takeover.
+    """
+
+    def __init__(self, ways: int) -> None:
+        self._ways = ways
+        self.targets: dict[int, int] = {}
+
+    def set_targets(self, targets: dict[int, int]) -> None:
+        """Install the allocation produced by the lookahead algorithm."""
+        self.targets = dict(targets)
+
+    def select(self, cset: CacheSet, core: int, ways: tuple[int, ...]) -> int:
+        for way in ways:
+            if cset.tags[way] is None:
+                return way
+        target = self.targets.get(core)
+        if target is not None and cset.occupancy(core) < target:
+            victim = self._lru_of_over_occupier(cset, ways)
+            if victim is not None:
+                return victim
+        victim = self._lru_owned_by(cset, core, ways)
+        if victim is not None:
+            return victim
+        return cset.victim(ways)
+
+    def _lru_of_over_occupier(self, cset: CacheSet, ways: tuple[int, ...]) -> int | None:
+        allowed = set(ways)
+        for way in reversed(cset.lru):
+            if way not in allowed or cset.tags[way] is None:
+                continue
+            owner = cset.owner[way]
+            target = self.targets.get(owner)
+            if target is None or cset.occupancy(owner) > target:
+                return way
+        return None
+
+    def _lru_owned_by(self, cset: CacheSet, core: int, ways: tuple[int, ...]) -> int | None:
+        allowed = set(ways)
+        for way in reversed(cset.lru):
+            if way in allowed and cset.tags[way] is not None and cset.owner[way] == core:
+                return way
+        return None

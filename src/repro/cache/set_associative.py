@@ -1,0 +1,160 @@
+"""A set-associative cache assembled from :class:`CacheSet` objects.
+
+This class provides *mechanism only*: probe a subset of ways, fill a
+line evicting a chosen victim, flush or invalidate lines.  All *policy*
+(which ways may be probed or filled, who the victim is, what happens on
+an epoch boundary) lives in ``repro.partitioning`` and ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cache_set import NO_WAY, CacheSet
+from repro.cache.geometry import CacheGeometry
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a cache probe-and-fill operation.
+
+    Attributes
+    ----------
+    hit:
+        Whether the probe found the line among the searched ways.
+    way:
+        The way that now holds the line (the hit way, or the fill way).
+    set_index:
+        Set the line maps to.
+    evicted_tag:
+        Tag of the line displaced by a fill, or ``None`` for hits or
+        fills into invalid ways.
+    evicted_dirty:
+        Whether the displaced line needed a writeback.
+    evicted_owner:
+        Owner core of the displaced line (meaningful when a writeback
+        must be attributed, e.g. UCP flush accounting in Figure 16).
+    """
+
+    hit: bool
+    way: int
+    set_index: int
+    evicted_tag: int | None = None
+    evicted_dirty: bool = False
+    evicted_owner: int = -1
+
+
+class SetAssociativeCache:
+    """Array of cache sets plus address decomposition helpers."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.sets = [CacheSet(geometry.ways) for _ in range(geometry.num_sets)]
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(
+        self, line_address: int, ways: tuple[int, ...] | None = None
+    ) -> tuple[bool, int, int]:
+        """Look up ``line_address`` among ``ways``.
+
+        Returns ``(hit, way, set_index)``; ``way`` is :data:`NO_WAY`
+        on a miss.  Does not update recency — callers decide whether a
+        probe counts as a use (:meth:`touch`).
+        """
+        geometry = self.geometry
+        set_index = line_address & geometry.set_mask
+        tag = line_address >> geometry.set_shift
+        way = self.sets[set_index].find(tag, ways)
+        return way != NO_WAY, way, set_index
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Promote a hit line to MRU."""
+        self.sets[set_index].touch(way)
+
+    # ------------------------------------------------------------------
+    # Filling
+    # ------------------------------------------------------------------
+    def fill(
+        self,
+        line_address: int,
+        core: int,
+        is_write: bool,
+        victim_way: int,
+    ) -> AccessResult:
+        """Install ``line_address`` into ``victim_way`` of its set.
+
+        The caller has already chosen the victim (via a
+        :class:`~repro.cache.replacement.VictimSelector`), so this just
+        records the eviction and installs the new line.
+        """
+        geometry = self.geometry
+        set_index = line_address & geometry.set_mask
+        tag = line_address >> geometry.set_shift
+        cset = self.sets[set_index]
+        evicted_tag = cset.tags[victim_way]
+        evicted_dirty = cset.dirty[victim_way] if evicted_tag is not None else False
+        evicted_owner = cset.owner[victim_way] if evicted_tag is not None else -1
+        cset.install(victim_way, tag, core, is_write)
+        return AccessResult(
+            hit=False,
+            way=victim_way,
+            set_index=set_index,
+            evicted_tag=evicted_tag,
+            evicted_dirty=evicted_dirty,
+            evicted_owner=evicted_owner,
+        )
+
+    # ------------------------------------------------------------------
+    # Flush / invalidate
+    # ------------------------------------------------------------------
+    def flush_way_in_set(self, set_index: int, way: int) -> int | None:
+        """Write back the line in (set, way) if dirty.
+
+        Returns the flushed line address (for memory-bandwidth
+        accounting) or ``None`` if the line was clean or invalid.  The
+        line stays valid — cooperative takeover flushes data early but
+        keeps it readable until ownership transfers.
+        """
+        cset = self.sets[set_index]
+        tag = cset.tags[way]
+        if tag is None or not cset.dirty[way]:
+            return None
+        cset.clean(way)
+        return self.geometry.rebuild_line_address(tag, set_index)
+
+    def invalidate_way(self, way: int) -> list[int]:
+        """Invalidate ``way`` across every set, returning dirty line addresses.
+
+        Used when a way is power-gated (gated-Vdd is non-state-
+        preserving) and by Dynamic CPE's immediate flush.  The returned
+        addresses must be written back by the caller *before* the
+        invalidation takes effect architecturally; we return them for
+        bandwidth/energy accounting.
+        """
+        flushed: list[int] = []
+        rebuild = self.geometry.rebuild_line_address
+        for set_index, cset in enumerate(self.sets):
+            tag = cset.tags[way]
+            if tag is not None and cset.dirty[way]:
+                flushed.append(rebuild(tag, set_index))
+            cset.invalidate(way)
+        return flushed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def occupancy_by_core(self, n_cores: int) -> list[int]:
+        """Total valid lines per core across the whole cache."""
+        counts = [0] * n_cores
+        for cset in self.sets:
+            for way in range(cset.ways):
+                owner = cset.owner[way]
+                if cset.tags[way] is not None and 0 <= owner < n_cores:
+                    counts[owner] += 1
+        return counts
+
+    def valid_line_count(self) -> int:
+        """Number of valid lines in the cache."""
+        return sum(len(cset.valid_ways()) for cset in self.sets)

@@ -1,0 +1,28 @@
+"""Cooperative Partitioning — the paper's primary contribution.
+
+* :mod:`permissions` — the RAP/WAP per-way access-permission registers
+  (Section 2.2) that enforce way-aligned data and encode transitions.
+* :mod:`takeover` — per-core takeover bit vectors and the cooperative
+  takeover protocol (Sections 2.3–2.4) that migrates ways quickly by
+  flushing lazily on every donor/recipient access.
+* :mod:`transfer` — Algorithm 2: matching donors to recipients and
+  powering ways on/off after a partitioning decision.
+* :mod:`policy` — the full Cooperative Partitioning LLC policy tying
+  monitoring, the threshold lookahead, permissions and takeover
+  together.
+"""
+
+from repro.core.permissions import WayPermissionFile
+from repro.core.policy import CooperativePartitioningPolicy
+from repro.core.takeover import TakeoverEngine, TakeoverVector, WayTransition
+from repro.core.transfer import TransferPlan, plan_transfers
+
+__all__ = [
+    "CooperativePartitioningPolicy",
+    "TakeoverEngine",
+    "TakeoverVector",
+    "TransferPlan",
+    "WayPermissionFile",
+    "WayTransition",
+    "plan_transfers",
+]

@@ -1,0 +1,249 @@
+"""The Cooperative Partitioning LLC policy (paper Section 2).
+
+Ties the pieces together:
+
+* UMON monitors feed the threshold-extended lookahead algorithm every
+  epoch (Section 2.1);
+* the resulting allocation is realised through RAP/WAP permission
+  changes and Algorithm 2's donor/recipient matching (Section 2.2);
+* ways in flight migrate via cooperative takeover (Sections 2.3-2.4);
+* unallocated ways are power-gated (gated-Vdd) once scrubbed, and a
+  core's probes consult only the ways its RAP bits allow — these are
+  the static and dynamic energy savings the paper reports.
+
+Write semantics: RAP governs lookups and WAP governs *allocation*
+(which ways a fill may replace into).  A write hit in a read-only
+(donating) way updates the line in place and re-dirties it; the paper
+acknowledges this can happen ("Although this can also happen in
+Cooperative Partitioning, it is much less likely...") and the takeover
+protocol or the eventual eviction writes the data back, so correctness
+is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.permissions import WayPermissionFile
+from repro.core.takeover import TO_OFF, TakeoverEngine, WayTransition
+from repro.core.transfer import OFF, InsufficientSettledWays, plan_transfers
+from repro.partitioning.base import BaseSharedCachePolicy
+from repro.partitioning.lookahead import lookahead_partition
+
+#: the paper's default takeover threshold (Section 5.1 justifies 0.05)
+DEFAULT_THRESHOLD = 0.05
+
+
+class CooperativePartitioningPolicy(BaseSharedCachePolicy):
+    """Way-aligned, energy-saving dynamic cache partitioning."""
+
+    name = "Cooperative Partitioning"
+    needs_monitors = True
+
+    def __init__(
+        self,
+        *args,
+        threshold: float = DEFAULT_THRESHOLD,
+        seed: int = 12345,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.threshold = threshold
+        self._rng = random.Random(seed)
+        ways = self.geometry.ways
+        n = self.n_cores
+        if ways % n:
+            raise ValueError(f"{ways} ways do not split evenly over {n} cores")
+        self.permissions = WayPermissionFile(ways, n)
+        #: target owner per way (OFF = powered down / being powered down)
+        self.logical_owner: list[int] = [OFF] * ways
+        #: whether each way is currently drawing leakage power
+        self.powered: list[bool] = [True] * ways
+        share = ways // n
+        for core in range(n):
+            for way in range(core * share, (core + 1) * share):
+                self.permissions.grant_full(way, core)
+                self.logical_owner[way] = core
+        self.engine = TakeoverEngine(self.cache, self.memory, self.energy, self.stats)
+
+    # ------------------------------------------------------------------
+    # Access-path hooks
+    # ------------------------------------------------------------------
+    def _probe_ways(self, core: int) -> tuple[int, ...]:
+        return self.permissions.readable_ways(core)
+
+    def _fill_ways(self, core: int) -> tuple[int, ...]:
+        return self.permissions.writable_ways(core)
+
+    def _select_victim(self, core: int, set_index: int, ways: tuple[int, ...] | None) -> int:
+        """LRU among writable ways, preferring a way being received.
+
+        The paper's example (Figure 4): when the recipient misses, the
+        incoming line "can be placed in way 2 instead of replacing an
+        existing line in another way" — the donor's line there is dead
+        capacity for the recipient.
+        """
+        cset = self.cache.sets[set_index]
+        if ways is None:
+            return cset.victim(None)
+        if self.engine.active:
+            for way in self.engine.receiving_ways(core):
+                if cset.owner[way] != core:
+                    return way
+        return cset.victim(ways)
+
+    def _pre_access(self, core: int, set_index: int, now: int, hit: bool) -> None:
+        if not self.engine.active:
+            return
+        for donor in self.engine.on_access(core, set_index, hit, now):
+            self._finalize_donor(donor, now)
+
+    # ------------------------------------------------------------------
+    # Transition completion
+    # ------------------------------------------------------------------
+    def _finalize_donor(self, donor: int, now: int) -> None:
+        """Withdraw the donor's read permission; gate to-off ways."""
+        self._finalize_moves(self.engine.pop_donor(donor), now)
+
+    def _finalize_moves(self, moves, now: int) -> None:
+        power_changed = False
+        for move in moves:
+            self.permissions.revoke_read(move.way, move.donor)
+            # Figure 15 measures core-to-core transfers; power-off
+            # scrubs are a different mechanism (donor-only progress)
+            # and are tracked by the forced/completed counters only.
+            if not move.to_off:
+                self.stats.transition_durations.append(now - move.start_cycle)
+            self.stats.transitions_completed += 1
+            if move.to_off:
+                # Gated-Vdd is non-state-preserving: drop the (scrubbed)
+                # lines.  Any line re-dirtied by a late donor write is
+                # flushed here.
+                self.permissions.revoke_all(move.way)
+                flushed = self.cache.invalidate_way(move.way)
+                for address in flushed:
+                    self.memory.writeback(address, now)
+                    self.energy.writeback()
+                    self.stats.note_transfer_flush(now)
+                self.powered[move.way] = False
+                power_changed = True
+        if power_changed:
+            self.energy.set_active_ways(self.active_ways(), now)
+
+    def note_pending(self, now: int) -> None:
+        """Record ages of in-flight core-to-core transfers (Figure 15)."""
+        for move in self.engine.transitions.values():
+            if not move.to_off:
+                self.stats.pending_transition_ages.append(now - move.start_cycle)
+
+    # ------------------------------------------------------------------
+    # Epoch behaviour (partitioning decision)
+    # ------------------------------------------------------------------
+    def decide(self, now: int) -> None:
+        """Run the threshold lookahead and start the needed transfers."""
+        # A way heading for power-off makes progress only on donor
+        # accesses, and the donor is precisely the core that no longer
+        # needs the cache, so scrub-by-takeover can dawdle.  Any
+        # to-off transition still pending at the next decision (a full
+        # epoch old) is completed eagerly so the static savings the
+        # partitioner asked for actually materialise.
+        aged_donors = {
+            move.donor
+            for move in self.engine.transitions.values()
+            if move.to_off
+        }
+        for donor in aged_donors:
+            self._finalize_moves(self.engine.force_complete(donor, now), now)
+
+        curves = self.miss_curves()
+        result = lookahead_partition(
+            curves, self.geometry.ways, threshold=self.threshold
+        )
+        current = [0] * self.n_cores
+        for owner in self.logical_owner:
+            if owner != OFF:
+                current[owner] += 1
+        repartitioned = result.allocations != current
+        self.stats.note_decision(now, repartitioned)
+        if not repartitioned:
+            return
+
+        # Rare by the paper's observation: a new decision may need ways
+        # that are still mid-transition.  Complete those donors eagerly
+        # and re-plan; each retry removes at least one donor's frozen
+        # ways, so this terminates within n_cores attempts.
+        for _ in range(self.n_cores + 1):
+            try:
+                plan = plan_transfers(
+                    self.logical_owner,
+                    result.allocations,
+                    self._rng,
+                    set(self.engine.transitions),
+                )
+                break
+            except InsufficientSettledWays as exc:
+                self._release_frozen_ways_of(exc.core, now)
+        else:
+            raise RuntimeError("transfer planning failed to converge")
+        self._apply_plan(plan, now)
+
+    def _release_frozen_ways_of(self, core: int, now: int) -> None:
+        """Force-complete the transitions whose target owner is ``core``.
+
+        A core short of settled ways is the *recipient* of in-flight
+        ways (its logical ownership includes them), so the donors
+        feeding it must finish before it can donate those ways onward.
+        """
+        donors = {
+            move.donor
+            for move in self.engine.transitions.values()
+            if move.recipient == core
+        }
+        if not donors:
+            # Defensive: complete everything rather than loop forever.
+            donors = {move.donor for move in self.engine.transitions.values()}
+        for donor in donors:
+            self._finalize_moves(self.engine.force_complete(donor, now), now)
+
+    def _apply_plan(self, plan, now: int) -> None:
+        """Set RAP/WAP per Algorithm 2 and register the transitions."""
+        permissions = self.permissions
+        power_changed = False
+        transitions: list[WayTransition] = []
+
+        for way, recipient in plan.from_off:
+            # Powering on: the way is empty, hand it over immediately.
+            permissions.grant_full(way, recipient)
+            self.logical_owner[way] = recipient
+            self.powered[way] = True
+            power_changed = True
+
+        for way, donor, recipient in plan.moves:
+            permissions.grant_full(way, recipient)
+            permissions.revoke_write(way, donor)
+            self.logical_owner[way] = recipient
+            transitions.append(
+                WayTransition(way=way, donor=donor, recipient=recipient, start_cycle=now)
+            )
+
+        for way, donor in plan.to_off:
+            permissions.revoke_write(way, donor)
+            self.logical_owner[way] = OFF
+            transitions.append(
+                WayTransition(way=way, donor=donor, recipient=TO_OFF, start_cycle=now)
+            )
+
+        self.engine.begin(transitions)
+        if power_changed:
+            self.energy.set_active_ways(self.active_ways(), now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def active_ways(self) -> int:
+        """Powered ways (allocated or still transitioning to off)."""
+        return sum(self.powered)
+
+    def allocation_of(self, core: int) -> int:
+        """Ways logically owned by ``core`` right now."""
+        return sum(1 for owner in self.logical_owner if owner == core)

@@ -1,0 +1,165 @@
+"""Algorithm 2: turning an allocation change into way transfers.
+
+Given the previous way ownership and the new per-core allocation, the
+algorithm classifies each core as a *recipient* (gained ways) or a
+*donor* (lost ways), pairs them up, and picks concrete ways to move:
+
+* donor -> recipient moves enter a cooperative-takeover transition
+  (the recipient gets full access, the donor drops to read-only);
+* leftover donations with no recipient head to *off* (power gating);
+* leftover receipts with no donor are satisfied by powering on ways
+  that are currently off.
+
+The paper picks "a random way owned by core j"; we use a seeded RNG
+for reproducibility and never pick ways that are still mid-transition
+(the caller force-completes those first if it must).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: logical owner value for a powered-off way
+OFF = -1
+
+
+class InsufficientSettledWays(Exception):
+    """A transfer needs ways that are still mid-transition.
+
+    ``core`` is the logical owner whose ways are frozen — a core id,
+    or :data:`OFF` when the plan ran out of settled powered-off ways.
+    The policy reacts by force-completing the transitions flowing into
+    that owner and re-planning.
+    """
+
+    def __init__(self, core: int) -> None:
+        super().__init__(f"owner {core} lacks settled ways to hand over")
+        self.core = core
+
+
+@dataclass
+class TransferPlan:
+    """Concrete way movements realising a new allocation.
+
+    Attributes
+    ----------
+    moves:
+        ``(way, donor, recipient)`` transfers needing takeover.
+    to_off:
+        ``(way, donor)`` ways that will be power-gated after takeover.
+    from_off:
+        ``(way, recipient)`` ways powered on and handed over at once
+        (they hold no data, so no transition is needed).
+    """
+
+    moves: list[tuple[int, int, int]] = field(default_factory=list)
+    to_off: list[tuple[int, int]] = field(default_factory=list)
+    from_off: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan changes nothing."""
+        return not (self.moves or self.to_off or self.from_off)
+
+
+def plan_transfers(
+    logical_owner: list[int],
+    allocations: list[int],
+    rng: random.Random,
+    frozen: set[int] | None = None,
+) -> TransferPlan:
+    """Compute the way movements from ``logical_owner`` to ``allocations``.
+
+    Parameters
+    ----------
+    logical_owner:
+        Current owner per way (:data:`OFF` for gated ways).  Ways that
+        are mid-transition belong to their *target* owner here.
+    allocations:
+        New way count per core (sum <= number of ways).
+    rng:
+        Seeded source for the paper's random way choice.
+    frozen:
+        Ways that must not be selected for donation (still in
+        takeover).  :class:`InsufficientSettledWays` is raised when a
+        donor cannot meet its quota without them.
+    """
+    n_ways = len(logical_owner)
+    n_cores = len(allocations)
+    if sum(allocations) > n_ways:
+        raise ValueError(
+            f"allocations {allocations} exceed {n_ways} ways"
+        )
+    frozen = frozen or set()
+
+    previous = [0] * n_cores
+    for owner in logical_owner:
+        if owner != OFF:
+            previous[owner] += 1
+
+    receive = [0] * n_cores
+    donate = [0] * n_cores
+    for core in range(n_cores):
+        delta = allocations[core] - previous[core]
+        if delta > 0:
+            receive[core] = delta
+        elif delta < 0:
+            donate[core] = -delta
+
+    donatable: dict[int, list[int]] = {core: [] for core in range(n_cores)}
+    for way, owner in enumerate(logical_owner):
+        if owner != OFF and way not in frozen:
+            donatable[owner].append(way)
+    for core in range(n_cores):
+        if donate[core] > len(donatable[core]):
+            raise InsufficientSettledWays(core)
+
+    plan = TransferPlan()
+
+    # Pair donors with recipients (the double loop of Algorithm 2).
+    for i in range(n_cores):
+        for j in range(n_cores):
+            if receive[i] <= 0 or donate[j] <= 0:
+                continue
+            donation = min(receive[i], donate[j])
+            for _ in range(donation):
+                way = _pick_random_way(donatable[j], rng)
+                plan.moves.append((way, j, i))
+                receive[i] -= 1
+                donate[j] -= 1
+
+    # Leftover donations are powered off...
+    for core in range(n_cores):
+        for _ in range(donate[core]):
+            way = _pick_random_way(donatable[core], rng)
+            plan.to_off.append((way, core))
+        donate[core] = 0
+
+    # ...and leftover receipts are served from settled powered-off
+    # ways (a way still transitioning to off cannot be handed out: it
+    # holds the donor's data and its completion would strip the new
+    # owner's permissions).
+    off_ways = [
+        way
+        for way, owner in enumerate(logical_owner)
+        if owner == OFF and way not in frozen
+    ]
+    for core in range(n_cores):
+        for _ in range(receive[core]):
+            if not off_ways:
+                raise InsufficientSettledWays(OFF)
+            way = _pick_random_way(off_ways, rng)
+            plan.from_off.append((way, core))
+        receive[core] = 0
+
+    return plan
+
+
+def _pick_random_way(pool: list[int], rng: random.Random) -> int:
+    """Remove and return a random way from ``pool``."""
+    index = rng.randrange(len(pool))
+    way = pool[index]
+    pool[index] = pool[-1]
+    pool.pop()
+    return way

@@ -1,0 +1,13 @@
+"""Energy modelling substrate.
+
+The paper derives LLC energy from CACTI 5.1 at 45 nm (Section 3.1).
+``cacti`` embeds an analytical stand-in with CACTI-like magnitudes and
+ratios; ``accounting`` integrates dynamic (per-event) and static
+(per-way-cycle, gated-Vdd aware) energy over a simulation, including
+the monitoring/partitioning hardware overheads of Table 1.
+"""
+
+from repro.energy.accounting import EnergyAccounting
+from repro.energy.cacti import CactiEnergyModel, OverheadBits
+
+__all__ = ["CactiEnergyModel", "EnergyAccounting", "OverheadBits"]

@@ -1,0 +1,116 @@
+"""CACTI-like energy parameters for the shared LLC at 45 nm.
+
+The paper feeds its cache configurations through CACTI 5.1 [29] to get
+per-access and leakage energy.  CACTI is a closed C++ tool; we embed an
+analytical substitute whose *ratios* match CACTI's qualitative
+behaviour for large SRAM LLCs:
+
+* tag probes are much cheaper than data-array accesses, and serial
+  tag-then-data access means dynamic energy scales with the number of
+  tag ways consulted (the paper's Section 2: "dynamic energy savings
+  come from the tag side only");
+* data-array energy is paid once per hit/fill regardless of ways;
+* leakage scales with the number of powered (non-gated) ways and with
+  time.
+
+Every figure in the paper reports energy *normalised to Fair Share*,
+so only these ratios — not absolute nanojoules — determine the
+reproduced results.  The absolute magnitudes below are nonetheless
+chosen to be CACTI-plausible for a 2–4 MB, 8–16-way 45 nm SRAM at
+~2 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+
+#: Energy of probing ONE tag way (nJ).  The paper's Figures 6 and 9
+#: show Unmanaged and UCP at almost exactly 2x (two-core) and 4x
+#: (four-core) the Fair Share dynamic energy — i.e. dynamic energy is
+#: essentially proportional to the number of tag ways consulted, with
+#: the data array contributing little.  That pins the tag:data ratio
+#: of the underlying CACTI numbers, which we adopt here (high-
+#: associativity multi-MB tag arrays with long wordlines are indeed
+#: probe-dominated under serial access).
+TAG_PROBE_NJ_PER_WAY = 0.09
+
+#: Energy of reading a 64 B line from the (single, already-selected)
+#: data-array way after the serial tag match (nJ).
+DATA_READ_NJ = 0.025
+
+#: Energy of writing a 64 B line into the data array (nJ).
+DATA_WRITE_NJ = 0.03
+
+#: Energy of reading out a dirty line for a writeback/flush (nJ);
+#: the DRAM-side cost is outside the LLC budget the paper reports,
+#: but the array read is not.
+WRITEBACK_READ_NJ = 0.025
+
+#: Leakage power per megabyte of powered SRAM at 45 nm (watts).
+LEAKAGE_W_PER_MB = 0.45
+
+#: Clock frequency used to convert leakage power into energy/cycle.
+CLOCK_HZ = 2.0e9
+
+#: Leakage of one bit of the monitoring/partitioning hardware relative
+#: to one bit of the main array (registers leak a little more than
+#: dense SRAM, but the totals in Table 1 are tiny either way).
+OVERHEAD_BIT_RELATIVE_LEAKAGE = 2.0
+
+#: Dynamic energy charged per LLC access for updating the monitoring
+#: hardware (UMON counters + takeover bit) — small compared to a tag
+#: probe.
+MONITOR_UPDATE_NJ = 0.002
+
+
+@dataclass(frozen=True)
+class OverheadBits:
+    """Table 1: storage overheads of the cooperative scheme.
+
+    ``takeover_bits`` is one bit per set per core; RAP/WAP have one bit
+    per core per way.
+    """
+
+    takeover_bits: int
+    rap_bits: int
+    wap_bits: int
+
+    @property
+    def total(self) -> int:
+        """Total extra storage in bits."""
+        return self.takeover_bits + self.rap_bits + self.wap_bits
+
+    @staticmethod
+    def for_system(n_cores: int, llc: CacheGeometry) -> "OverheadBits":
+        """Compute Table 1's rows for a given system configuration."""
+        return OverheadBits(
+            takeover_bits=llc.num_sets * n_cores,
+            rap_bits=llc.ways * n_cores,
+            wap_bits=llc.ways * n_cores,
+        )
+
+
+class CactiEnergyModel:
+    """Per-event and per-cycle energy figures for one LLC geometry."""
+
+    def __init__(self, geometry: CacheGeometry, n_cores: int) -> None:
+        self.geometry = geometry
+        self.n_cores = n_cores
+        self.tag_probe_nj = TAG_PROBE_NJ_PER_WAY
+        self.data_read_nj = DATA_READ_NJ
+        self.data_write_nj = DATA_WRITE_NJ
+        self.writeback_nj = WRITEBACK_READ_NJ
+        self.monitor_update_nj = MONITOR_UPDATE_NJ
+        size_mb = geometry.size_bytes / (1024 * 1024)
+        cache_leak_w = LEAKAGE_W_PER_MB * size_mb
+        #: leakage of one powered way for one cycle (nJ)
+        self.leakage_nj_per_way_cycle = cache_leak_w / CLOCK_HZ / geometry.ways * 1e9
+        overhead = OverheadBits.for_system(n_cores, geometry)
+        total_array_bits = geometry.size_bytes * 8
+        per_bit = cache_leak_w / total_array_bits
+        self.overhead_leakage_nj_per_cycle = (
+            overhead.total * per_bit * OVERHEAD_BIT_RELATIVE_LEAKAGE / CLOCK_HZ * 1e9
+        )
+        self.overhead_bits = overhead

@@ -1,0 +1,5 @@
+"""Evaluation metrics (paper Section 3.3)."""
+
+from repro.metrics.speedup import geometric_mean, normalize, weighted_speedup
+
+__all__ = ["geometric_mean", "normalize", "weighted_speedup"]

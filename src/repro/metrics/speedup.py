@@ -1,0 +1,47 @@
+"""Weighted speedup and aggregation helpers.
+
+Equation (1) of the paper:
+
+    WeightedSpeedup = sum_i IPC_shared[i] / IPC_alone[i]
+
+IPC_alone is measured with the application running by itself on the
+same machine (full LLC); higher is better.  Figure averages in the
+paper use the geometric mean.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def weighted_speedup(ipc_shared: Sequence[float], ipc_alone: Sequence[float]) -> float:
+    """Equation (1): sum of per-application IPC ratios."""
+    if len(ipc_shared) != len(ipc_alone):
+        raise ValueError(
+            f"{len(ipc_shared)} shared IPCs vs {len(ipc_alone)} alone IPCs"
+        )
+    total = 0.0
+    for shared, alone in zip(ipc_shared, ipc_alone):
+        if alone <= 0:
+            raise ValueError(f"IPC_alone must be positive, got {alone}")
+        total += shared / alone
+    return total
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's figure average)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: dict[str, float], baseline: str) -> dict[str, float]:
+    """Divide every entry by the baseline entry (paper normalisation)."""
+    base = values[baseline]
+    if base == 0:
+        raise ValueError(f"baseline {baseline!r} is zero")
+    return {key: value / base for key, value in values.items()}

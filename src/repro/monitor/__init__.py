@@ -1,0 +1,16 @@
+"""Utility-monitoring substrate (UMON, Qureshi & Patt MICRO'06).
+
+The paper's partitioning decisions are driven by per-core utility
+monitors: an auxiliary tag directory (ATD) that tracks what each
+core's accesses *would* do if the core had the whole LLC to itself,
+with one hit counter per LRU stack position.  The Mattson stack
+property then yields the core's miss curve — misses as a function of
+allocated ways — in a single pass.  Dynamic set sampling keeps the ATD
+small, exactly as in UCP.
+"""
+
+from repro.monitor.atd import AuxiliaryTagDirectory
+from repro.monitor.sampling import SetSampler
+from repro.monitor.umon import UtilityMonitor
+
+__all__ = ["AuxiliaryTagDirectory", "SetSampler", "UtilityMonitor"]

@@ -1,0 +1,75 @@
+"""Per-core utility monitor: ATD plus miss-curve extraction.
+
+``UtilityMonitor`` is what the partitioning policies consume: at each
+epoch boundary they read a miss curve — estimated misses as a function
+of allocated ways — computed from the ATD's stack-position hit
+counters, scaled back up by the sampling factor.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.atd import AuxiliaryTagDirectory
+from repro.monitor.sampling import SetSampler
+
+
+class UtilityMonitor:
+    """Tracks one core's standalone cache utility.
+
+    Parameters
+    ----------
+    ways:
+        LLC associativity (the maximum allocation to model).
+    sampler:
+        Which sets are monitored.  The monitor's estimates are scaled
+        by the sampling interval so they approximate whole-cache
+        counts.
+    decay:
+        Ageing factor applied to counters at each epoch boundary
+        (0 = hard reset each epoch, 0.5 = exponential moving average).
+    """
+
+    def __init__(self, ways: int, sampler: SetSampler, decay: float = 0.5) -> None:
+        self.ways = ways
+        self.sampler = sampler
+        self.decay_factor = decay
+        self.atd = AuxiliaryTagDirectory(ways, sampler.sampled_sets())
+        #: demand accesses observed this epoch (all sets, unscaled)
+        self.demand_accesses = 0
+        #: demand misses observed this epoch in the real cache
+        self.demand_misses = 0
+
+    # ------------------------------------------------------------------
+    # Hot-path recording
+    # ------------------------------------------------------------------
+    def observe(self, set_index: int, tag: int) -> None:
+        """Record one demand access (call only for sampled sets)."""
+        self.atd.record(set_index, tag)
+
+    def is_sampled(self, set_index: int) -> bool:
+        """Fast sampled-set membership test for the simulator."""
+        return (set_index & self.sampler.mask) == self.sampler.offset
+
+    # ------------------------------------------------------------------
+    # Epoch interface
+    # ------------------------------------------------------------------
+    def miss_curve(self) -> list[int]:
+        """Estimated misses for allocations of 0..ways ways.
+
+        ``curve[w]`` is the number of misses this core would suffer if
+        given ``w`` ways.  ``curve[0]`` counts every access as a miss;
+        the curve is non-increasing by the stack property.
+        """
+        scale = self.sampler.scale_factor
+        total = self.atd.accesses * scale
+        curve = [total]
+        hits = 0
+        for way in range(self.ways):
+            hits += self.atd.position_hits[way]
+            curve.append(total - hits * scale)
+        return curve
+
+    def end_epoch(self) -> None:
+        """Age the counters for the next epoch."""
+        self.atd.decay(self.decay_factor)
+        self.demand_accesses = 0
+        self.demand_misses = 0

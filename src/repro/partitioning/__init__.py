@@ -1,0 +1,29 @@
+"""Partitioning policies and the shared allocation algorithm.
+
+This subpackage contains the four comparison schemes from Section 3.4
+of the paper (Unmanaged, Fair Share, UCP, Dynamic CPE) plus the
+threshold-extended lookahead allocation algorithm (paper Algorithm 1)
+that both UCP and Cooperative Partitioning use.  The Cooperative
+Partitioning policy itself lives in :mod:`repro.core`.
+"""
+
+from repro.partitioning.base import BaseSharedCachePolicy, PolicyStats
+from repro.partitioning.cpe import DynamicCPEPolicy
+from repro.partitioning.fair_share import FairSharePolicy
+from repro.partitioning.lookahead import AllocationResult, lookahead_partition
+from repro.partitioning.registry import POLICY_NAMES, create_policy
+from repro.partitioning.ucp import UCPPolicy
+from repro.partitioning.unmanaged import UnmanagedPolicy
+
+__all__ = [
+    "AllocationResult",
+    "BaseSharedCachePolicy",
+    "DynamicCPEPolicy",
+    "FairSharePolicy",
+    "POLICY_NAMES",
+    "PolicyStats",
+    "UCPPolicy",
+    "UnmanagedPolicy",
+    "create_policy",
+    "lookahead_partition",
+]

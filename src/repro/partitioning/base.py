@@ -1,0 +1,249 @@
+"""Shared-LLC policy base class and per-run LLC statistics.
+
+Every scheme in the paper follows the same access skeleton — probe a
+set of permitted tag ways, fill into a permitted way on a miss, write
+back the victim — and differs only in *which* ways may be probed or
+filled, *which* victim is chosen, and what happens at each 5M-cycle
+partitioning epoch.  :class:`BaseSharedCachePolicy` implements the
+skeleton once, charges energy/statistics uniformly, and exposes hooks
+for the scheme-specific parts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cache.hierarchy import LLCOutcome
+from repro.cache.memory import MainMemory
+from repro.cache.set_associative import SetAssociativeCache
+from repro.energy.accounting import EnergyAccounting
+from repro.monitor.umon import UtilityMonitor
+
+
+class PolicyStats:
+    """LLC-level statistics every policy maintains uniformly.
+
+    Times are simulator cycles.  Transfer-related flushes are bucketed
+    by time elapsed since the most recent partitioning decision, which
+    is exactly the series Figure 16 of the paper plots.
+    """
+
+    def __init__(self, n_cores: int, flush_bucket_cycles: int = 250_000) -> None:
+        self.n_cores = n_cores
+        self.flush_bucket_cycles = flush_bucket_cycles
+        self.demand_accesses = [0] * n_cores
+        self.demand_hits = [0] * n_cores
+        self.writeback_accesses = [0] * n_cores
+        self.ways_probed_sum = [0] * n_cores
+        self.probe_events = [0] * n_cores
+        self.decisions = 0
+        self.repartitions = 0
+        self.last_decision_cycle: int | None = None
+        self.transition_durations: list[int] = []
+        #: ages of transitions still in flight at run end (lower
+        #: bounds on their true durations — UCP's migrations often
+        #: outlive the whole measurement window)
+        self.pending_transition_ages: list[int] = []
+        self.transitions_started = 0
+        self.transitions_completed = 0
+        self.transitions_forced = 0
+        self.takeover_events = {
+            "donor_hit": 0,
+            "donor_miss": 0,
+            "recipient_hit": 0,
+            "recipient_miss": 0,
+        }
+        self.transfer_flushes = 0
+        self.transfer_flush_buckets: dict[int, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    def reset_counters(self) -> None:
+        """Zero every counter (end of warmup) without replacing self.
+
+        Policies hold a reference to this object, so warmup statistics
+        are discarded in place.
+        """
+        n = self.n_cores
+        self.demand_accesses = [0] * n
+        self.demand_hits = [0] * n
+        self.writeback_accesses = [0] * n
+        self.ways_probed_sum = [0] * n
+        self.probe_events = [0] * n
+        self.decisions = 0
+        self.repartitions = 0
+        self.last_decision_cycle = None
+        self.transition_durations = []
+        self.pending_transition_ages = []
+        self.transitions_started = 0
+        self.transitions_completed = 0
+        self.transitions_forced = 0
+        self.takeover_events = {key: 0 for key in self.takeover_events}
+        self.transfer_flushes = 0
+        self.transfer_flush_buckets = defaultdict(int)
+
+    def demand_misses(self, core: int) -> int:
+        """Demand misses observed for ``core``."""
+        return self.demand_accesses[core] - self.demand_hits[core]
+
+    def average_ways_probed(self) -> float:
+        """Mean tag ways consulted per LLC access across all cores."""
+        probes = sum(self.probe_events)
+        if probes == 0:
+            return 0.0
+        return sum(self.ways_probed_sum) / probes
+
+    def note_decision(self, now: int, repartitioned: bool) -> None:
+        """Record a partitioning decision at cycle ``now``."""
+        self.decisions += 1
+        if repartitioned:
+            self.repartitions += 1
+            self.last_decision_cycle = now
+
+    def note_transfer_flush(self, now: int, lines: int = 1) -> None:
+        """Record lines flushed because of an in-flight way transfer."""
+        self.transfer_flushes += lines
+        if self.last_decision_cycle is not None:
+            bucket = (now - self.last_decision_cycle) // self.flush_bucket_cycles
+            self.transfer_flush_buckets[bucket] += lines
+
+    def flush_series(self, horizon_buckets: int) -> list[float]:
+        """Average transfer flushes per decision for each time bucket."""
+        denominator = max(1, self.repartitions)
+        return [
+            self.transfer_flush_buckets.get(b, 0) / denominator
+            for b in range(horizon_buckets)
+        ]
+
+
+class BaseSharedCachePolicy:
+    """Common probe/fill/writeback skeleton for all shared-LLC schemes.
+
+    Subclasses override the ``_probe_ways``/``_fill_ways``/
+    ``_select_victim`` hooks and the epoch-boundary ``decide`` method.
+    ``None`` from a way hook means "all ways".
+    """
+
+    #: human-readable scheme name (matches the paper's legends)
+    name = "base"
+    #: whether the simulator should keep UMON monitors updated
+    needs_monitors = False
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        memory: MainMemory,
+        energy: EnergyAccounting,
+        stats: PolicyStats,
+        monitors: list[UtilityMonitor] | None = None,
+    ) -> None:
+        self.cache = cache
+        self.memory = memory
+        self.energy = energy
+        self.stats = stats
+        self.monitors = monitors or []
+        self.n_cores = stats.n_cores
+        self.geometry = cache.geometry
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _probe_ways(self, core: int) -> tuple[int, ...] | None:
+        """Ways ``core`` must consult on a lookup (None = all)."""
+        return None
+
+    def _fill_ways(self, core: int) -> tuple[int, ...] | None:
+        """Ways ``core`` may fill into (None = all)."""
+        return None
+
+    def _select_victim(self, core: int, set_index: int, ways: tuple[int, ...] | None) -> int:
+        """Choose the way a miss by ``core`` fills into."""
+        cset = self.cache.sets[set_index]
+        return cset.victim(ways)
+
+    def _pre_access(self, core: int, set_index: int, now: int, hit: bool) -> None:
+        """Called on every access after the probe — takeover hook."""
+
+    def _post_fill(self, core: int, set_index: int, way: int, evicted_owner: int,
+                   evicted_dirty: bool, now: int) -> None:
+        """Called after a fill replaced a line — UCP transfer tracking."""
+
+    def decide(self, now: int) -> None:
+        """Epoch-boundary partitioning decision (default: none)."""
+
+    def active_ways(self) -> int:
+        """Number of powered ways (for static-energy integration)."""
+        return self.geometry.ways
+
+    # ------------------------------------------------------------------
+    # The shared access path
+    # ------------------------------------------------------------------
+    def access(self, core: int, line_address: int, is_write: bool, now: int) -> LLCOutcome:
+        """One LLC access: probe, account energy, fill on miss."""
+        geometry = self.geometry
+        set_index = line_address & geometry.set_mask
+        tag = line_address >> geometry.set_shift
+        probe_ways = self._probe_ways(core)
+        n_probed = geometry.ways if probe_ways is None else len(probe_ways)
+        cset = self.cache.sets[set_index]
+        way = cset.find(tag, probe_ways)
+        hit = way >= 0
+
+        stats = self.stats
+        energy = self.energy
+        energy.access(n_probed, hit)
+        stats.ways_probed_sum[core] += n_probed
+        stats.probe_events[core] += 1
+        if is_write:
+            stats.writeback_accesses[core] += 1
+        else:
+            stats.demand_accesses[core] += 1
+            if hit:
+                stats.demand_hits[core] += 1
+            if self.monitors:
+                monitor = self.monitors[core]
+                if (set_index & monitor.sampler.mask) == monitor.sampler.offset:
+                    monitor.observe(set_index, tag)
+                    energy.monitor_update()
+
+        self._pre_access(core, set_index, now, hit)
+
+        if hit:
+            # The takeover hook may have restructured the set (e.g. a
+            # donor write-hit on a donating way migrates the line), so
+            # re-check before touching.
+            if cset.tags[way] == tag:
+                cset.touch(way)
+                if is_write:
+                    cset.mark_dirty(way)
+                    energy.fill()
+            return LLCOutcome(hit=True, ways_probed=n_probed, memory_latency=0)
+
+        # Miss path: fetch (demand only), choose victim, fill, write back.
+        memory_latency = 0
+        if not is_write:
+            memory_latency = self.memory.read(line_address, now)
+        fill_ways = self._fill_ways(core)
+        victim_way = self._select_victim(core, set_index, fill_ways)
+        result = self.cache.fill(line_address, core, is_write, victim_way)
+        energy.fill()
+        if result.evicted_dirty and result.evicted_tag is not None:
+            victim_address = geometry.rebuild_line_address(result.evicted_tag, set_index)
+            self.memory.writeback(victim_address, now)
+            energy.writeback()
+        self._post_fill(
+            core, set_index, victim_way, result.evicted_owner, result.evicted_dirty, now
+        )
+        return LLCOutcome(hit=False, ways_probed=n_probed, memory_latency=memory_latency)
+
+    # ------------------------------------------------------------------
+    # Epoch plumbing shared by all policies
+    # ------------------------------------------------------------------
+    def epoch(self, now: int) -> None:
+        """Run a partitioning decision and age the monitors."""
+        self.decide(now)
+        for monitor in self.monitors:
+            monitor.end_epoch()
+
+    def miss_curves(self) -> list[list[int]]:
+        """Current per-core miss curves from the monitors."""
+        return [monitor.miss_curve() for monitor in self.monitors]

@@ -1,0 +1,42 @@
+"""Fair Share baseline: static equal way partitions (Section 3.4).
+
+Each core owns a fixed, contiguous block of ``ways / n_cores`` ways
+for the whole run, regardless of its memory behaviour.  Because the
+partition never changes, data is trivially way-aligned, so a core
+consults only its own ways on a probe — this is why the paper uses
+Fair Share as the energy normalisation baseline (its dynamic energy is
+the "honest" statically-partitioned cost, while Unmanaged and UCP pay
+for probing every way).  No ways are ever gated.
+"""
+
+from __future__ import annotations
+
+from repro.partitioning.base import BaseSharedCachePolicy
+
+
+class FairSharePolicy(BaseSharedCachePolicy):
+    """Statically partitioned cache with equal per-core way blocks."""
+
+    name = "Fair Share"
+    needs_monitors = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        ways = self.geometry.ways
+        n = self.n_cores
+        if ways % n:
+            raise ValueError(f"{ways} ways do not split evenly over {n} cores")
+        share = ways // n
+        self._partitions: list[tuple[int, ...]] = [
+            tuple(range(core * share, (core + 1) * share)) for core in range(n)
+        ]
+
+    def partition_of(self, core: int) -> tuple[int, ...]:
+        """The fixed way block owned by ``core``."""
+        return self._partitions[core]
+
+    def _probe_ways(self, core: int) -> tuple[int, ...]:
+        return self._partitions[core]
+
+    def _fill_ways(self, core: int) -> tuple[int, ...]:
+        return self._partitions[core]

@@ -1,0 +1,73 @@
+"""Factory for the five evaluated schemes.
+
+Keeps the mapping from the short names used throughout the benchmarks
+and examples (``"unmanaged"``, ``"fair_share"``, ``"ucp"``, ``"cpe"``,
+``"cooperative"``) to the policy classes, and builds a policy with the
+right extra arguments (threshold, profiles, seed) for each.
+"""
+
+from __future__ import annotations
+
+from repro.cache.memory import MainMemory
+from repro.cache.set_associative import SetAssociativeCache
+from repro.energy.accounting import EnergyAccounting
+from repro.monitor.umon import UtilityMonitor
+from repro.partitioning.base import BaseSharedCachePolicy, PolicyStats
+from repro.partitioning.cpe import DynamicCPEPolicy
+from repro.partitioning.fair_share import FairSharePolicy
+from repro.partitioning.ucp import UCPPolicy
+from repro.partitioning.unmanaged import UnmanagedPolicy
+
+#: short name -> display name (matches the paper's figure legends)
+POLICY_NAMES = {
+    "unmanaged": "Unmanaged",
+    "fair_share": "Fair Share",
+    "cpe": "Dynamic CPE",
+    "ucp": "UCP",
+    "cooperative": "Cooperative Partitioning",
+}
+
+
+def create_policy(
+    name: str,
+    cache: SetAssociativeCache,
+    memory: MainMemory,
+    energy: EnergyAccounting,
+    stats: PolicyStats,
+    monitors: list[UtilityMonitor] | None = None,
+    threshold: float = 0.05,
+    cpe_profiles: list[list] | None = None,
+    seed: int = 12345,
+) -> BaseSharedCachePolicy:
+    """Build one of the five evaluated schemes by short name."""
+    # Imported here to avoid a circular import (repro.core needs the
+    # partitioning base classes).
+    from repro.core.policy import CooperativePartitioningPolicy
+
+    if name == "unmanaged":
+        return UnmanagedPolicy(cache, memory, energy, stats, monitors)
+    if name == "fair_share":
+        return FairSharePolicy(cache, memory, energy, stats, monitors)
+    if name == "ucp":
+        return UCPPolicy(cache, memory, energy, stats, monitors)
+    if name == "cpe":
+        return DynamicCPEPolicy(
+            cache,
+            memory,
+            energy,
+            stats,
+            monitors,
+            profiles=cpe_profiles,
+            threshold=threshold,
+        )
+    if name == "cooperative":
+        return CooperativePartitioningPolicy(
+            cache,
+            memory,
+            energy,
+            stats,
+            monitors,
+            threshold=threshold,
+            seed=seed,
+        )
+    raise ValueError(f"unknown policy {name!r}; choose from {sorted(POLICY_NAMES)}")

@@ -1,0 +1,21 @@
+"""Unmanaged baseline: a plain shared LRU cache (Section 3.4).
+
+All cores compete freely for every way: probes consult the full tag
+array (no dynamic-energy savings), fills may evict any core's data,
+and nothing ever turns off (no static-energy savings).  This is the
+paper's normalisation anchor for "no partitioning at all".
+"""
+
+from __future__ import annotations
+
+from repro.partitioning.base import BaseSharedCachePolicy
+
+
+class UnmanagedPolicy(BaseSharedCachePolicy):
+    """Fully shared LRU last-level cache."""
+
+    name = "Unmanaged"
+    needs_monitors = False
+
+    # All hooks keep their defaults: probe all ways, fill anywhere,
+    # LRU victim over the whole set, no epoch behaviour, all ways on.

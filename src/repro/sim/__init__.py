@@ -1,0 +1,24 @@
+"""Trace-driven CMP simulation engine.
+
+``config`` holds the Table 2 system descriptions (paper-scale and the
+scaled-down variants the benchmark harness uses), ``cpu`` the per-core
+execution state, ``simulator`` the multi-core interleaved loop with
+epoch-based partitioning, ``stats`` the result records, and ``runner``
+the experiment driver (alone-run caching, group sweeps,
+normalisation) that the benchmarks and examples build on.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.runner import AloneResult, ExperimentRunner, get_shared_runner
+from repro.sim.simulator import CMPSimulator
+from repro.sim.stats import CoreResult, RunResult
+
+__all__ = [
+    "AloneResult",
+    "CMPSimulator",
+    "CoreResult",
+    "ExperimentRunner",
+    "RunResult",
+    "SystemConfig",
+    "get_shared_runner",
+]

@@ -1,0 +1,77 @@
+"""Per-core execution state for the trace-driven timing model.
+
+The paper simulates a 4-wide out-of-order core; for LLC-partitioning
+studies what matters is how instruction throughput responds to LLC
+hit/miss latency, so we use the standard trace-driven proxy: non-
+memory instructions retire at the issue width, memory references pay
+the hierarchy latency and block (misses are not overlapped — this
+exaggerates memory sensitivity uniformly across schemes, preserving
+every normalised comparison; see DESIGN.md, substitution 5).
+
+A core whose trace is exhausted wraps around and keeps running — the
+paper keeps finished applications executing "to keep contending for
+cache resources" — but its performance counters freeze at the target
+reference count.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trace import Trace
+
+#: address-space offset between cores (line-address bits)
+CORE_ADDRESS_SPACE_BITS = 40
+
+
+class CoreState:
+    """Mutable execution state of one simulated core."""
+
+    __slots__ = (
+        "core_id",
+        "benchmark",
+        "gaps",
+        "addresses",
+        "writes",
+        "warm_lines",
+        "length",
+        "position",
+        "time",
+        "instructions",
+        "refs_done",
+        "instr_base",
+        "cycle_base",
+        "frozen_instructions",
+        "frozen_cycles",
+    )
+
+    def __init__(self, core_id: int, trace: Trace) -> None:
+        self.core_id = core_id
+        self.benchmark = trace.name
+        offset = (core_id + 1) << CORE_ADDRESS_SPACE_BITS
+        self.gaps = trace.gaps
+        self.addresses = [address + offset for address in trace.line_addresses]
+        self.writes = trace.writes
+        self.warm_lines = [address + offset for address in trace.warm_lines]
+        self.length = len(trace.line_addresses)
+        self.position = 0
+        self.time = 0
+        self.instructions = 0
+        self.refs_done = 0
+        self.instr_base = 0
+        self.cycle_base = 0
+        self.frozen_instructions = 0
+        self.frozen_cycles = 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether the measurement window for this core has closed."""
+        return self.frozen_cycles > 0
+
+    def start_measurement(self) -> None:
+        """Reset the measured window (end of warmup)."""
+        self.instr_base = self.instructions
+        self.cycle_base = self.time
+
+    def freeze(self) -> None:
+        """Capture the measured window at the target reference count."""
+        self.frozen_instructions = self.instructions - self.instr_base
+        self.frozen_cycles = self.time - self.cycle_base

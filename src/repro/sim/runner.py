@@ -1,0 +1,200 @@
+"""Experiment driver: alone runs, group sweeps and normalisation.
+
+The paper's protocol needs three kinds of runs, all cached here:
+
+* **alone runs** (one benchmark, full LLC, Unmanaged) provide
+  IPC_alone for weighted speedup, Table 3's MPKI classification and
+  the per-epoch profiled miss curves Dynamic CPE consumes;
+* **group runs** (a Table 4 group under one scheme) produce the
+  figures' raw data;
+* **sweeps** run every group under every scheme and normalise to the
+  Fair Share baseline exactly as the paper's figures do.
+
+Traces are generated once per (benchmark, geometry) and shared across
+schemes, so every comparison is paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.speedup import weighted_speedup
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import CMPSimulator
+from repro.sim.stats import RunResult
+from repro.workloads.groups import group_benchmarks, group_names
+from repro.workloads.profiles import profile_for
+from repro.workloads.trace import Trace, generate_trace
+
+#: the five evaluated schemes, in the paper's legend order
+ALL_POLICIES = ("unmanaged", "fair_share", "cpe", "ucp", "cooperative")
+
+
+@dataclass(frozen=True)
+class AloneResult:
+    """Outcome of one benchmark's isolated profiling run."""
+
+    benchmark: str
+    ipc: float
+    mpki: float
+    #: per-epoch miss curves (for Dynamic CPE's profile)
+    curves: tuple[tuple[int, ...], ...]
+
+
+class ExperimentRunner:
+    """Caches traces, alone runs and group runs within a process."""
+
+    def __init__(self) -> None:
+        self._traces: dict[tuple, Trace] = {}
+        self._alone: dict[tuple, AloneResult] = {}
+        self._runs: dict[tuple, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+    def trace_for(self, benchmark: str, config: SystemConfig) -> Trace:
+        """The deterministic trace of ``benchmark`` on this geometry."""
+        key = (benchmark, config.l2, config.l1, config.refs_per_core, config.seed)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = generate_trace(
+                profile_for(benchmark),
+                config.l2,
+                config.l1.total_lines,
+                config.refs_per_core,
+                seed=config.seed,
+            )
+            self._traces[key] = trace
+        return trace
+
+    # ------------------------------------------------------------------
+    # Alone runs
+    # ------------------------------------------------------------------
+    def alone(self, benchmark: str, config: SystemConfig) -> AloneResult:
+        """Run ``benchmark`` by itself on the full LLC (cached)."""
+        alone_config = config.alone()
+        key = (benchmark, alone_config)
+        result = self._alone.get(key)
+        if result is None:
+            trace = self.trace_for(benchmark, config)
+            simulator = CMPSimulator(
+                alone_config, [trace], "unmanaged", collect_curves=True
+            )
+            run = simulator.run()
+            core = run.cores[0]
+            result = AloneResult(
+                benchmark=benchmark,
+                ipc=core.ipc,
+                mpki=core.mpki,
+                curves=tuple(tuple(curve) for curve in run.epoch_curves),
+            )
+            self._alone[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Group runs
+    # ------------------------------------------------------------------
+    def run_group(
+        self,
+        group: str,
+        config: SystemConfig,
+        policy: str,
+    ) -> RunResult:
+        """Run one Table 4 group under one scheme (cached)."""
+        key = (group, policy, config)
+        result = self._runs.get(key)
+        if result is not None:
+            return result
+        benchmarks = group_benchmarks(group)
+        if len(benchmarks) != config.n_cores:
+            raise ValueError(
+                f"group {group} has {len(benchmarks)} applications but the "
+                f"config has {config.n_cores} cores"
+            )
+        traces = [self.trace_for(benchmark, config) for benchmark in benchmarks]
+        cpe_profiles = None
+        if policy == "cpe":
+            cpe_profiles = [
+                [list(curve) for curve in self.alone(benchmark, config).curves]
+                for benchmark in benchmarks
+            ]
+        simulator = CMPSimulator(config, traces, policy, cpe_profiles=cpe_profiles)
+        result = simulator.run()
+        self._runs[key] = result
+        return result
+
+    def weighted_speedup_of(self, run: RunResult, config: SystemConfig) -> float:
+        """Equation (1) for a finished group run."""
+        alone_ipcs = [self.alone(core.benchmark, config).ipc for core in run.cores]
+        return weighted_speedup(run.ipcs(), alone_ipcs)
+
+    # ------------------------------------------------------------------
+    # Sweeps and normalisation
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        config: SystemConfig,
+        policies: tuple[str, ...] = ALL_POLICIES,
+        groups: list[str] | None = None,
+    ) -> dict[str, dict[str, RunResult]]:
+        """Run every group under every scheme."""
+        groups = groups if groups is not None else group_names(config.n_cores)
+        return {
+            group: {policy: self.run_group(group, config, policy) for policy in policies}
+            for group in groups
+        }
+
+    def normalized_weighted_speedup(
+        self,
+        results: dict[str, dict[str, RunResult]],
+        config: SystemConfig,
+        baseline: str = "fair_share",
+    ) -> dict[str, dict[str, float]]:
+        """Figure 5/8 rows: weighted speedup normalised to Fair Share."""
+        table: dict[str, dict[str, float]] = {}
+        for group, runs in results.items():
+            speedups = {
+                policy: self.weighted_speedup_of(run, config)
+                for policy, run in runs.items()
+            }
+            base = speedups[baseline]
+            table[group] = {policy: ws / base for policy, ws in speedups.items()}
+        return table
+
+    @staticmethod
+    def normalized_energy(
+        results: dict[str, dict[str, RunResult]],
+        kind: str,
+        baseline: str = "fair_share",
+    ) -> dict[str, dict[str, float]]:
+        """Figure 6/7/9/10 rows: energy normalised to Fair Share.
+
+        ``kind`` is ``"dynamic"`` or ``"static"``.  Dynamic energy is
+        compared per unit of work (nJ/kilo-instruction) and static
+        energy as leakage power, matching the paper's protocol of
+        equal work per application (see :class:`RunResult`).
+        """
+        if kind == "dynamic":
+            attribute = "dynamic_energy_per_kiloinstruction"
+        elif kind == "static":
+            attribute = "static_power_nw"
+        else:
+            raise ValueError(f"kind must be 'dynamic' or 'static', got {kind!r}")
+        table: dict[str, dict[str, float]] = {}
+        for group, runs in results.items():
+            base = getattr(runs[baseline], attribute)
+            table[group] = {
+                policy: getattr(run, attribute) / base for policy, run in runs.items()
+            }
+        return table
+
+
+_SHARED_RUNNER: ExperimentRunner | None = None
+
+
+def get_shared_runner() -> ExperimentRunner:
+    """Process-wide runner so benchmarks share caches across files."""
+    global _SHARED_RUNNER
+    if _SHARED_RUNNER is None:
+        _SHARED_RUNNER = ExperimentRunner()
+    return _SHARED_RUNNER

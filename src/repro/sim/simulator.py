@@ -1,0 +1,247 @@
+"""The multi-core, trace-driven simulation loop.
+
+Cores are interleaved in global-time order (the core with the
+smallest local clock executes its next reference), which keeps the
+shared-LLC interaction faithful without an event queue.  Every
+``epoch_cycles`` of global time the installed partitioning policy
+makes a decision, exactly like the paper's 5M-cycle phase interval.
+
+Measurement protocol (Section 3.2 of the paper, scaled): after a
+warmup of ``warmup_refs`` references per core, all statistics reset;
+each core's IPC window closes at ``refs_per_core`` references; cores
+that finish keep running (wrapping their trace) so the others still
+contend; the run ends when every core has closed its window.  Energy
+integrates from the end of warmup to the end of the run under the
+same rules for every scheme.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.memory import MainMemory
+from repro.cache.set_associative import SetAssociativeCache
+from repro.energy.accounting import EnergyAccounting
+from repro.energy.cacti import CactiEnergyModel
+from repro.monitor.sampling import SetSampler
+from repro.monitor.umon import UtilityMonitor
+from repro.partitioning.base import PolicyStats
+from repro.partitioning.registry import create_policy
+from repro.sim.config import SystemConfig
+from repro.sim.cpu import CoreState
+from repro.sim.stats import CoreResult, RunResult
+from repro.workloads.trace import Trace
+
+
+class CMPSimulator:
+    """One complete simulation: a system config + traces + a policy."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: list[Trace],
+        policy_name: str,
+        cpe_profiles: list[list] | None = None,
+        collect_curves: bool = False,
+    ) -> None:
+        if len(traces) != config.n_cores:
+            raise ValueError(
+                f"{config.n_cores} cores need {config.n_cores} traces, "
+                f"got {len(traces)}"
+            )
+        self.config = config
+        self.cores = [CoreState(i, trace) for i, trace in enumerate(traces)]
+        self.collect_curves = collect_curves
+
+        self.cache = SetAssociativeCache(config.l2)
+        self.memory = MainMemory(
+            latency=config.mem_latency,
+            n_banks=config.mem_banks,
+            bank_busy=config.mem_bank_busy,
+        )
+        self.memory.flush_bucket_cycles = config.flush_bucket_cycles
+        model = CactiEnergyModel(config.l2, config.n_cores)
+        self.energy = EnergyAccounting(model)
+        self.stats = PolicyStats(config.n_cores, config.flush_bucket_cycles)
+
+        policy_cls_needs_monitors = policy_name in ("ucp", "cooperative")
+        monitors: list[UtilityMonitor] = []
+        if policy_cls_needs_monitors or collect_curves:
+            monitors = [
+                UtilityMonitor(
+                    config.l2.ways,
+                    SetSampler(config.l2.num_sets, config.umon_interval),
+                    decay=config.umon_decay,
+                )
+                for _ in range(config.n_cores)
+            ]
+        self.monitors = monitors
+        self.policy = create_policy(
+            policy_name,
+            self.cache,
+            self.memory,
+            self.energy,
+            self.stats,
+            monitors,
+            threshold=config.threshold,
+            cpe_profiles=cpe_profiles,
+            seed=config.seed,
+        )
+        self.hierarchy = CacheHierarchy(
+            config.n_cores,
+            config.l1,
+            config.l1_latency,
+            config.l2_latency,
+            self.policy,
+        )
+        self.epoch_curves: list[list[int]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the run protocol and return the collected results."""
+        config = self.config
+        cores = self.cores
+        hierarchy = self.hierarchy
+        issue_shift = max(0, config.issue_width.bit_length() - 1)
+        target = config.refs_per_core
+        warmup = min(config.warmup_refs, max(0, target - 1))
+        warmed_up = warmup == 0
+        unfinished = len(cores)
+
+        self._prewarm()
+        # The first epoch starts after the warming traffic has drained
+        # so the catch-up logic does not fire several decisions back to
+        # back on sparse monitor data.
+        next_epoch = max(core.time for core in cores) + config.epoch_cycles
+
+        while unfinished:
+            core = min(cores, key=_core_time)
+            now = core.time
+
+            if now >= next_epoch:
+                self._run_epoch(next_epoch)
+                next_epoch += config.epoch_cycles
+                continue
+
+            position = core.position
+            gap = core.gaps[position]
+            address = core.addresses[position]
+            is_write = core.writes[position]
+            issue_time = now + (gap >> issue_shift)
+            access = hierarchy.access(core.core_id, address, is_write, issue_time)
+            core.time = issue_time + access.latency
+            core.instructions += gap + 1
+            position += 1
+            core.position = 0 if position == core.length else position
+            core.refs_done += 1
+
+            if not warmed_up and core.refs_done == warmup:
+                # Each core's IPC window opens at its own warmup point
+                # so every scheme measures exactly the same
+                # (target - warmup) references per core; the global
+                # statistics reset once the last core gets there.
+                core.start_measurement()
+                if all(c.refs_done >= warmup for c in cores):
+                    self._end_warmup()
+                    warmed_up = True
+            if core.refs_done == target and not core.finished:
+                core.freeze()
+                unfinished -= 1
+
+        end_cycle = max(c.time for c in cores)
+        self.energy.finalize(end_cycle)
+        note_pending = getattr(self.policy, "note_pending", None)
+        if note_pending is not None:
+            note_pending(end_cycle)
+        return self._collect(end_cycle)
+
+    # ------------------------------------------------------------------
+    def _prewarm(self) -> None:
+        """Pre-touch each core's resident working set (cache warming).
+
+        Mirrors the paper's explicit warmup after fast-forward: every
+        ring/hot line is accessed once through the real hierarchy,
+        interleaved across cores, before the measured window.  The
+        traffic ages normally and everything it touches is discarded
+        by the warmup statistics reset.
+        """
+        hierarchy = self.hierarchy
+        cores = self.cores
+        positions = [0] * len(cores)
+        remaining = sum(len(core.warm_lines) for core in cores)
+        while remaining:
+            for core in cores:
+                position = positions[core.core_id]
+                if position >= len(core.warm_lines):
+                    continue
+                access = hierarchy.access(
+                    core.core_id, core.warm_lines[position], False, core.time
+                )
+                core.time += access.latency
+                positions[core.core_id] = position + 1
+                remaining -= 1
+
+    def _run_epoch(self, now: int) -> None:
+        """Partitioning decision at a global epoch boundary."""
+        if self.collect_curves and self.monitors:
+            self.epoch_curves.append(self.monitors[0].miss_curve())
+        self.policy.epoch(now)
+        stall = getattr(self.policy, "pending_stall", 0)
+        if stall:
+            for core in self.cores:
+                core.time += stall
+            self.policy.pending_stall = 0
+
+    def _end_warmup(self) -> None:
+        """Discard warmup statistics; the measured window starts here."""
+        self.stats.reset_counters()
+        self.memory.reset_statistics()
+        # The energy window restarts at the global minimum time: every
+        # later policy event (epochs, transitions) happens at or after
+        # it, keeping the static integration monotonic.
+        now = min(core.time for core in self.cores)
+        self.energy.reset_window(now)
+        hierarchy = self.hierarchy
+        n = self.config.n_cores
+        hierarchy.l1_hits = [0] * n
+        hierarchy.l1_misses = [0] * n
+        hierarchy.l1_writebacks = [0] * n
+
+    def _collect(self, end_cycle: int) -> RunResult:
+        if self.collect_curves and self.monitors:
+            # Guarantee at least one curve even for sub-epoch runs, and
+            # capture the tail epoch's behaviour.
+            self.epoch_curves.append(self.monitors[0].miss_curve())
+        stats = self.stats
+        core_results = [
+            CoreResult(
+                benchmark=core.benchmark,
+                instructions=core.frozen_instructions,
+                cycles=core.frozen_cycles,
+                llc_demand_accesses=stats.demand_accesses[core.core_id],
+                llc_demand_misses=stats.demand_misses(core.core_id),
+            )
+            for core in self.cores
+        ]
+        window_instructions = sum(
+            core.instructions - core.instr_base for core in self.cores
+        )
+        window_cycles = end_cycle - self.energy.window_start
+        return RunResult(
+            policy=self.policy.name,
+            cores=core_results,
+            dynamic_energy_nj=self.energy.dynamic_nj,
+            static_energy_nj=self.energy.static_nj,
+            average_active_ways=self.energy.average_active_ways,
+            average_ways_probed=stats.average_ways_probed(),
+            end_cycle=end_cycle,
+            memory_reads=self.memory.reads,
+            memory_writebacks=self.memory.writebacks,
+            policy_stats=stats,
+            window_instructions=window_instructions,
+            window_cycles=window_cycles,
+            epoch_curves=self.epoch_curves,
+        )
+
+
+def _core_time(core: CoreState) -> int:
+    return core.time

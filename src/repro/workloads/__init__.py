@@ -1,0 +1,42 @@
+"""Workload substrate: SPEC CPU2006-like synthetic traces.
+
+The paper runs the 19 C/C++ SPEC CPU2006 benchmarks (Table 3) in the
+14 two-core and 14 four-core groupings of Table 4.  SPEC binaries and
+reference inputs are proprietary, so this subpackage substitutes a
+*generative profile* per benchmark — a mixture of working-set "rings"
+with cyclic, uniform-random and streaming access patterns, phase
+modulation and a write ratio — tuned so each application's alone-run
+LLC MPKI lands in its Table 3 class and its way-utility curve has the
+shape the paper's narrative relies on (see DESIGN.md, substitution 2).
+"""
+
+from repro.workloads.groups import (
+    FOUR_CORE_GROUPS,
+    TWO_CORE_GROUPS,
+    group_benchmarks,
+    group_names,
+)
+from repro.workloads.profiles import (
+    BENCHMARK_PROFILES,
+    BenchmarkProfile,
+    MPKIClass,
+    Phase,
+    Ring,
+    profile_for,
+)
+from repro.workloads.trace import Trace, generate_trace
+
+__all__ = [
+    "BENCHMARK_PROFILES",
+    "BenchmarkProfile",
+    "FOUR_CORE_GROUPS",
+    "MPKIClass",
+    "Phase",
+    "Ring",
+    "TWO_CORE_GROUPS",
+    "Trace",
+    "generate_trace",
+    "group_benchmarks",
+    "group_names",
+    "profile_for",
+]

@@ -1,0 +1,68 @@
+"""Table 4: the paper's 14 two-core and 14 four-core workload groups.
+
+The two-application groups each contain at least one highly
+memory-intensive program (MPKI > 5); the four-application groups
+contain at least one High and one Medium program.  Names are stored
+lower-case to match :mod:`repro.workloads.profiles`.
+"""
+
+from __future__ import annotations
+
+#: Table 4, left column (two-core workloads)
+TWO_CORE_GROUPS: dict[str, tuple[str, ...]] = {
+    "G2-1": ("soplex", "namd"),
+    "G2-2": ("soplex", "milc"),
+    "G2-3": ("gobmk", "h264ref"),
+    "G2-4": ("lbm", "povray"),
+    "G2-5": ("gobmk", "perlbench"),
+    "G2-6": ("lbm", "bzip2"),
+    "G2-7": ("lbm", "astar"),
+    "G2-8": ("lbm", "soplex"),
+    "G2-9": ("soplex", "dealii"),
+    "G2-10": ("sjeng", "calculix"),
+    "G2-11": ("sjeng", "xalan"),
+    "G2-12": ("soplex", "gcc"),
+    "G2-13": ("sjeng", "povray"),
+    "G2-14": ("gobmk", "omnetpp"),
+}
+
+#: Table 4, right column (four-core workloads)
+FOUR_CORE_GROUPS: dict[str, tuple[str, ...]] = {
+    "G4-1": ("gobmk", "gcc", "perlbench", "xalan"),
+    "G4-2": ("sjeng", "lbm", "calculix", "omnetpp"),
+    "G4-3": ("dealii", "sjeng", "soplex", "namd"),
+    "G4-4": ("soplex", "sjeng", "h264ref", "astar"),
+    "G4-5": ("lbm", "libquantum", "gromacs", "mcf"),
+    "G4-6": ("gobmk", "libquantum", "namd", "perlbench"),
+    "G4-7": ("lbm", "sjeng", "povray", "omnetpp"),
+    "G4-8": ("lbm", "soplex", "h264ref", "dealii"),
+    "G4-9": ("lbm", "xalan", "milc", "soplex"),
+    "G4-10": ("sjeng", "povray", "milc", "gobmk"),
+    "G4-11": ("gobmk", "libquantum", "h264ref", "gromacs"),
+    "G4-12": ("soplex", "astar", "omnetpp", "milc"),
+    "G4-13": ("soplex", "gcc", "libquantum", "xalan"),
+    "G4-14": ("soplex", "bzip2", "astar", "milc"),
+}
+
+
+def group_names(n_cores: int) -> list[str]:
+    """Ordered group names for a system size (2 or 4 cores)."""
+    groups = _groups_for(n_cores)
+    return list(groups)
+
+
+def group_benchmarks(group: str) -> tuple[str, ...]:
+    """The benchmarks in one named group (e.g. ``"G2-8"``)."""
+    if group in TWO_CORE_GROUPS:
+        return TWO_CORE_GROUPS[group]
+    if group in FOUR_CORE_GROUPS:
+        return FOUR_CORE_GROUPS[group]
+    raise KeyError(f"unknown workload group {group!r}")
+
+
+def _groups_for(n_cores: int) -> dict[str, tuple[str, ...]]:
+    if n_cores == 2:
+        return TWO_CORE_GROUPS
+    if n_cores == 4:
+        return FOUR_CORE_GROUPS
+    raise ValueError(f"the paper evaluates 2- and 4-core systems, not {n_cores}")

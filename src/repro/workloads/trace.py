@@ -1,0 +1,239 @@
+"""Synthetic trace generation from benchmark profiles.
+
+A trace is three parallel arrays: the number of non-memory
+instructions preceding each reference (``gaps``), the referenced line
+address, and whether the reference is a store.  Traces are generated
+deterministically from ``(profile, geometry, seed)`` so every
+partitioning scheme sees byte-identical input — the comparisons in
+the paper's figures are paired.
+
+Address-space layout (line addresses):
+
+* each ring ``k`` lives at ``(k + 1) << RING_REGION_BITS``;
+* the hot (L1-resident) region lives at 0;
+* the streaming component walks upward from ``STREAM_BASE``;
+* the simulator offsets whole traces per core, keeping the
+  multiprogrammed address spaces disjoint.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+from repro.workloads.profiles import BenchmarkProfile
+
+#: bits reserved for one ring's address region
+RING_REGION_BITS = 24
+#: line-address base of the streaming region
+STREAM_BASE = 1 << 32
+
+
+@dataclass
+class Trace:
+    """One core's reference stream.
+
+    ``instructions`` counts every instruction the trace represents:
+    each reference contributes its gap plus the memory instruction
+    itself.  ``warm_lines`` lists the resident working set (hot region
+    and every ring line, not the stream): the simulator pre-touches it
+    before measurement, mirroring the paper's explicit cache-warming
+    phase after fast-forward, so short traces are not dominated by
+    compulsory misses the paper's 1B-instruction runs amortise away.
+    """
+
+    name: str
+    gaps: list[int]
+    line_addresses: list[int]
+    writes: list[bool]
+    warm_lines: list[int]
+
+    def __len__(self) -> int:
+        return len(self.line_addresses)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented by the trace."""
+        return sum(self.gaps) + len(self.gaps)
+
+
+def _spread_addresses(base: int, lines: int, num_sets: int) -> list[int]:
+    """Line addresses for a region, spread evenly over all cache sets.
+
+    A naive contiguous layout concentrates a small region (fewer lines
+    than sets) onto the low-index sets, and stacks every region onto
+    the same sets because region bases are set-aligned.  Real L2/L3
+    caches avoid exactly this with index hashing, so we model it: full
+    ``num_sets``-sized layers map one line per set, and the remainder
+    layer is spaced evenly across the index range.
+    """
+    addresses: list[int] = []
+    full_layers, remainder = divmod(lines, num_sets)
+    for layer in range(full_layers):
+        layer_base = base + layer * num_sets
+        addresses.extend(layer_base + s for s in range(num_sets))
+    if remainder:
+        layer_base = base + full_layers * num_sets
+        addresses.extend(
+            layer_base + (i * num_sets) // remainder for i in range(remainder)
+        )
+    return addresses
+
+
+class _RingState:
+    """Concrete, mutable state of one ring during generation."""
+
+    __slots__ = ("addresses", "lines", "cyclic", "cursor")
+
+    def __init__(self, index: int, lines: int, cyclic: bool, num_sets: int) -> None:
+        base = (index + 1) << RING_REGION_BITS
+        self.addresses = _spread_addresses(base, lines, num_sets)
+        self.lines = lines
+        self.cyclic = cyclic
+        self.cursor = 0
+
+
+def generate_trace(
+    profile: BenchmarkProfile,
+    llc_geometry: CacheGeometry,
+    l1_lines: int,
+    n_refs: int,
+    seed: int = 0,
+) -> Trace:
+    """Generate ``n_refs`` references for ``profile``.
+
+    Ring footprints scale with ``llc_geometry`` (``ways_worth`` x
+    number of sets) so the same profile exercises the same *relative*
+    pressure on the paper-scale and scaled-down caches.  The hot
+    region is sized to half the L1 so it filters into L1 hits after
+    warmup.
+    """
+    if n_refs <= 0:
+        raise ValueError(f"n_refs must be positive, got {n_refs}")
+    rng = random.Random((hash(profile.name) & 0xFFFF_FFFF) ^ seed)
+    num_sets = llc_geometry.num_sets
+    rings = [
+        _RingState(
+            index,
+            max(1, round(ring.ways_worth * num_sets)),
+            ring.pattern == "cyclic",
+            num_sets,
+        )
+        for index, ring in enumerate(profile.rings)
+    ]
+    hot_lines = max(1, l1_lines // 2)
+    hot_addresses = _spread_addresses(0, hot_lines, num_sets)
+    mean_gap = 1000.0 / profile.apki - 1.0
+
+    # Phase schedule: a list of (duration, cumulative-weight table).
+    phases = _phase_tables(profile, rings)
+
+    gaps: list[int] = []
+    addresses: list[int] = []
+    writes: list[bool] = []
+    stream_cursor = 0
+    phase_index = 0
+    refs_left_in_phase = phases[0][0]
+    choose = rng.random
+    randrange = rng.randrange
+
+    # Smooth weighted round-robin over categories (hot region, each
+    # ring, stream).  Deterministic interleaving keeps every
+    # component's rate exact and gives cyclic rings knife-edge reuse
+    # distances, which is what makes the UMON utility curves saturate
+    # sharply — the behaviour the paper's threshold lookahead relies
+    # on.  An iid category draw would smear each working-set knee over
+    # several ways (Poisson interleaving noise).
+    n_categories = len(rings) + 2  # hot + rings + stream
+    credits = [0.0] * n_categories
+
+    for _ in range(n_refs):
+        if refs_left_in_phase <= 0:
+            phase_index = (phase_index + 1) % len(phases)
+            refs_left_in_phase = phases[phase_index][0]
+        refs_left_in_phase -= 1
+        weights = phases[phase_index][1]
+
+        best = 0
+        best_credit = credits[0] + weights[0]
+        credits[0] = best_credit
+        for index in range(1, n_categories):
+            credit = credits[index] + weights[index]
+            credits[index] = credit
+            if credit > best_credit:
+                best = index
+                best_credit = credit
+        credits[best] -= 1.0
+
+        if best == 0:
+            address = hot_addresses[randrange(hot_lines)]
+        elif best == n_categories - 1:  # streaming component
+            address = STREAM_BASE + stream_cursor
+            stream_cursor += 1
+        else:
+            ring = rings[best - 1]
+            if ring.cyclic:
+                address = ring.addresses[ring.cursor]
+                ring.cursor = (ring.cursor + 1) % ring.lines
+            else:
+                address = ring.addresses[randrange(ring.lines)]
+
+        # Uniform in [0, 2*mean]; rounding keeps the mean unbiased so
+        # instructions-per-reference matches the profile's APKI.
+        gap = int(choose() * 2.0 * mean_gap + 0.5)
+        gaps.append(gap)
+        addresses.append(address)
+        writes.append(choose() < profile.write_ratio)
+
+    warm_lines: list[int] = list(hot_addresses)
+    for ring in rings:
+        warm_lines.extend(ring.addresses)
+
+    return Trace(
+        name=profile.name,
+        gaps=gaps,
+        line_addresses=addresses,
+        writes=writes,
+        warm_lines=warm_lines,
+    )
+
+
+def _phase_tables(
+    profile: BenchmarkProfile,
+    rings: list[_RingState],
+) -> list[tuple[int, list[float]]]:
+    """Per-phase category weight vectors: [hot, ring..., stream].
+
+    Ring/stream weights are absolute fractions of all references; the
+    mass not covered by rings+stream goes to the hot (L1-resident)
+    region, so profiles control the absolute LLC access rate directly.
+    """
+    tables: list[tuple[int, list[float]]] = []
+    if profile.phases:
+        for phase in profile.phases:
+            if len(phase.ring_weights) != len(profile.rings):
+                raise ValueError(
+                    f"{profile.name}: phase has {len(phase.ring_weights)} ring "
+                    f"weights for {len(profile.rings)} rings"
+                )
+            tables.append(
+                (
+                    phase.duration_refs,
+                    _weight_vector(phase.ring_weights, phase.stream_weight),
+                )
+            )
+    else:
+        weights = tuple(ring.weight for ring in profile.rings)
+        tables.append((1 << 62, _weight_vector(weights, profile.stream_weight)))
+    return tables
+
+
+def _weight_vector(
+    ring_weights: tuple[float, ...], stream_weight: float
+) -> list[float]:
+    """[hot, ring..., stream] weights summing to 1."""
+    covered = sum(ring_weights) + stream_weight
+    if covered > 1.0:
+        raise ValueError(f"mixture weights sum to {covered:.3f} > 1")
+    return [1.0 - covered, *ring_weights, stream_weight]

@@ -1,0 +1,89 @@
+"""Unit tests for cache geometry and address decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+
+
+class TestConstruction:
+    def test_two_core_llc_shape(self):
+        geometry = CacheGeometry(2 * 1024 * 1024, 64, 8)
+        assert geometry.num_sets == 4096
+        assert geometry.total_lines == 32768
+        assert geometry.line_shift == 6
+
+    def test_four_core_llc_shape(self):
+        geometry = CacheGeometry(4 * 1024 * 1024, 64, 16)
+        assert geometry.num_sets == 4096
+        assert geometry.total_lines == 65536
+
+    def test_l1_shape(self):
+        geometry = CacheGeometry(32 * 1024, 64, 4)
+        assert geometry.num_sets == 128
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheGeometry(1024, 48, 4)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError, match="ways"):
+            CacheGeometry(1024, 64, 0)
+
+    def test_rejects_indivisible_ways(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(64 * 3, 64, 2)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError, match="sets"):
+            CacheGeometry(64 * 12, 64, 4)  # 3 sets
+
+    def test_rejects_size_not_multiple_of_line(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 64, 4)
+
+
+class TestAddressDecomposition:
+    def test_line_address(self):
+        geometry = CacheGeometry(16 * 1024, 64, 4)
+        assert geometry.line_address(0) == 0
+        assert geometry.line_address(63) == 0
+        assert geometry.line_address(64) == 1
+        assert geometry.line_address(6400) == 100
+
+    def test_set_index_wraps(self):
+        geometry = CacheGeometry(16 * 1024, 64, 4)  # 64 sets
+        assert geometry.set_index(0) == 0
+        assert geometry.set_index(63) == 63
+        assert geometry.set_index(64) == 0
+
+    def test_tag_strips_set_bits(self):
+        geometry = CacheGeometry(16 * 1024, 64, 4)
+        assert geometry.tag(64) == 1
+        assert geometry.tag(63) == 0
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_rebuild_is_inverse(self, line_address):
+        geometry = CacheGeometry(256 * 1024, 64, 8)
+        rebuilt = geometry.rebuild_line_address(
+            geometry.tag(line_address), geometry.set_index(line_address)
+        )
+        assert rebuilt == line_address
+
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=2**40),
+    )
+    def test_distinct_addresses_same_set_differ_in_tag(self, a, b):
+        geometry = CacheGeometry(64 * 1024, 64, 8)
+        if a != b and geometry.set_index(a) == geometry.set_index(b):
+            assert geometry.tag(a) != geometry.tag(b)
+
+
+class TestDescribe:
+    def test_megabyte_description(self):
+        assert "2MB" in CacheGeometry(2 * 1024 * 1024, 64, 8).describe()
+
+    def test_kilobyte_description(self):
+        assert "32kB" in CacheGeometry(32 * 1024, 64, 4).describe()

@@ -1,0 +1,87 @@
+"""Unit tests for the set-associative cache mechanisms."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_associative import SetAssociativeCache
+
+
+def _cache():
+    return SetAssociativeCache(CacheGeometry(16 * 1024, 64, 4))  # 64 sets
+
+
+class TestProbeAndFill:
+    def test_miss_then_hit(self):
+        cache = _cache()
+        hit, way, set_index = cache.probe(1000)
+        assert not hit
+        victim = cache.sets[set_index].victim()
+        cache.fill(1000, core=0, is_write=False, victim_way=victim)
+        hit, way, _ = cache.probe(1000)
+        assert hit
+
+    def test_probe_respects_way_subset(self):
+        cache = _cache()
+        _, _, set_index = cache.probe(1000)
+        cache.fill(1000, core=0, is_write=False, victim_way=2)
+        hit, _, _ = cache.probe(1000, ways=(0, 1))
+        assert not hit
+        hit, way, _ = cache.probe(1000, ways=(2,))
+        assert hit and way == 2
+
+    def test_fill_reports_eviction(self):
+        cache = _cache()
+        geometry = cache.geometry
+        set_index = geometry.set_index(1000)
+        # Fill the same way twice with conflicting tags.
+        cache.fill(1000, core=0, is_write=True, victim_way=0)
+        conflicting = geometry.rebuild_line_address(geometry.tag(1000) + 1, set_index)
+        result = cache.fill(conflicting, core=1, is_write=False, victim_way=0)
+        assert result.evicted_tag == geometry.tag(1000)
+        assert result.evicted_dirty
+        assert result.evicted_owner == 0
+
+    def test_fill_into_invalid_reports_no_eviction(self):
+        cache = _cache()
+        result = cache.fill(1000, core=0, is_write=False, victim_way=3)
+        assert result.evicted_tag is None
+        assert not result.evicted_dirty
+
+
+class TestFlush:
+    def test_flush_dirty_line_returns_address(self):
+        cache = _cache()
+        _, _, set_index = cache.probe(1000)
+        cache.fill(1000, core=0, is_write=True, victim_way=1)
+        address = cache.flush_way_in_set(set_index, 1)
+        assert address == 1000
+        # Line stays valid but clean.
+        hit, _, _ = cache.probe(1000)
+        assert hit
+        assert cache.flush_way_in_set(set_index, 1) is None
+
+    def test_flush_clean_line_returns_none(self):
+        cache = _cache()
+        _, _, set_index = cache.probe(1000)
+        cache.fill(1000, core=0, is_write=False, victim_way=1)
+        assert cache.flush_way_in_set(set_index, 1) is None
+
+    def test_invalidate_way_returns_dirty_addresses(self):
+        cache = _cache()
+        dirty_addresses = []
+        for set_index in range(0, 8):
+            address = cache.geometry.rebuild_line_address(5, set_index)
+            cache.fill(address, core=0, is_write=(set_index % 2 == 0), victim_way=2)
+            if set_index % 2 == 0:
+                dirty_addresses.append(address)
+        flushed = cache.invalidate_way(2)
+        assert sorted(flushed) == sorted(dirty_addresses)
+        assert cache.valid_line_count() == 0
+
+
+class TestOccupancy:
+    def test_occupancy_by_core(self):
+        cache = _cache()
+        cache.fill(0, core=0, is_write=False, victim_way=0)
+        cache.fill(1, core=0, is_write=False, victim_way=0)
+        cache.fill(2, core=1, is_write=False, victim_way=1)
+        assert cache.occupancy_by_core(2) == [2, 1]
+        assert cache.valid_line_count() == 3

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Simulation-based tests use deliberately tiny configurations so the
+whole suite stays fast; the benchmark harness is where full-scale
+(scaled) runs live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.config import SystemConfig
+
+
+@pytest.fixture
+def tiny_two_core() -> SystemConfig:
+    """A minimal two-core system: 64-set 8-way LLC, short traces."""
+    return SystemConfig(
+        n_cores=2,
+        l1=CacheGeometry(4 * 1024, 64, 4),
+        l2=CacheGeometry(32 * 1024, 64, 8),
+        l2_latency=15,
+        epoch_cycles=30_000,
+        umon_interval=4,
+        refs_per_core=12_000,
+        warmup_refs=2_000,
+        flush_bucket_cycles=2_000,
+    )
+
+
+@pytest.fixture
+def tiny_four_core() -> SystemConfig:
+    """A minimal four-core system: 64-set 16-way LLC."""
+    return SystemConfig(
+        n_cores=4,
+        l1=CacheGeometry(4 * 1024, 64, 4),
+        l2=CacheGeometry(64 * 1024, 64, 16),
+        l2_latency=20,
+        epoch_cycles=30_000,
+        umon_interval=4,
+        refs_per_core=10_000,
+        warmup_refs=2_000,
+        flush_bucket_cycles=2_000,
+    )
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """A small 4-way cache geometry for unit tests."""
+    return CacheGeometry(16 * 1024, 64, 4)

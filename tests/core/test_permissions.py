@@ -1,0 +1,134 @@
+"""Unit and property tests for the RAP/WAP permission registers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.permissions import WayPermissionFile
+
+
+class TestBasicOperations:
+    def test_initially_no_access(self):
+        permissions = WayPermissionFile(8, 2)
+        for way in range(8):
+            assert permissions.is_off(way)
+            for core in range(2):
+                assert not permissions.can_read(way, core)
+                assert not permissions.can_write(way, core)
+
+    def test_grant_full(self):
+        permissions = WayPermissionFile(8, 2)
+        permissions.grant_full(3, 1)
+        assert permissions.can_read(3, 1)
+        assert permissions.can_write(3, 1)
+        assert permissions.full_owner(3) == 1
+        assert not permissions.can_read(3, 0)
+
+    def test_revoke_write_keeps_read(self):
+        permissions = WayPermissionFile(8, 2)
+        permissions.grant_full(0, 0)
+        permissions.revoke_write(0, 0)
+        assert permissions.can_read(0, 0)
+        assert not permissions.can_write(0, 0)
+        assert permissions.full_owner(0) is None
+
+    def test_revoke_all_gates_way(self):
+        permissions = WayPermissionFile(8, 2)
+        permissions.grant_full(5, 0)
+        permissions.revoke_all(5)
+        assert permissions.is_off(5)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            WayPermissionFile(0, 2)
+        with pytest.raises(ValueError):
+            WayPermissionFile(8, 0)
+
+
+class TestWayTuples:
+    def test_readable_ways_reflect_rap(self):
+        permissions = WayPermissionFile(4, 2)
+        permissions.grant_full(0, 0)
+        permissions.grant_full(2, 0)
+        permissions.grant_full(1, 1)
+        assert permissions.readable_ways(0) == (0, 2)
+        assert permissions.readable_ways(1) == (1,)
+        assert permissions.writable_ways(0) == (0, 2)
+
+    def test_cache_invalidated_on_change(self):
+        permissions = WayPermissionFile(4, 2)
+        permissions.grant_full(0, 0)
+        assert permissions.readable_ways(0) == (0,)
+        permissions.grant_full(3, 0)
+        assert permissions.readable_ways(0) == (0, 3)
+        permissions.revoke_read(0, 0)
+        assert permissions.readable_ways(0) == (3,)
+
+
+class TestTransitionEncoding:
+    """The paper's three architected modes (Section 2.2, Figure 3)."""
+
+    def test_transition_state(self):
+        permissions = WayPermissionFile(4, 2)
+        # Initially way 2 belongs to core 1.
+        permissions.grant_full(2, 1)
+        assert not permissions.in_transition(2)
+        # Decision: transfer way 2 to core 0 (Figure 3's middle state).
+        permissions.grant_full(2, 0)
+        permissions.revoke_write(2, 1)
+        assert permissions.in_transition(2)
+        assert permissions.readers(2) == [0, 1]
+        assert permissions.writers(2) == [0]
+        permissions.check_invariants()
+        # Completion: donor loses read permission.
+        permissions.revoke_read(2, 1)
+        assert not permissions.in_transition(2)
+        assert permissions.full_owner(2) == 0
+
+    def test_invariant_violation_detected(self):
+        permissions = WayPermissionFile(4, 2)
+        permissions.grant_write(0, 0)  # write without read
+        with pytest.raises(AssertionError):
+            permissions.check_invariants()
+
+
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["transfer", "complete", "power_off", "power_on"]),
+        st.integers(0, 7),
+        st.integers(0, 3),
+    ),
+    max_size=80,
+))
+def test_permission_mode_invariants_hold_under_protocol(operations):
+    """Driving the registers through the takeover protocol's legal
+    moves (Algorithm 2 + completion) never produces more than one
+    writer or an illegal reader combination."""
+    permissions = WayPermissionFile(8, 4)
+    for way in range(8):
+        permissions.grant_full(way, way % 4)
+    for op, way, core in operations:
+        owner = permissions.full_owner(way)
+        if op == "transfer":
+            # Legal only on a settled, owned way, to a different core.
+            if owner is None or owner == core or permissions.in_transition(way):
+                continue
+            permissions.grant_full(way, core)
+            permissions.revoke_write(way, owner)
+        elif op == "complete":
+            if not permissions.in_transition(way):
+                continue
+            writer = permissions.writers(way)[0]
+            for reader in permissions.readers(way):
+                if reader != writer:
+                    permissions.revoke_read(way, reader)
+        elif op == "power_off":
+            if owner is None or permissions.in_transition(way):
+                continue
+            permissions.revoke_all(way)
+        else:  # power_on
+            if not permissions.is_off(way):
+                continue
+            permissions.grant_full(way, core)
+        permissions.check_invariants()
+    permissions.check_invariants()

@@ -1,0 +1,108 @@
+"""Unit and property tests for Algorithm 2 (transfer planning)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.transfer import OFF, InsufficientSettledWays, plan_transfers
+
+
+def _rng():
+    return random.Random(7)
+
+
+class TestPlanning:
+    def test_no_change_produces_empty_plan(self):
+        plan = plan_transfers([0, 0, 1, 1], [2, 2], _rng())
+        assert plan.empty
+
+    def test_simple_donation(self):
+        plan = plan_transfers([0, 0, 1, 1], [1, 3], _rng())
+        assert len(plan.moves) == 1
+        way, donor, recipient = plan.moves[0]
+        assert donor == 0 and recipient == 1
+        assert way in (0, 1)
+        assert not plan.to_off and not plan.from_off
+
+    def test_donation_to_off(self):
+        plan = plan_transfers([0, 0, 1, 1], [1, 2], _rng())
+        assert len(plan.to_off) == 1
+        way, donor = plan.to_off[0]
+        assert donor == 0 and way in (0, 1)
+
+    def test_receipt_from_off(self):
+        plan = plan_transfers([0, OFF, 1, OFF], [2, 1], _rng())
+        assert len(plan.from_off) == 1
+        way, recipient = plan.from_off[0]
+        assert recipient == 0 and way in (1, 3)
+
+    def test_matched_before_off(self):
+        # Core 0 sheds two, core 1 gains one: one move, one to-off.
+        plan = plan_transfers([0, 0, 0, 1], [1, 2], _rng())
+        assert len(plan.moves) == 1
+        assert len(plan.to_off) == 1
+        assert plan.moves[0][1] == 0 and plan.moves[0][2] == 1
+
+    def test_frozen_ways_never_donated(self):
+        for seed in range(20):
+            plan = plan_transfers([0, 0, 1, 1], [1, 3], random.Random(seed), frozen={0})
+            assert all(move[0] != 0 for move in plan.moves)
+
+    def test_insufficient_settled_ways_raises(self):
+        with pytest.raises(InsufficientSettledWays) as excinfo:
+            plan_transfers([0, 0, 1, 1], [1, 3], _rng(), frozen={0, 1})
+        assert excinfo.value.core == 0
+
+    def test_out_of_off_ways_raises_with_off_marker(self):
+        # Way 1 is off but frozen (mid transition to off).
+        with pytest.raises(InsufficientSettledWays) as excinfo:
+            plan_transfers([0, OFF, 1, 1], [2, 2], _rng(), frozen={1})
+        assert excinfo.value.core == OFF
+
+    def test_over_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            plan_transfers([0, 0, 1, 1], [3, 3], _rng())
+
+
+@given(
+    owners=st.lists(st.integers(-1, 3), min_size=4, max_size=16),
+    seed=st.integers(0, 1000),
+    data=st.data(),
+)
+def test_plan_realises_target_allocation(owners, seed, data):
+    """Applying a feasible plan always yields the requested counts."""
+    n_cores = 4
+    n_ways = len(owners)
+    allocations = []
+    remaining = n_ways
+    for core in range(n_cores):
+        take = data.draw(st.integers(0, remaining))
+        allocations.append(take)
+        remaining -= take
+    plan = plan_transfers(list(owners), allocations, random.Random(seed))
+
+    result = list(owners)
+    for way, donor, recipient in plan.moves:
+        assert result[way] == donor
+        result[way] = recipient
+    for way, donor in plan.to_off:
+        assert result[way] == donor
+        result[way] = OFF
+    for way, recipient in plan.from_off:
+        assert result[way] == OFF
+        result[way] = recipient
+
+    for core in range(n_cores):
+        assert sum(1 for owner in result if owner == core) == allocations[core]
+
+
+@given(seed=st.integers(0, 500))
+def test_each_way_moved_at_most_once(seed):
+    plan = plan_transfers(
+        [0, 0, 0, 0, 1, 1, OFF, OFF], [1, 4], random.Random(seed)
+    )
+    touched = [m[0] for m in plan.moves] + [w for w, _ in plan.to_off]
+    touched += [w for w, _ in plan.from_off]
+    assert len(touched) == len(set(touched))

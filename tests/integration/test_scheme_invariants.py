@@ -1,0 +1,95 @@
+"""Cross-scheme integration invariants.
+
+All five schemes see byte-identical traces, so quantities that do not
+depend on the partitioning decision must agree exactly across schemes,
+and scheme-specific quantities must respect their definitional bounds.
+"""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.config import SystemConfig
+from repro.sim.runner import ALL_POLICIES, ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SystemConfig(
+        n_cores=2,
+        l1=CacheGeometry(4 * 1024, 64, 4),
+        l2=CacheGeometry(32 * 1024, 64, 8),
+        l2_latency=15,
+        epoch_cycles=40_000,
+        umon_interval=4,
+        refs_per_core=14_000,
+        warmup_refs=2_500,
+        flush_bucket_cycles=2_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(config):
+    runner = ExperimentRunner()
+    return {
+        policy: runner.run_group("G2-6", config, policy) for policy in ALL_POLICIES
+    }
+
+
+class TestWorkConservation:
+    def test_same_instructions_measured_everywhere(self, runs):
+        """The measurement window is trace-defined, not scheme-defined."""
+        baselines = runs["fair_share"]
+        for policy, run in runs.items():
+            for core, base_core in zip(run.cores, baselines.cores):
+                assert core.instructions == base_core.instructions, policy
+
+    def test_same_benchmarks_in_same_order(self, runs):
+        names = [core.benchmark for core in runs["unmanaged"].cores]
+        for run in runs.values():
+            assert [core.benchmark for core in run.cores] == names
+
+
+class TestProbeWidthBounds:
+    def test_probe_width_definitions(self, runs, config):
+        ways = config.l2.ways
+        share = ways // config.n_cores
+        assert runs["unmanaged"].average_ways_probed == pytest.approx(ways)
+        assert runs["ucp"].average_ways_probed == pytest.approx(ways)
+        assert runs["fair_share"].average_ways_probed == pytest.approx(share)
+        # Way-aligned dynamic schemes sit between one way and all ways.
+        for policy in ("cooperative", "cpe"):
+            assert 1.0 <= runs[policy].average_ways_probed <= ways
+
+
+class TestHitRateOrdering:
+    def test_misses_bounded_by_accesses(self, runs):
+        for policy, run in runs.items():
+            for core in run.cores:
+                assert 0 <= core.llc_demand_misses <= core.llc_demand_accesses, policy
+
+    def test_partitioning_does_not_create_hits_from_nothing(self, runs):
+        """No scheme can beat the full-cache (Unmanaged) hit count by
+        an implausible margin on this thrash-free mix."""
+        unmanaged_misses = sum(c.llc_demand_misses for c in runs["unmanaged"].cores)
+        for policy, run in runs.items():
+            misses = sum(c.llc_demand_misses for c in run.cores)
+            assert misses >= unmanaged_misses * 0.5, policy
+
+
+class TestEnergyDefinitions:
+    def test_dynamic_energy_positive(self, runs):
+        for run in runs.values():
+            assert run.dynamic_energy_nj > 0
+            assert run.dynamic_energy_per_kiloinstruction > 0
+
+    def test_static_power_bounded_by_all_ways_on(self, runs, config):
+        fair = runs["fair_share"].static_power_nw
+        for policy, run in runs.items():
+            # Nothing can leak more than the whole cache plus a small
+            # monitoring overhead.
+            assert run.static_power_nw <= fair * 1.05, policy
+
+    def test_memory_traffic_consistency(self, runs):
+        for policy, run in runs.items():
+            assert run.memory_reads > 0, policy
+            assert run.memory_writebacks >= 0, policy

@@ -1,0 +1,67 @@
+"""Unit and property tests for the evaluation metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.speedup import geometric_mean, normalize, weighted_speedup
+
+
+class TestWeightedSpeedup:
+    def test_equation_one(self):
+        assert weighted_speedup([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_identical_ipcs_give_core_count(self):
+        """Sanity invariant from DESIGN.md: N unconstrained cores."""
+        assert weighted_speedup([1.5] * 4, [1.5] * 4) == pytest.approx(4.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_zero_alone_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        values = {"a": 2.0, "b": 4.0}
+        assert normalize(values, "a") == {"a": 1.0, "b": 2.0}
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0, "b": 1.0}, "a")
+
+
+@given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+def test_geomean_between_min_and_max(values):
+    mean = geometric_mean(values)
+    assert min(values) <= mean * (1 + 1e-9)
+    assert mean <= max(values) * (1 + 1e-9)
+
+
+@given(
+    shared=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=8),
+    scale=st.floats(0.1, 10.0),
+)
+def test_weighted_speedup_scales_linearly_with_shared_ipc(shared, scale):
+    alone = [1.0] * len(shared)
+    base = weighted_speedup(shared, alone)
+    scaled = weighted_speedup([s * scale for s in shared], alone)
+    assert scaled == pytest.approx(base * scale)

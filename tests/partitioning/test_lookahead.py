@@ -1,0 +1,129 @@
+"""Unit and property tests for the threshold-extended lookahead."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.partitioning.lookahead import lookahead_partition
+
+
+def _curve(*deltas, base=10_000):
+    """Build a miss curve from per-way miss reductions."""
+    curve = [base]
+    for delta in deltas:
+        curve.append(curve[-1] - delta)
+    return curve
+
+
+class TestUCPSemantics:
+    """T = 0 must reproduce plain UCP lookahead."""
+
+    def test_all_ways_allocated(self):
+        result = lookahead_partition(
+            [_curve(100, 100, 0, 0), _curve(50, 0, 0, 0)], 4, threshold=0.0
+        )
+        assert sum(result.allocations) == 4
+        assert result.unallocated == 0
+
+    def test_utility_hungry_core_wins(self):
+        hungry = _curve(1000, 900, 800, 700, 600, 500, 400, 300)
+        modest = _curve(100, 0, 0, 0, 0, 0, 0, 0)
+        result = lookahead_partition([hungry, modest], 8, threshold=0.0)
+        assert result.allocations[0] >= 6
+        assert result.allocations[1] >= 1  # the floor
+
+    def test_lookahead_sees_through_plateaus(self):
+        # Core 0 gains nothing for 2 ways then a large cliff at way 4
+        # (its marginal utility is realised only by a 3-way jump).
+        cliff = _curve(500, 0, 0, 3000, 0, 0, 0, 0)
+        modest = _curve(400, 300, 200, 100, 50, 20, 10, 5)
+        result = lookahead_partition([cliff, modest], 8, threshold=0.0)
+        assert result.allocations[0] >= 4
+
+    def test_symmetric_cores_split_evenly(self):
+        curve = _curve(500, 400, 300, 200)
+        result = lookahead_partition([list(curve), list(curve)], 4, threshold=0.0)
+        assert result.allocations == [2, 2]
+
+
+class TestThreshold:
+    def test_weak_tail_left_unallocated(self):
+        strong = _curve(1000, 800, 10, 5, 2, 1, 0, 0)
+        weak = _curve(900, 5, 2, 0, 0, 0, 0, 0)
+        result = lookahead_partition([strong, weak], 8, threshold=0.05)
+        assert result.unallocated >= 3
+
+    def test_zero_utility_not_allocated_with_threshold(self):
+        flat = _curve(0, 0, 0, 0)
+        result = lookahead_partition([list(flat), list(flat)], 4, threshold=0.05)
+        assert result.allocations == [1, 1]
+        assert result.unallocated == 2
+
+    def test_threshold_one_allocates_only_floor(self):
+        declining = _curve(1000, 900, 800, 700)
+        result = lookahead_partition([declining, _curve(10, 5, 2, 1)], 4, threshold=1.5)
+        # Strictly declining utility can never stay >= 1.5x the peak.
+        assert sum(result.allocations) <= 3
+
+    def test_higher_threshold_never_allocates_more(self):
+        curves = [
+            _curve(1000, 600, 300, 150, 80, 40, 20, 10),
+            _curve(500, 250, 120, 60, 30, 15, 8, 4),
+        ]
+        previous = 8
+        for threshold in (0.0, 0.01, 0.05, 0.1, 0.2, 0.5):
+            result = lookahead_partition(
+                [list(c) for c in curves], 8, threshold=threshold
+            )
+            allocated = sum(result.allocations)
+            assert allocated <= previous
+            previous = allocated
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            lookahead_partition([_curve(1, 1)], 2, threshold=-0.1)
+
+
+class TestValidation:
+    def test_no_cores_rejected(self):
+        with pytest.raises(ValueError):
+            lookahead_partition([], 8)
+
+    def test_too_few_ways_rejected(self):
+        with pytest.raises(ValueError):
+            lookahead_partition([_curve(1), _curve(1)], 1)
+
+
+@given(
+    data=st.data(),
+    n_cores=st.integers(1, 4),
+    threshold=st.sampled_from([0.0, 0.01, 0.05, 0.1, 0.2]),
+)
+def test_allocation_invariants(data, n_cores, threshold):
+    """Allocations are positive, bounded, and sum to <= total ways;
+    with T=0 they sum to exactly the total."""
+    total_ways = 8
+    curves = []
+    for _ in range(n_cores):
+        deltas = data.draw(
+            st.lists(st.integers(0, 1000), min_size=total_ways, max_size=total_ways)
+        )
+        curves.append(_curve(*deltas))
+    result = lookahead_partition(curves, total_ways, threshold=threshold)
+    assert all(a >= 1 for a in result.allocations)
+    assert sum(result.allocations) + result.unallocated == total_ways
+    if threshold == 0.0:
+        assert result.unallocated == 0
+
+
+@given(data=st.data())
+def test_rounds_are_consistent_with_allocations(data):
+    deltas_a = data.draw(st.lists(st.integers(0, 500), min_size=8, max_size=8))
+    deltas_b = data.draw(st.lists(st.integers(0, 500), min_size=8, max_size=8))
+    result = lookahead_partition(
+        [_curve(*deltas_a), _curve(*deltas_b)], 8, threshold=0.05
+    )
+    from_rounds = [1, 1]  # the per-core floor
+    for core, blocks, _ in result.rounds:
+        from_rounds[core] += blocks
+    assert from_rounds == result.allocations

@@ -1,0 +1,60 @@
+"""Unit tests for system configurations (Table 2)."""
+
+from repro.sim.config import (
+    SystemConfig,
+    paper_four_core,
+    paper_two_core,
+    scaled_four_core,
+    scaled_two_core,
+)
+
+
+class TestPaperConfigs:
+    def test_two_core_matches_table2(self):
+        config = paper_two_core()
+        assert config.n_cores == 2
+        assert config.l2.size_bytes == 2 * 1024 * 1024
+        assert config.l2.ways == 8
+        assert config.l2_latency == 15
+        assert config.l1.size_bytes == 32 * 1024
+        assert config.l1.ways == 4
+        assert config.mem_latency == 400
+        assert config.mem_banks == 8
+        assert config.epoch_cycles == 5_000_000
+
+    def test_four_core_matches_table2(self):
+        config = paper_four_core()
+        assert config.n_cores == 4
+        assert config.l2.size_bytes == 4 * 1024 * 1024
+        assert config.l2.ways == 16
+        assert config.l2_latency == 20
+
+
+class TestScaledConfigs:
+    def test_scaled_preserves_associativity(self):
+        assert scaled_two_core().l2.ways == paper_two_core().l2.ways
+        assert scaled_four_core().l2.ways == paper_four_core().l2.ways
+
+    def test_scaled_is_hashable_cache_key(self):
+        assert hash(scaled_two_core()) == hash(scaled_two_core())
+        assert scaled_two_core() == scaled_two_core()
+
+    def test_refs_parameter(self):
+        assert scaled_two_core(refs_per_core=5_000).refs_per_core == 5_000
+
+
+class TestDerivedConfigs:
+    def test_with_threshold(self):
+        config = scaled_two_core().with_threshold(0.2)
+        assert config.threshold == 0.2
+        assert config.l2 == scaled_two_core().l2
+
+    def test_alone_variant(self):
+        alone = scaled_two_core().alone()
+        assert alone.n_cores == 1
+        assert alone.l2 == scaled_two_core().l2
+
+    def test_describe_rows(self):
+        rows = dict(paper_two_core().describe())
+        assert "Shared L2" in rows
+        assert "2MB" in rows["Shared L2"]

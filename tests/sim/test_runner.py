@@ -1,0 +1,88 @@
+"""Unit tests for the experiment runner (caching, sweeps, normalisation)."""
+
+import pytest
+
+from repro.sim.runner import ALL_POLICIES, ExperimentRunner
+
+
+@pytest.fixture
+def runner():
+    return ExperimentRunner()
+
+
+class TestTraceCache:
+    def test_traces_cached_per_benchmark(self, runner, tiny_two_core):
+        a = runner.trace_for("lbm", tiny_two_core)
+        b = runner.trace_for("lbm", tiny_two_core)
+        assert a is b
+
+    def test_different_configs_different_traces(self, runner, tiny_two_core, tiny_four_core):
+        a = runner.trace_for("lbm", tiny_two_core)
+        b = runner.trace_for("lbm", tiny_four_core)
+        assert a is not b
+
+
+class TestAloneRuns:
+    def test_alone_results_cached(self, runner, tiny_two_core):
+        a = runner.alone("lbm", tiny_two_core)
+        b = runner.alone("lbm", tiny_two_core)
+        assert a is b
+        assert a.ipc > 0
+        assert a.mpki > 0
+        assert a.curves
+
+    def test_high_mpki_benchmark_measures_high(self, runner, tiny_two_core):
+        # On the tiny test cache absolute MPKI shifts, but lbm
+        # (streaming) must still dwarf povray (L1-resident).
+        lbm = runner.alone("lbm", tiny_two_core)
+        povray = runner.alone("povray", tiny_two_core)
+        assert lbm.mpki > 5 * povray.mpki
+
+
+class TestGroupRuns:
+    def test_group_size_validated(self, runner, tiny_two_core):
+        with pytest.raises(ValueError):
+            runner.run_group("G4-1", tiny_two_core, "unmanaged")
+
+    def test_run_group_cached(self, runner, tiny_two_core):
+        a = runner.run_group("G2-4", tiny_two_core, "unmanaged")
+        b = runner.run_group("G2-4", tiny_two_core, "unmanaged")
+        assert a is b
+
+    def test_weighted_speedup_positive(self, runner, tiny_two_core):
+        run = runner.run_group("G2-4", tiny_two_core, "fair_share")
+        ws = runner.weighted_speedup_of(run, tiny_two_core)
+        assert 0 < ws <= tiny_two_core.n_cores * 1.5
+
+    def test_cpe_gets_profiles_automatically(self, runner, tiny_two_core):
+        run = runner.run_group("G2-4", tiny_two_core, "cpe")
+        assert run.policy == "Dynamic CPE"
+
+
+class TestSweepNormalisation:
+    def test_sweep_and_normalise(self, runner, tiny_two_core):
+        results = runner.sweep(
+            tiny_two_core,
+            policies=("fair_share", "cooperative"),
+            groups=["G2-4", "G2-8"],
+        )
+        ws = runner.normalized_weighted_speedup(results, tiny_two_core)
+        dyn = runner.normalized_energy(results, "dynamic")
+        stat = runner.normalized_energy(results, "static")
+        for table in (ws, dyn, stat):
+            assert set(table) == {"G2-4", "G2-8"}
+            for group_row in table.values():
+                assert group_row["fair_share"] == pytest.approx(1.0)
+                assert group_row["cooperative"] > 0
+
+    def test_unknown_energy_kind(self, runner, tiny_two_core):
+        results = runner.sweep(
+            tiny_two_core, policies=("fair_share",), groups=["G2-4"]
+        )
+        with pytest.raises(ValueError):
+            runner.normalized_energy(results, "thermal")
+
+    def test_all_policies_tuple(self):
+        assert ALL_POLICIES == (
+            "unmanaged", "fair_share", "cpe", "ucp", "cooperative"
+        )

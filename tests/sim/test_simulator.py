@@ -1,0 +1,95 @@
+"""Unit tests for the CMP simulator's run protocol."""
+
+import pytest
+
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.profiles import profile_for
+from repro.workloads.trace import generate_trace
+
+
+def _traces(config, benchmarks):
+    return [
+        generate_trace(
+            profile_for(benchmark),
+            config.l2,
+            config.l1.total_lines,
+            config.refs_per_core,
+            seed=config.seed,
+        )
+        for benchmark in benchmarks
+    ]
+
+
+class TestRunProtocol:
+    def test_trace_count_must_match_cores(self, tiny_two_core):
+        traces = _traces(tiny_two_core, ["lbm"])
+        with pytest.raises(ValueError):
+            CMPSimulator(tiny_two_core, traces, "unmanaged")
+
+    def test_basic_run_produces_results(self, tiny_two_core):
+        traces = _traces(tiny_two_core, ["lbm", "povray"])
+        run = CMPSimulator(tiny_two_core, traces, "unmanaged").run()
+        assert len(run.cores) == 2
+        assert run.cores[0].benchmark == "lbm"
+        for core in run.cores:
+            assert core.instructions > 0
+            assert core.cycles > 0
+            assert 0 < core.ipc < tiny_two_core.issue_width
+        assert run.end_cycle > 0
+        assert run.window_instructions > 0
+        assert run.window_cycles > 0
+
+    def test_deterministic_runs(self, tiny_two_core):
+        traces = _traces(tiny_two_core, ["lbm", "povray"])
+        a = CMPSimulator(tiny_two_core, traces, "cooperative").run()
+        b = CMPSimulator(tiny_two_core, traces, "cooperative").run()
+        assert a.ipcs() == b.ipcs()
+        assert a.dynamic_energy_nj == b.dynamic_energy_nj
+        assert a.static_energy_nj == b.static_energy_nj
+
+    def test_warmup_discards_statistics(self, tiny_two_core):
+        traces = _traces(tiny_two_core, ["lbm", "povray"])
+        run = CMPSimulator(tiny_two_core, traces, "unmanaged").run()
+        # The measured window is refs_per_core - warmup refs; demand
+        # accesses must reflect the window only (no prewarm traffic).
+        expected_window = tiny_two_core.refs_per_core - tiny_two_core.warmup_refs
+        for core_id in range(2):
+            demand = run.policy_stats.demand_accesses[core_id]
+            assert demand <= expected_window * 1.3
+
+    def test_all_policies_run(self, tiny_two_core):
+        traces = _traces(tiny_two_core, ["lbm", "povray"])
+        curve = list(range(2000, 2000 - 9 * 100, -100))
+        for policy in ("unmanaged", "fair_share", "ucp", "cooperative"):
+            run = CMPSimulator(tiny_two_core, traces, policy).run()
+            assert run.end_cycle > 0
+        run = CMPSimulator(
+            tiny_two_core, traces, "cpe", cpe_profiles=[list(curve), list(curve)]
+        ).run()
+        assert run.end_cycle > 0
+
+    def test_four_core_run(self, tiny_four_core):
+        traces = _traces(tiny_four_core, ["lbm", "povray", "gcc", "milc"])
+        run = CMPSimulator(tiny_four_core, traces, "cooperative").run()
+        assert len(run.cores) == 4
+        assert run.average_ways_probed <= 16
+
+    def test_curve_collection(self, tiny_two_core):
+        alone = tiny_two_core.alone()
+        traces = _traces(tiny_two_core, ["soplex"])
+        run = CMPSimulator(alone, traces, "unmanaged", collect_curves=True).run()
+        assert run.epoch_curves
+        for curve in run.epoch_curves:
+            assert len(curve) == alone.l2.ways + 1
+            for a, b in zip(curve, curve[1:]):
+                assert a >= b
+
+    def test_energy_window_consistency(self, tiny_two_core):
+        traces = _traces(tiny_two_core, ["lbm", "povray"])
+        run = CMPSimulator(tiny_two_core, traces, "cooperative").run()
+        # Static power can never exceed all-ways-on leakage plus the
+        # monitoring overhead.
+        model_ways = tiny_two_core.l2.ways
+        assert 0 < run.average_active_ways <= model_ways
+        assert run.dynamic_energy_nj > 0
+        assert run.static_energy_nj > 0

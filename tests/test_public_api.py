@@ -1,0 +1,35 @@
+"""The public API surface stays importable and complete."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_symbols(self):
+        assert callable(repro.lookahead_partition)
+        assert callable(repro.plan_transfers)
+        assert callable(repro.weighted_speedup)
+        assert repro.POLICY_NAMES["cooperative"] == "Cooperative Partitioning"
+        assert len(repro.TWO_CORE_GROUPS) == 14
+        assert len(repro.FOUR_CORE_GROUPS) == 14
+        assert len(repro.BENCHMARK_PROFILES) == 19
+
+    def test_configs_construct(self):
+        for factory in (
+            repro.paper_two_core,
+            repro.paper_four_core,
+            repro.scaled_two_core,
+            repro.scaled_four_core,
+        ):
+            config = factory()
+            assert config.l2.ways in (8, 16)
+
+    def test_table1_overheads_exposed(self):
+        bits = repro.OverheadBits.for_system(2, repro.paper_two_core().l2)
+        assert bits.total > 0

@@ -1,0 +1,106 @@
+"""Unit tests for benchmark profiles and Table 4 workload groups."""
+
+import pytest
+
+from repro.workloads.groups import (
+    FOUR_CORE_GROUPS,
+    TWO_CORE_GROUPS,
+    group_benchmarks,
+    group_names,
+)
+from repro.workloads.profiles import (
+    BENCHMARK_PROFILES,
+    MPKIClass,
+    classify_mpki,
+    profile_for,
+)
+
+
+class TestProfiles:
+    def test_nineteen_benchmarks(self):
+        """Table 3: 19 C/C++ SPEC CPU2006 applications."""
+        assert len(BENCHMARK_PROFILES) == 19
+
+    def test_class_counts_match_table3(self):
+        by_class = {cls: 0 for cls in MPKIClass}
+        for profile in BENCHMARK_PROFILES.values():
+            by_class[profile.mpki_class] += 1
+        assert by_class[MPKIClass.HIGH] == 4
+        assert by_class[MPKIClass.MEDIUM] == 6
+        assert by_class[MPKIClass.LOW] == 9
+
+    def test_reported_mpki_consistent_with_class(self):
+        for profile in BENCHMARK_PROFILES.values():
+            assert classify_mpki(profile.mpki) == profile.mpki_class, profile.name
+
+    def test_classify_thresholds(self):
+        assert classify_mpki(5.1) is MPKIClass.HIGH
+        assert classify_mpki(3.0) is MPKIClass.MEDIUM
+        assert classify_mpki(0.9) is MPKIClass.LOW
+
+    def test_lookup_case_insensitive(self):
+        assert profile_for("LBM").name == "lbm"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            profile_for("quake")
+
+    def test_phase_weights_match_ring_counts(self):
+        for profile in BENCHMARK_PROFILES.values():
+            for phase in profile.phases:
+                assert len(phase.ring_weights) == len(profile.rings), profile.name
+
+    def test_mixture_weights_bounded(self):
+        for profile in BENCHMARK_PROFILES.values():
+            total = sum(r.weight for r in profile.rings) + profile.stream_weight
+            assert profile.l1_fraction + total <= 1.0, profile.name
+            for phase in profile.phases:
+                total = sum(phase.ring_weights) + phase.stream_weight
+                assert profile.l1_fraction + total <= 1.0, profile.name
+
+
+class TestGroups:
+    def test_fourteen_groups_each(self):
+        assert len(TWO_CORE_GROUPS) == 14
+        assert len(FOUR_CORE_GROUPS) == 14
+
+    def test_group_sizes(self):
+        for name, benchmarks in TWO_CORE_GROUPS.items():
+            assert len(benchmarks) == 2, name
+        for name, benchmarks in FOUR_CORE_GROUPS.items():
+            assert len(benchmarks) == 4, name
+
+    def test_all_members_have_profiles(self):
+        for benchmarks in list(TWO_CORE_GROUPS.values()) + list(FOUR_CORE_GROUPS.values()):
+            for benchmark in benchmarks:
+                assert benchmark in BENCHMARK_PROFILES
+
+    def test_every_two_core_group_has_a_high_mpki_member(self):
+        """Table 4's construction rule."""
+        for name, benchmarks in TWO_CORE_GROUPS.items():
+            classes = {BENCHMARK_PROFILES[b].mpki_class for b in benchmarks}
+            assert MPKIClass.HIGH in classes, name
+
+    def test_every_four_core_group_has_high_and_medium(self):
+        for name, benchmarks in FOUR_CORE_GROUPS.items():
+            classes = [BENCHMARK_PROFILES[b].mpki_class for b in benchmarks]
+            assert MPKIClass.HIGH in classes, name
+
+    def test_group_lookup(self):
+        assert group_benchmarks("G2-8") == ("lbm", "soplex")
+        assert group_benchmarks("G4-1") == ("gobmk", "gcc", "perlbench", "xalan")
+        with pytest.raises(KeyError):
+            group_benchmarks("G9-1")
+
+    def test_group_names_by_core_count(self):
+        assert group_names(2)[0] == "G2-1"
+        assert group_names(4)[-1] == "G4-14"
+        with pytest.raises(ValueError):
+            group_names(3)
+
+    def test_spot_check_paper_rows(self):
+        """A few exact rows from Table 4."""
+        assert TWO_CORE_GROUPS["G2-1"] == ("soplex", "namd")
+        assert TWO_CORE_GROUPS["G2-12"] == ("soplex", "gcc")
+        assert FOUR_CORE_GROUPS["G4-5"] == ("lbm", "libquantum", "gromacs", "mcf")
+        assert FOUR_CORE_GROUPS["G4-14"] == ("soplex", "bzip2", "astar", "milc")
