@@ -1,6 +1,6 @@
 """Ablation: lazy cooperative takeover vs immediate flush (CPE-style).
 
-DESIGN.md's first design-choice ablation.  Cooperative Partitioning
+A design-choice ablation.  Cooperative Partitioning
 and Dynamic CPE make the same kind of way-aligned decisions, but CP
 scrubs lazily (flush-on-access) while CPE stalls everything to flush
 reassigned ways at once.  Comparing the two on the phase-heavy
@@ -16,6 +16,11 @@ def test_ablation_lazy_vs_immediate_flush(benchmark, runner, two_core_config, tw
     groups = [g for g in two_core_groups if g in PHASE_HEAVY] or two_core_groups[:3]
 
     def sweep():
+        runner.prefetch(
+            (group, policy, two_core_config)
+            for group in groups
+            for policy in ("cooperative", "cpe")
+        )
         rows = {}
         for group in groups:
             cp = runner.run_group(group, two_core_config, "cooperative")

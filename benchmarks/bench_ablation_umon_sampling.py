@@ -16,6 +16,11 @@ def test_ablation_umon_sampling_interval(benchmark, runner, two_core_config, two
     groups = [g for g in two_core_groups if g in GROUPS] or two_core_groups[:2]
 
     def sweep():
+        runner.prefetch(
+            (group, "cooperative", replace(two_core_config, umon_interval=interval))
+            for group in groups
+            for interval in INTERVALS
+        )
         rows = {}
         for interval in INTERVALS:
             config = replace(two_core_config, umon_interval=interval)

@@ -3,7 +3,7 @@
 Runs all five schemes over the G2-* groups and prints weighted
 speedups normalised to Fair Share, as in the paper's bar chart.
 
-Shape checks (see EXPERIMENTS.md for the full discussion): the
+Shape checks (see docs/reproducing-figures.md): the
 partitioned schemes must never trail Fair Share badly, and Cooperative
 Partitioning must track UCP closely (the paper reports 1.13 vs 1.14;
 our synthetic traces compress the absolute speedups, so the check is

@@ -10,6 +10,11 @@ THRESHOLDS = (0.0, 0.01, 0.05, 0.10, 0.20)
 
 def test_fig13_threshold_vs_static_energy(benchmark, runner, two_core_config, two_core_groups):
     def sweep():
+        runner.prefetch(
+            (group, "cooperative", two_core_config.with_threshold(threshold))
+            for group in two_core_groups
+            for threshold in THRESHOLDS
+        )
         table = {}
         for group in two_core_groups:
             row = {}

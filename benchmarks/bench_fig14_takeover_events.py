@@ -12,6 +12,9 @@ from repro.sim.runner import ALL_POLICIES  # noqa: F401  (documentation import)
 
 def test_fig14_takeover_event_mix(benchmark, runner, two_core_config, two_core_groups):
     def sweep():
+        runner.prefetch(
+            (group, "cooperative", two_core_config) for group in two_core_groups
+        )
         table = {}
         for group in two_core_groups:
             run = runner.run_group(group, two_core_config, "cooperative")

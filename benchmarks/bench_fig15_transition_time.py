@@ -12,6 +12,11 @@ from repro.metrics.speedup import geometric_mean
 
 def test_fig15_way_transition_time(benchmark, runner, two_core_config, two_core_groups):
     def sweep():
+        runner.prefetch(
+            (group, policy, two_core_config)
+            for group in two_core_groups
+            for policy in ("cooperative", "ucp")
+        )
         table = {}
         for group in two_core_groups:
             cp = runner.run_group(group, two_core_config, "cooperative")

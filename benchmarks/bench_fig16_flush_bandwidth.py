@@ -13,6 +13,11 @@ def test_fig16_flush_bandwidth_timeline(benchmark, runner, two_core_config, two_
     horizon = 24  # buckets of flush_bucket_cycles after a decision
 
     def sweep():
+        runner.prefetch(
+            (group, policy, two_core_config)
+            for group in two_core_groups
+            for policy in ("cooperative", "ucp")
+        )
         series = {"cooperative": [0.0] * horizon, "ucp": [0.0] * horizon}
         totals = {"cooperative": 0, "ucp": 0}
         contributing = 0

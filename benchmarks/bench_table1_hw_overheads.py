@@ -4,7 +4,7 @@ Regenerates the takeover-bit-vector / RAP / WAP storage accounting for
 the two-core and four-core systems.  Note: the paper's printed table
 assumes 2048 sets; the Table 2 geometries (2 MB and 4 MB, 64 B lines,
 8/16 ways) both decode to 4096 sets, so our totals are the
-geometry-faithful ones (see EXPERIMENTS.md).
+geometry-faithful ones.
 """
 
 from repro.energy.cacti import OverheadBits

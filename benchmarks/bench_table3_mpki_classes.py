@@ -10,6 +10,7 @@ from repro.workloads.profiles import BENCHMARK_PROFILES, classify_mpki
 
 def test_table3_mpki_classification(benchmark, runner, two_core_config):
     def measure():
+        runner.prefetch_alone(two_core_config, sorted(BENCHMARK_PROFILES))
         return {
             name: runner.alone(name, two_core_config).mpki
             for name in sorted(BENCHMARK_PROFILES)

@@ -2,10 +2,12 @@
 
 Every benchmark regenerates one table or figure of the paper at a
 laptop-feasible scale and prints the same rows/series the paper
-reports.  All benchmarks in a pytest session share one
-:class:`~repro.sim.runner.ExperimentRunner`, so the expensive sweeps
-(14 groups x 5 schemes) are computed once and reused by every figure
-that reads them.
+reports.  All benchmarks in a pytest session share one orchestrated
+:class:`~repro.sim.runner.ExperimentRunner`: results persist in the
+on-disk result store (so re-running any figure is a cache hit, even
+across sessions) and the big sweeps fan out across worker processes.
+``repro sweep``/``repro report`` read and write the same store, so a
+figure can be pre-computed from the CLI and merely rendered here.
 
 Environment knobs:
 
@@ -13,6 +15,8 @@ Environment knobs:
   (default 60000; the four-core sweeps use 5/6 of it).
 * ``REPRO_BENCH_GROUPS`` — comma-separated subset of groups (e.g.
   ``G2-1,G2-8``) for quick runs; default is all fourteen.
+* ``REPRO_STORE`` — result-store directory (default ``.repro/store``).
+* ``REPRO_JOBS`` — worker processes for sweeps (default: CPU count).
 """
 
 from __future__ import annotations
@@ -21,8 +25,8 @@ import os
 
 import pytest
 
+from repro.orchestration import orchestrated_runner
 from repro.sim.config import scaled_four_core, scaled_two_core
-from repro.sim.runner import get_shared_runner
 from repro.workloads.groups import group_names
 
 BENCH_REFS = int(os.environ.get("REPRO_BENCH_REFS", "60000"))
@@ -39,7 +43,7 @@ def _selected_groups(n_cores: int) -> list[str]:
 
 @pytest.fixture(scope="session")
 def runner():
-    return get_shared_runner()
+    return orchestrated_runner()
 
 
 @pytest.fixture(scope="session")

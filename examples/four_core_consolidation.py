@@ -11,13 +11,14 @@ all five schemes and prints the decision-relevant comparison.
 Run:  python examples/four_core_consolidation.py
 """
 
-from repro import ALL_POLICIES, ExperimentRunner, scaled_four_core
+from repro import ALL_POLICIES, orchestrated_runner, scaled_four_core
 
 
 def main() -> None:
-    runner = ExperimentRunner()
+    runner = orchestrated_runner()
     config = scaled_four_core(refs_per_core=40_000)
     group = "G4-5"
+    runner.prefetch((group, policy, config) for policy in ALL_POLICIES)
 
     print(f"Consolidating group {group} on: {config.l2.describe()}")
     print()

@@ -11,11 +11,13 @@ partitioning activity.
 Run:  python examples/quickstart.py
 """
 
-from repro import ExperimentRunner, scaled_two_core
+from repro import orchestrated_runner, scaled_two_core
 
 
 def main() -> None:
-    runner = ExperimentRunner()
+    # Disk-backed runner: results land in .repro/store (see
+    # `repro report`), so re-running this script is a cache hit.
+    runner = orchestrated_runner()
     config = scaled_two_core(refs_per_core=60_000)
     group = "G2-8"
 

@@ -10,7 +10,7 @@ performance loss stays under 2%.
 Run:  python examples/threshold_tradeoff.py
 """
 
-from repro import ExperimentRunner, scaled_two_core
+from repro import orchestrated_runner, scaled_two_core
 
 GROUPS = ("G2-2", "G2-3", "G2-9")  # mixes with energy headroom
 THRESHOLDS = (0.0, 0.01, 0.05, 0.10, 0.20)
@@ -18,9 +18,16 @@ ACCEPTABLE_SLOWDOWN = 0.02
 
 
 def main() -> None:
-    runner = ExperimentRunner()
+    runner = orchestrated_runner()
     base = scaled_two_core(refs_per_core=50_000)
 
+    # One parallel, cached fan-out over the whole (group x T) grid;
+    # the loop below then only reads results back.
+    runner.prefetch(
+        (group, "cooperative", base.with_threshold(threshold))
+        for group in GROUPS
+        for threshold in THRESHOLDS
+    )
     frontier = {}
     for threshold in THRESHOLDS:
         config = base.with_threshold(threshold)

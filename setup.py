@@ -1,10 +1,36 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Packaging for the Cooperative Partitioning reproduction.
 
-All real metadata lives in ``pyproject.toml``; this file only enables
-``pip install -e . --no-use-pep517`` on machines whose setuptools
-cannot build PEP 660 editable wheels (e.g. offline boxes).
+Pure setuptools, no build-time dependencies beyond the standard
+library: the package must install (``pip install -e .``) on offline
+boxes whose setuptools cannot build PEP 660 editable wheels.  The
+``repro`` console script is the orchestration CLI
+(:mod:`repro.orchestration.cli`); ``python -m repro`` serves
+uninstalled source checkouts with ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single source of truth for the version: repro.__version__ (task keys
+# in the result store embed it, so the two must never diverge).
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'^__version__ = "([^"]+)"', _INIT.read_text(), re.M).group(1)
+
+setup(
+    name="repro-cooperative-partitioning",
+    version=_VERSION,
+    description=(
+        "Reproduction of 'Cooperative Partitioning: Energy-Efficient Cache "
+        "Partitioning for High-Performance CMPs' (HPCA 2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.orchestration.cli:main",
+        ],
+    },
+)

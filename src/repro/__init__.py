@@ -9,15 +9,21 @@ CPU2006 workloads and the four comparison schemes.
 
 Quickstart::
 
-    from repro import ExperimentRunner, scaled_two_core
+    from repro import orchestrated_runner, scaled_two_core
 
-    runner = ExperimentRunner()
+    runner = orchestrated_runner()  # disk-backed, parallel sweeps
     config = scaled_two_core()
     run = runner.run_group("G2-8", config, "cooperative")
     print(run.average_ways_probed, run.dynamic_energy_nj)
 
-See ``examples/`` for complete scenarios and ``benchmarks/`` for the
-per-figure reproduction harness.
+(`ExperimentRunner()` gives the same API without the on-disk store.)
+The ``repro`` console script — ``python -m repro`` from a source
+checkout — drives full figure sweeps from the shell::
+
+    repro sweep --cores 2 --metric all
+
+See ``README.md`` for the tour, ``examples/`` for complete scenarios
+and ``benchmarks/`` for the per-figure reproduction harness.
 """
 
 from repro.cache.geometry import CacheGeometry
@@ -25,6 +31,13 @@ from repro.core.policy import CooperativePartitioningPolicy
 from repro.core.transfer import TransferPlan, plan_transfers
 from repro.energy.cacti import CactiEnergyModel, OverheadBits
 from repro.metrics.speedup import geometric_mean, normalize, weighted_speedup
+from repro.orchestration import (
+    ResultStore,
+    SweepExecutor,
+    default_store_path,
+    orchestrated_runner,
+    task_key,
+)
 from repro.partitioning.lookahead import AllocationResult, lookahead_partition
 from repro.partitioning.registry import POLICY_NAMES, create_policy
 from repro.sim.config import (
@@ -58,12 +71,15 @@ __all__ = [
     "MPKIClass",
     "OverheadBits",
     "POLICY_NAMES",
+    "ResultStore",
     "RunResult",
+    "SweepExecutor",
     "SystemConfig",
     "TWO_CORE_GROUPS",
     "Trace",
     "TransferPlan",
     "create_policy",
+    "default_store_path",
     "generate_trace",
     "geometric_mean",
     "get_shared_runner",
@@ -71,11 +87,13 @@ __all__ = [
     "group_names",
     "lookahead_partition",
     "normalize",
+    "orchestrated_runner",
     "paper_four_core",
     "paper_two_core",
     "plan_transfers",
     "profile_for",
     "scaled_four_core",
     "scaled_two_core",
+    "task_key",
     "weighted_speedup",
 ]

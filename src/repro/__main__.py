@@ -1,0 +1,8 @@
+"""``python -m repro`` — source-checkout alias for the ``repro`` CLI."""
+
+import sys
+
+from repro.orchestration.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Sweep orchestration: durable results, parallel execution, CLI.
+
+This package turns the in-process :class:`~repro.sim.runner.
+ExperimentRunner` into a batch system in three layers:
+
+* :mod:`~repro.orchestration.serialize` — lossless JSON round-trips
+  for run artifacts and stable content-addressed task keys;
+* :mod:`~repro.orchestration.store` — the on-disk
+  :class:`ResultStore` (atomic writes, self-healing on corruption);
+* :mod:`~repro.orchestration.executor` — the process-pool
+  :class:`SweepExecutor` sharding (group × scheme × geometry) tasks
+  across workers, and :func:`orchestrated_runner`, the one-liner that
+  wires a runner to both.
+
+:mod:`~repro.orchestration.cli` exposes all of it as the ``repro``
+console script (``python -m repro`` from a source checkout).
+"""
+
+from repro.orchestration.executor import (
+    SweepExecutor,
+    orchestrated_runner,
+    resolve_jobs,
+)
+from repro.orchestration.serialize import (
+    SCHEMA_VERSION,
+    alone_task_key,
+    group_task_key,
+    task_key,
+)
+from repro.orchestration.store import ResultStore, default_store_path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "SweepExecutor",
+    "alone_task_key",
+    "default_store_path",
+    "group_task_key",
+    "orchestrated_runner",
+    "resolve_jobs",
+    "task_key",
+]

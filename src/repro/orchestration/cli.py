@@ -1,0 +1,346 @@
+"""``repro`` — the command-line front end of the reproduction.
+
+Four subcommands drive the whole evaluation through the orchestrator:
+
+* ``repro sweep``  — run a (group × scheme) cross-product in parallel,
+  persisting every result; re-running is a cache-hit no-op.
+* ``repro alone``  — profile benchmarks in isolation (Table 3).
+* ``repro report`` — render the figure tables from stored artifacts
+  only (never simulates; tells you what to sweep if results are
+  missing).
+* ``repro clean``  — drop the store.
+
+Every run-shaped command accepts ``--cores``, ``--refs-per-core``,
+``--groups``, ``--policies`` and ``--threshold`` to select the slice
+of the evaluation, plus ``--store`` and ``--jobs`` for the
+orchestration knobs (``$REPRO_STORE`` / ``$REPRO_JOBS`` set the
+defaults).  Installed as a console script by ``setup.py``;
+``python -m repro`` is the equivalent for source checkouts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.metrics.speedup import geometric_mean
+from repro.orchestration.executor import SweepExecutor, resolve_jobs
+from repro.orchestration.serialize import alone_task_key, group_task_key
+from repro.orchestration.store import ResultStore, default_store_path
+from repro.sim.config import SystemConfig, scaled_four_core, scaled_two_core
+from repro.sim.runner import ALL_POLICIES, ExperimentRunner
+from repro.workloads.groups import group_benchmarks, group_names
+from repro.workloads.profiles import BENCHMARK_PROFILES, classify_mpki
+
+#: the three normalised tables the figures are built from
+_METRICS = ("speedup", "dynamic", "static")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script; returns exit code."""
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+    try:
+        return options.handler(options)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Cooperative Partitioning (HPCA 2012) evaluation.",
+    )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default: $REPRO_STORE or .repro/store)",
+    )
+
+    selection = argparse.ArgumentParser(add_help=False)
+    selection.add_argument(
+        "--cores", type=int, choices=(2, 4), default=2,
+        help="system geometry: 2-core (8-way 2MB-class L2) or 4-core (16-way)",
+    )
+    selection.add_argument(
+        "--refs-per-core", type=int, default=None, metavar="N",
+        help="measured references per core (default: 60000 for 2-core, "
+             "50000 for 4-core — the benchmark harness's scales, so a "
+             "default sweep pre-populates the figures' cache)",
+    )
+    selection.add_argument(
+        "--groups", default=None, metavar="SPEC",
+        help="comma-separated Table 4 group names (e.g. G2-1,G2-8) or a "
+             "number N meaning the first N groups; default: all 14",
+    )
+    selection.add_argument(
+        "--policies", default=None, metavar="LIST",
+        help=f"comma-separated schemes out of {','.join(ALL_POLICIES)}; default: all",
+    )
+    selection.add_argument(
+        "--threshold", type=float, default=None, metavar="T",
+        help="override the takeover threshold (paper default 0.05)",
+    )
+
+    sweep = commands.add_parser(
+        "sweep", parents=[common, selection],
+        help="run a group x scheme sweep in parallel and print the figure tables",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_JOBS or CPU count)",
+    )
+    sweep.add_argument(
+        "--metric", choices=(*_METRICS, "all"), default="speedup",
+        help="which normalised table(s) to print (default: speedup)",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    alone = commands.add_parser(
+        "alone", parents=[common, selection],
+        help="profile benchmarks in isolation (Table 3's MPKI classification)",
+    )
+    alone.add_argument(
+        "benchmarks", nargs="*", metavar="BENCHMARK",
+        help="benchmarks to profile (default: all 19)",
+    )
+    alone.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_JOBS or CPU count)",
+    )
+    alone.set_defaults(handler=_cmd_alone)
+
+    report = commands.add_parser(
+        "report", parents=[common, selection],
+        help="print the figure tables from stored results (never simulates)",
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    clean = commands.add_parser(
+        "clean", parents=[common], help="delete every stored artifact"
+    )
+    clean.set_defaults(handler=_cmd_clean)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Selection helpers
+# ----------------------------------------------------------------------
+def _config_from(options: argparse.Namespace) -> SystemConfig:
+    refs = options.refs_per_core
+    if refs is None:
+        # Match benchmarks/conftest.py (60000, and 5/6 of it for the
+        # four-core sweeps) so `repro sweep` and the figure drivers
+        # share task keys.
+        refs = 60_000 if options.cores == 2 else 50_000
+    if refs <= 0:
+        raise SystemExit(f"--refs-per-core must be positive, got {refs}")
+    factory = scaled_two_core if options.cores == 2 else scaled_four_core
+    config = factory(refs_per_core=refs)
+    if options.threshold is not None:
+        config = config.with_threshold(options.threshold)
+    return config
+
+
+def _groups_from(options: argparse.Namespace) -> list[str]:
+    names = group_names(options.cores)
+    spec = options.groups
+    if not spec:
+        return names
+    try:
+        count = int(spec)
+    except ValueError:
+        chosen = [token.strip() for token in spec.split(",") if token.strip()]
+        unknown = [g for g in chosen if g not in names]
+        if unknown:
+            raise SystemExit(
+                f"unknown group(s) {', '.join(unknown)} for --cores "
+                f"{options.cores}; valid: {', '.join(names)}"
+            )
+        return chosen
+    if count <= 0:
+        raise SystemExit(f"--groups must name groups or a positive count, got {count}")
+    return names[:count]
+
+
+def _policies_from(options: argparse.Namespace) -> tuple[str, ...]:
+    spec = options.policies
+    if not spec:
+        return ALL_POLICIES
+    chosen = tuple(token.strip() for token in spec.split(",") if token.strip())
+    unknown = [p for p in chosen if p not in ALL_POLICIES]
+    if unknown:
+        raise SystemExit(
+            f"unknown polic{'ies' if len(unknown) > 1 else 'y'} "
+            f"{', '.join(unknown)}; valid: {', '.join(ALL_POLICIES)}"
+        )
+    return chosen
+
+
+def _store_from(options: argparse.Namespace) -> ResultStore:
+    return ResultStore(options.store if options.store else default_store_path())
+
+
+def _progress(line: str) -> None:
+    print(line, file=sys.stderr, flush=True)
+
+
+# ----------------------------------------------------------------------
+# Table rendering
+# ----------------------------------------------------------------------
+def _print_table(
+    title: str,
+    rows: dict[str, dict[str, float]],
+    policies: Sequence[str],
+    average: dict[str, float],
+) -> None:
+    print(f"\n=== {title} ===")
+    print(f"{'group':<8}" + "".join(f"{p:>14}" for p in policies))
+    for group, row in rows.items():
+        print(f"{group:<8}" + "".join(f"{row[p]:>14.3f}" for p in policies))
+    print(f"{'AVG':<8}" + "".join(f"{average[p]:>14.3f}" for p in policies))
+
+
+def _render_tables(
+    runner: ExperimentRunner,
+    results: dict,
+    config: SystemConfig,
+    policies: Sequence[str],
+    metrics: Sequence[str],
+) -> None:
+    baseline = "fair_share" if "fair_share" in policies else policies[0]
+    titles = {
+        "speedup": f"weighted speedup (normalised to {baseline})",
+        "dynamic": f"dynamic energy per kilo-instruction (normalised to {baseline})",
+        "static": f"static leakage power (normalised to {baseline})",
+    }
+    for metric in metrics:
+        if metric == "speedup":
+            table = runner.normalized_weighted_speedup(results, config, baseline)
+        else:
+            table = runner.normalized_energy(results, metric, baseline)
+        average = {
+            policy: geometric_mean([table[group][policy] for group in table])
+            for policy in policies
+        }
+        _print_table(
+            f"{config.n_cores}-core {titles[metric]}", table, policies, average
+        )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_sweep(options: argparse.Namespace) -> int:
+    config = _config_from(options)
+    groups = _groups_from(options)
+    policies = _policies_from(options)
+    store = _store_from(options)
+    executor = SweepExecutor(
+        store, resolve_jobs(options.jobs), progress=_progress
+    )
+    started = time.perf_counter()
+    tasks = [(group, policy, config) for group in groups for policy in policies]
+    computed, cached = executor.prefetch(tasks)
+    # Assemble directly through the runner: the prefetch above already
+    # materialised every artifact, so executor.sweep()'s own prefetch
+    # pass would only re-probe the store.
+    results = {
+        group: {
+            policy: executor.runner.run_group(group, config, policy)
+            for policy in policies
+        }
+        for group in groups
+    }
+    elapsed = time.perf_counter() - started
+    metrics = _METRICS if options.metric == "all" else (options.metric,)
+    _render_tables(executor.runner, results, config, policies, metrics)
+    print(
+        f"\n{len(tasks)} group runs over {len(groups)} groups x "
+        f"{len(policies)} schemes; {computed} tasks computed, {cached} "
+        f"cached in {store.root} (alone-run dependencies included; "
+        f"{elapsed:.1f}s, {executor.max_workers} workers)"
+    )
+    return 0
+
+
+def _cmd_alone(options: argparse.Namespace) -> int:
+    config = _config_from(options).alone()
+    names = options.benchmarks or sorted(BENCHMARK_PROFILES)
+    unknown = [name for name in names if name not in BENCHMARK_PROFILES]
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmark(s) {', '.join(unknown)}; valid: "
+            f"{', '.join(sorted(BENCHMARK_PROFILES))}"
+        )
+    store = _store_from(options)
+    executor = SweepExecutor(
+        store, resolve_jobs(options.jobs), progress=_progress
+    )
+    results = executor.alone_many(config, names)
+    print(f"\n=== alone runs on {config.l2.describe()} ===")
+    print(f"{'benchmark':<12}{'paper MPKI':>12}{'measured':>12}{'IPC':>8}{'class':>9}")
+    for name in names:
+        result = results[name]
+        profile = BENCHMARK_PROFILES[name]
+        print(
+            f"{name:<12}{profile.mpki:>12.2f}{result.mpki:>12.2f}"
+            f"{result.ipc:>8.3f}{classify_mpki(result.mpki).value:>9}"
+        )
+    return 0
+
+
+def _cmd_report(options: argparse.Namespace) -> int:
+    config = _config_from(options)
+    groups = _groups_from(options)
+    policies = _policies_from(options)
+    store = _store_from(options)
+    # Validate with get(), not has(): a corrupt artifact exists on disk
+    # but reads as a miss, and report must refuse rather than silently
+    # fall back to simulating it.
+    missing: list[str] = []
+    for group in groups:
+        for policy in policies:
+            if store.get(group_task_key(config, group, policy)) is None:
+                missing.append(f"{group}/{policy}")
+        for benchmark in group_benchmarks(group):
+            if store.get(alone_task_key(config, benchmark)) is None:
+                missing.append(f"alone/{benchmark}")
+    if missing:
+        shown = ", ".join(sorted(set(missing))[:10])
+        print(
+            f"{len(set(missing))} result(s) missing from {store.root} "
+            f"({shown}{', ...' if len(set(missing)) > 10 else ''}); "
+            f"run the matching `repro sweep` first",
+            file=sys.stderr,
+        )
+        return 1
+    runner = ExperimentRunner(store=store)
+    results = {
+        group: {policy: runner.run_group(group, config, policy) for policy in policies}
+        for group in groups
+    }
+    _render_tables(runner, results, config, policies, _METRICS)
+    return 0
+
+
+def _cmd_clean(options: argparse.Namespace) -> int:
+    store = _store_from(options)
+    removed = store.clean()
+    print(f"removed {removed} artifact(s) from {store.root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

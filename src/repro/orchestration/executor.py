@@ -1,0 +1,246 @@
+"""Process-pool sweep execution over the result store.
+
+A sweep is a cross-product of independent simulation tasks — each
+(group, scheme, config) cell and each benchmark's alone run touches
+no shared mutable state — so the executor shards them across worker
+processes and lets the store mediate all communication: a worker
+simulates its task with a private store-backed
+:class:`~repro.sim.runner.ExperimentRunner`, persists the artifact,
+and returns only the task label.  The parent then assembles the
+figure tables entirely from cache hits, which guarantees the
+numbers are bit-identical to a serial in-process run.
+
+Scheduling is two-phase:
+
+1. **alone runs** for every benchmark appearing in the sweep — they
+   feed weighted speedup for every scheme and Dynamic CPE's profiled
+   miss curves, so computing them first means no group task ever
+   duplicates one;
+2. **group runs**, one task per (group, scheme, config) cell.
+
+Determinism: every task's randomness flows from
+``SystemConfig.seed`` through the trace generator and policies, never
+from worker identity or execution order, so a sweep produces the
+same artifacts regardless of sharding, and a resumed sweep skips
+completed tasks by key without changing any result.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable
+
+from repro.orchestration.serialize import alone_task_key, group_task_key
+from repro.orchestration.store import ResultStore, default_store_path
+from repro.sim.config import SystemConfig
+from repro.sim.runner import ALL_POLICIES, ExperimentRunner
+from repro.sim.stats import RunResult
+from repro.workloads.groups import group_benchmarks, group_names
+
+#: environment variable bounding worker-process count
+JOBS_ENV = "REPRO_JOBS"
+
+#: one sweep task: (group, policy, config)
+GroupTask = tuple[str, str, SystemConfig]
+
+
+def resolve_jobs(max_workers: int | None = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_JOBS``, else cores."""
+    if max_workers is not None and max_workers > 0:
+        return max_workers
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise SystemExit(f"${JOBS_ENV} must be an integer, got {env!r}")
+    return os.cpu_count() or 1
+
+
+def orchestrated_runner(
+    store_path: str | os.PathLike | None = None,
+    max_workers: int | None = None,
+) -> ExperimentRunner:
+    """A runner wired to the on-disk store and the process pool.
+
+    The one-liner the examples and benchmark harness use: results
+    persist under :func:`~repro.orchestration.store.default_store_path`
+    (override with ``store_path`` or ``$REPRO_STORE``) and sweeps fan
+    out across :func:`resolve_jobs` workers.
+    """
+    store = ResultStore(store_path if store_path is not None else default_store_path())
+    return ExperimentRunner(store=store, max_workers=resolve_jobs(max_workers))
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (top-level so they pickle under spawn too)
+# ----------------------------------------------------------------------
+def _worker_alone(store_root: str, config: SystemConfig, benchmark: str) -> str:
+    runner = ExperimentRunner(store=ResultStore(store_root))
+    runner.alone(benchmark, config)
+    return benchmark
+
+
+def _worker_group(
+    store_root: str, config: SystemConfig, group: str, policy: str
+) -> tuple[str, str]:
+    runner = ExperimentRunner(store=ResultStore(store_root))
+    runner.run_group(group, config, policy)
+    return group, policy
+
+
+class SweepExecutor:
+    """Shards (group × scheme × geometry) tasks across worker processes.
+
+    ``progress`` (optional) receives one human-readable line per
+    completed task — the CLI points it at stderr.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        max_workers: int | None = None,
+        runner: ExperimentRunner | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.store = store
+        self.max_workers = resolve_jobs(max_workers)
+        #: assembles final results; shares the same store, so every
+        #: artifact a worker persists is a cache hit here
+        self.runner = runner if runner is not None else ExperimentRunner(store=store)
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Task planning
+    # ------------------------------------------------------------------
+    def pending_alone_tasks(
+        self, tasks: Iterable[GroupTask]
+    ) -> list[tuple[SystemConfig, str]]:
+        """Alone runs the given group tasks depend on, minus cache hits."""
+        wanted: dict[str, tuple[SystemConfig, str]] = {}
+        for group, _policy, config in tasks:
+            for benchmark in group_benchmarks(group):
+                key = alone_task_key(config, benchmark)
+                # cached_alone() both validates the artifact (a
+                # corrupt one reads as a miss and gets healed by a
+                # worker now, not re-simulated serially during
+                # assembly) and warms the runner's in-memory cache,
+                # so each artifact is parsed once per sweep.
+                if key not in wanted and self.runner.cached_alone(
+                    benchmark, config
+                ) is None:
+                    wanted[key] = (config, benchmark)
+        return list(wanted.values())
+
+    def pending_group_tasks(self, tasks: Iterable[GroupTask]) -> list[GroupTask]:
+        """The subset of ``tasks`` with no stored artifact yet."""
+        pending: dict[str, GroupTask] = {}
+        for group, policy, config in tasks:
+            key = group_task_key(config, group, policy)
+            if key not in pending and self.runner.cached_group(
+                group, config, policy
+            ) is None:
+                pending[key] = (group, policy, config)
+        return list(pending.values())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def prefetch(self, tasks: Iterable[GroupTask]) -> tuple[int, int]:
+        """Materialise artifacts for ``tasks`` (and their alone deps).
+
+        Returns ``(computed, cached)`` task counts, alone runs
+        included.  Safe to call with everything already cached — a
+        resumed sweep costs one key probe per task.
+        """
+        tasks = list(tasks)
+        alone_pending = self.pending_alone_tasks(tasks)
+        group_pending = self.pending_group_tasks(tasks)
+        total_alone = len({
+            alone_task_key(config, benchmark)
+            for group, _policy, config in tasks
+            for benchmark in group_benchmarks(group)
+        })
+        total = total_alone + len(
+            {group_task_key(c, g, p) for g, p, c in tasks}
+        )
+        computed = len(alone_pending) + len(group_pending)
+        self._run_phase(
+            [
+                (_worker_alone, (str(self.store.root), config, benchmark), f"alone {benchmark}")
+                for config, benchmark in alone_pending
+            ]
+        )
+        self._run_phase(
+            [
+                (_worker_group, (str(self.store.root), config, group, policy), f"group {group} {policy}")
+                for group, policy, config in group_pending
+            ]
+        )
+        return computed, total - computed
+
+    def sweep(
+        self,
+        config: SystemConfig,
+        policies: tuple[str, ...] = ALL_POLICIES,
+        groups: list[str] | None = None,
+    ) -> dict[str, dict[str, RunResult]]:
+        """Parallel, cache-aware equivalent of ``ExperimentRunner.sweep``."""
+        groups = groups if groups is not None else group_names(config.n_cores)
+        self.prefetch([(group, policy, config) for group in groups for policy in policies])
+        return {
+            group: {
+                policy: self.runner.run_group(group, config, policy)
+                for policy in policies
+            }
+            for group in groups
+        }
+
+    def prefetch_alone(
+        self, config: SystemConfig, benchmarks: Iterable[str]
+    ) -> tuple[int, int]:
+        """Materialise alone runs for ``benchmarks``; ``(computed, cached)``."""
+        benchmarks = list(dict.fromkeys(benchmarks))
+        pending = [
+            (config, benchmark)
+            for benchmark in benchmarks
+            if self.runner.cached_alone(benchmark, config) is None
+        ]
+        self._run_phase(
+            [
+                (_worker_alone, (str(self.store.root), config, benchmark), f"alone {benchmark}")
+                for config, benchmark in pending
+            ]
+        )
+        return len(pending), len(benchmarks) - len(pending)
+
+    def alone_many(self, config: SystemConfig, benchmarks: Iterable[str]) -> dict:
+        """Alone runs for ``benchmarks`` in parallel, keyed by name."""
+        benchmarks = list(dict.fromkeys(benchmarks))
+        self.prefetch_alone(config, benchmarks)
+        return {b: self.runner.alone(b, config) for b in benchmarks}
+
+    # ------------------------------------------------------------------
+    def _run_phase(self, calls: list[tuple[Callable, tuple, str]]) -> None:
+        """Run one phase's tasks, in the pool or inline when tiny."""
+        if not calls:
+            return
+        workers = min(self.max_workers, len(calls))
+        if workers <= 1:
+            for index, (function, arguments, label) in enumerate(calls, 1):
+                function(*arguments)
+                self._report(index, len(calls), label)
+            return
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(function, *arguments): label
+                for function, arguments, label in calls
+            }
+            for index, future in enumerate(as_completed(futures), 1):
+                future.result()  # surface worker exceptions immediately
+                self._report(index, len(calls), futures[future])
+
+    def _report(self, done: int, total: int, label: str) -> None:
+        if self.progress is not None:
+            self.progress(f"[{done}/{total}] {label}")

@@ -1,0 +1,205 @@
+"""JSON serialisation of simulation artifacts and stable task keys.
+
+The on-disk result store persists two kinds of artifacts:
+
+* **alone runs** (:class:`~repro.sim.runner.AloneResult`) — one
+  benchmark profiled by itself on the full LLC;
+* **group runs** (:class:`~repro.sim.stats.RunResult`) — one Table 4
+  group simulated under one scheme.
+
+Both round-trip losslessly: every counter is an integer and every
+float survives ``json`` encoding bit-exactly (Python emits the
+shortest repr that parses back to the same double), so numbers read
+back from the store are *identical* to freshly simulated ones — the
+figures do not change depending on whether a result was cached.
+
+Task keys are SHA-256 digests of a canonical JSON document covering
+the full :class:`~repro.sim.config.SystemConfig` (geometries included),
+the task parameters (benchmark or group + policy) and the
+code-relevant versions (:data:`SCHEMA_VERSION` and the library
+version).  They are stable across processes and interpreter restarts
+— hash randomisation does not affect them — which is what makes
+sweeps resumable and shardable across workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any
+
+from repro.partitioning.base import PolicyStats
+from repro.sim.config import SystemConfig
+from repro.sim.stats import CoreResult, RunResult
+
+if TYPE_CHECKING:  # imported lazily at runtime; runner imports us back
+    from repro.sim.runner import AloneResult
+
+#: bump whenever a change to the simulator, the policies or the trace
+#: generator makes previously stored results stale; every task key
+#: embeds it, so old artifacts simply stop matching (``repro clean``
+#: reclaims the space).
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Task keys
+# ----------------------------------------------------------------------
+def config_fingerprint(config: SystemConfig) -> dict[str, Any]:
+    """The full parameter dictionary of a config, geometries inlined."""
+    return dataclasses.asdict(config)
+
+
+def task_key(kind: str, config: SystemConfig, **params: Any) -> str:
+    """Stable content address for one simulation task.
+
+    ``kind`` is ``"alone"`` or ``"group"``; ``params`` carry the
+    task-specific fields (``benchmark=...`` or ``group=...,
+    policy=...``).  The digest covers the schema version, the library
+    version and every config field, so any change that could alter
+    the result changes the key.
+    """
+    from repro import __version__  # late: repro/__init__ imports the sim stack
+
+    document = {
+        "schema": SCHEMA_VERSION,
+        "version": __version__,
+        "kind": kind,
+        "config": config_fingerprint(config),
+        "params": params,
+    }
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def alone_task_key(config: SystemConfig, benchmark: str) -> str:
+    """Key of ``benchmark``'s isolated profiling run on this geometry."""
+    return task_key("alone", config.alone(), benchmark=benchmark)
+
+
+def group_task_key(config: SystemConfig, group: str, policy: str) -> str:
+    """Key of one (group, scheme) simulation on this geometry."""
+    return task_key("group", config, group=group, policy=policy)
+
+
+# ----------------------------------------------------------------------
+# PolicyStats
+# ----------------------------------------------------------------------
+def policy_stats_to_dict(stats: PolicyStats) -> dict[str, Any]:
+    """Flatten a :class:`PolicyStats` into JSON-encodable primitives."""
+    return {
+        "n_cores": stats.n_cores,
+        "flush_bucket_cycles": stats.flush_bucket_cycles,
+        "demand_accesses": list(stats.demand_accesses),
+        "demand_hits": list(stats.demand_hits),
+        "writeback_accesses": list(stats.writeback_accesses),
+        "ways_probed_sum": list(stats.ways_probed_sum),
+        "probe_events": list(stats.probe_events),
+        "decisions": stats.decisions,
+        "repartitions": stats.repartitions,
+        "last_decision_cycle": stats.last_decision_cycle,
+        "transition_durations": list(stats.transition_durations),
+        "pending_transition_ages": list(stats.pending_transition_ages),
+        "transitions_started": stats.transitions_started,
+        "transitions_completed": stats.transitions_completed,
+        "transitions_forced": stats.transitions_forced,
+        "takeover_events": dict(stats.takeover_events),
+        "transfer_flushes": stats.transfer_flushes,
+        # JSON only has string keys; buckets are ints, so re-key.
+        "transfer_flush_buckets": {
+            str(bucket): count
+            for bucket, count in stats.transfer_flush_buckets.items()
+        },
+    }
+
+
+def policy_stats_from_dict(data: dict[str, Any]) -> PolicyStats:
+    """Rebuild a :class:`PolicyStats` from :func:`policy_stats_to_dict`."""
+    stats = PolicyStats(data["n_cores"], data["flush_bucket_cycles"])
+    stats.demand_accesses = list(data["demand_accesses"])
+    stats.demand_hits = list(data["demand_hits"])
+    stats.writeback_accesses = list(data["writeback_accesses"])
+    stats.ways_probed_sum = list(data["ways_probed_sum"])
+    stats.probe_events = list(data["probe_events"])
+    stats.decisions = data["decisions"]
+    stats.repartitions = data["repartitions"]
+    stats.last_decision_cycle = data["last_decision_cycle"]
+    stats.transition_durations = list(data["transition_durations"])
+    stats.pending_transition_ages = list(data["pending_transition_ages"])
+    stats.transitions_started = data["transitions_started"]
+    stats.transitions_completed = data["transitions_completed"]
+    stats.transitions_forced = data["transitions_forced"]
+    stats.takeover_events = dict(data["takeover_events"])
+    stats.transfer_flushes = data["transfer_flushes"]
+    stats.transfer_flush_buckets = defaultdict(int)
+    for bucket, count in data["transfer_flush_buckets"].items():
+        stats.transfer_flush_buckets[int(bucket)] = count
+    return stats
+
+
+# ----------------------------------------------------------------------
+# RunResult
+# ----------------------------------------------------------------------
+def run_result_to_dict(run: RunResult) -> dict[str, Any]:
+    """Flatten a :class:`RunResult` (cores and policy stats included)."""
+    return {
+        "policy": run.policy,
+        "cores": [dataclasses.asdict(core) for core in run.cores],
+        "dynamic_energy_nj": run.dynamic_energy_nj,
+        "static_energy_nj": run.static_energy_nj,
+        "average_active_ways": run.average_active_ways,
+        "average_ways_probed": run.average_ways_probed,
+        "end_cycle": run.end_cycle,
+        "memory_reads": run.memory_reads,
+        "memory_writebacks": run.memory_writebacks,
+        "policy_stats": policy_stats_to_dict(run.policy_stats),
+        "window_instructions": run.window_instructions,
+        "window_cycles": run.window_cycles,
+        "epoch_curves": [list(curve) for curve in run.epoch_curves],
+    }
+
+
+def run_result_from_dict(data: dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`run_result_to_dict`."""
+    return RunResult(
+        policy=data["policy"],
+        cores=[CoreResult(**core) for core in data["cores"]],
+        dynamic_energy_nj=data["dynamic_energy_nj"],
+        static_energy_nj=data["static_energy_nj"],
+        average_active_ways=data["average_active_ways"],
+        average_ways_probed=data["average_ways_probed"],
+        end_cycle=data["end_cycle"],
+        memory_reads=data["memory_reads"],
+        memory_writebacks=data["memory_writebacks"],
+        policy_stats=policy_stats_from_dict(data["policy_stats"]),
+        window_instructions=data["window_instructions"],
+        window_cycles=data["window_cycles"],
+        epoch_curves=[list(curve) for curve in data["epoch_curves"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# AloneResult
+# ----------------------------------------------------------------------
+def alone_result_to_dict(result: "AloneResult") -> dict[str, Any]:
+    """Flatten an :class:`AloneResult` (profiled curves included)."""
+    return {
+        "benchmark": result.benchmark,
+        "ipc": result.ipc,
+        "mpki": result.mpki,
+        "curves": [list(curve) for curve in result.curves],
+    }
+
+
+def alone_result_from_dict(data: dict[str, Any]) -> "AloneResult":
+    """Rebuild an :class:`AloneResult` from :func:`alone_result_to_dict`."""
+    from repro.sim.runner import AloneResult
+
+    return AloneResult(
+        benchmark=data["benchmark"],
+        ipc=data["ipc"],
+        mpki=data["mpki"],
+        curves=tuple(tuple(curve) for curve in data["curves"]),
+    )

@@ -1,0 +1,147 @@
+"""Content-addressed on-disk store for simulation artifacts.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one artifact per task key
+(see :func:`repro.orchestration.serialize.task_key`).  Every file is
+a small JSON envelope::
+
+    {"schema": 1, "kind": "group", "key": "...", "meta": {...},
+     "payload": {...}}
+
+``meta`` holds human-readable task fields (group, policy, benchmark,
+geometry) so the store can be inspected with ``jq`` or ``repro
+report``; ``payload`` is the serialised result.
+
+Durability rules:
+
+* writes are atomic (temp file + ``os.replace``), so a killed sweep
+  never leaves a half-written artifact behind — concurrent workers
+  that race on the same deterministic task simply replace each
+  other's identical bytes;
+* reads treat *any* malformed artifact (truncated JSON, wrong schema,
+  missing payload) as a cache miss and delete the file, so a
+  corrupted store heals itself on the next run instead of crashing
+  every subsequent invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.orchestration.serialize import SCHEMA_VERSION
+
+#: environment variable overriding the default store location
+STORE_ENV = "REPRO_STORE"
+
+
+def default_store_path() -> Path:
+    """``$REPRO_STORE`` if set, else ``.repro/store`` under the cwd."""
+    return Path(os.environ.get(STORE_ENV) or Path(".repro") / "store")
+
+
+class ResultStore:
+    """A directory of content-addressed, schema-versioned artifacts."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Where the artifact for ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Whether a (possibly invalid) artifact exists for ``key``."""
+        return self.path_for(key).exists()
+
+    __contains__ = has
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or None on miss/corruption.
+
+        A corrupt artifact is removed so the caller recomputes and
+        rewrites it; losing one cache entry is always safe because
+        every artifact is reproducible from its task description.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+            if envelope["schema"] != SCHEMA_VERSION:
+                raise ValueError(f"schema {envelope['schema']} != {SCHEMA_VERSION}")
+            return envelope["payload"]
+        except FileNotFoundError:
+            return None
+        except OSError:
+            # Transient I/O trouble (EMFILE, NFS hiccups) is a miss,
+            # not corruption — keep the artifact for the next read.
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self._discard(path)
+            return None
+
+    def put(
+        self,
+        key: str,
+        payload: dict[str, Any],
+        kind: str,
+        meta: dict[str, Any] | None = None,
+    ) -> Path:
+        """Atomically persist ``payload`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "key": key,
+            "meta": meta or {},
+            "payload": payload,
+        }
+        temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle, separators=(",", ":"))
+        os.replace(temporary, path)
+        return path
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Keys of every artifact currently on disk."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem
+
+    def count(self) -> int:
+        """Number of artifacts on disk."""
+        return sum(1 for _ in self.keys())
+
+    def clean(self) -> int:
+        """Delete every artifact; returns how many were removed.
+
+        Also sweeps up ``.tmp`` leftovers of writes that were killed
+        between dump and rename (they are not counted as artifacts).
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            self._discard(path)
+            removed += 1
+        for orphan in self.root.glob("*/.*.tmp"):
+            self._discard(orphan)
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # stray non-artifact files: leave the shard
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -16,7 +16,7 @@ initially, which never admits the first allocation for any ``T`` and
 contradicts the stated behaviour of the extremes ("a threshold value
 of 0 corresponds to an allocation of ways in the same manner as UCP";
 "a threshold value of 1 would mean that no ways were ever allocated").
-We implement the clearly intended semantics (see DESIGN.md):
+We implement the clearly intended semantics:
 
 * the first winning marginal utility is remembered as ``mu_peak``;
 * allocation continues while the current winner's utility is at least

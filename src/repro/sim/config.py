@@ -12,7 +12,7 @@ feasible, so the benchmark harness uses ``scaled_two_core()`` /
 every partitioning result is expressed in) while sets, trace length
 and epoch length shrink together.  All reported results are
 normalised, so the scaling preserves the shape of every figure (see
-DESIGN.md, substitution 1).
+README.md, "Scaling fidelity").
 """
 
 from __future__ import annotations
@@ -55,8 +55,16 @@ class SystemConfig:
         return replace(self, threshold=threshold)
 
     def alone(self) -> "SystemConfig":
-        """Single-core variant used for IPC_alone / profiling runs."""
-        return replace(self, n_cores=1)
+        """Single-core variant used for IPC_alone / profiling runs.
+
+        The takeover threshold is normalised away: alone runs always
+        use the Unmanaged policy, which ignores it, and keeping it
+        out of the alone-run identity stops threshold sweeps from
+        re-profiling every benchmark once per ``T`` (one alone run
+        per benchmark per geometry).
+        """
+        default_threshold = SystemConfig.__dataclass_fields__["threshold"].default
+        return replace(self, n_cores=1, threshold=default_threshold)
 
     def describe(self) -> list[tuple[str, str]]:
         """Table 2-style (parameter, configuration) rows."""

@@ -6,7 +6,7 @@ hit/miss latency, so we use the standard trace-driven proxy: non-
 memory instructions retire at the issue width, memory references pay
 the hierarchy latency and block (misses are not overlapped — this
 exaggerates memory sensitivity uniformly across schemes, preserving
-every normalised comparison; see DESIGN.md, substitution 5).
+every normalised comparison; see README.md, "Scaling fidelity").
 
 A core whose trace is exhausted wraps around and keeps running — the
 paper keeps finished applications executing "to keep contending for

@@ -10,13 +10,24 @@ The paper's protocol needs three kinds of runs, all cached here:
 * **sweeps** run every group under every scheme and normalise to the
   Fair Share baseline exactly as the paper's figures do.
 
+Caching is two-level.  The in-process dictionaries are the L1: hits
+return the very same objects, so repeated reads within a session are
+free.  When a :class:`~repro.orchestration.store.ResultStore` is
+attached it acts as the L2: results are looked up on disk before
+simulating and written through after, so sweeps survive process
+restarts and can be sharded across worker processes (see
+:mod:`repro.orchestration.executor`).  Stored artifacts round-trip
+bit-exactly, so cached and fresh results are indistinguishable.
+
 Traces are generated once per (benchmark, geometry) and shared across
 schemes, so every comparison is paired.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.metrics.speedup import weighted_speedup
 from repro.sim.config import SystemConfig
@@ -25,6 +36,9 @@ from repro.sim.stats import RunResult
 from repro.workloads.groups import group_benchmarks, group_names
 from repro.workloads.profiles import profile_for
 from repro.workloads.trace import Trace, generate_trace
+
+if TYPE_CHECKING:
+    from repro.orchestration.store import ResultStore
 
 #: the five evaluated schemes, in the paper's legend order
 ALL_POLICIES = ("unmanaged", "fair_share", "cpe", "ucp", "cooperative")
@@ -42,12 +56,27 @@ class AloneResult:
 
 
 class ExperimentRunner:
-    """Caches traces, alone runs and group runs within a process."""
+    """Caches traces, alone runs and group runs; optionally disk-backed.
 
-    def __init__(self) -> None:
+    ``store`` attaches an on-disk L2 cache of results; ``max_workers``
+    > 1 additionally fans :meth:`sweep` and :meth:`prefetch` out
+    across worker processes (a store is required for that — workers
+    hand results back through it).
+    """
+
+    def __init__(
+        self,
+        store: "ResultStore | None" = None,
+        max_workers: int | None = None,
+    ) -> None:
         self._traces: dict[tuple, Trace] = {}
         self._alone: dict[tuple, AloneResult] = {}
         self._runs: dict[tuple, RunResult] = {}
+        self.store = store
+        self.max_workers = max_workers
+
+    def _parallel(self) -> bool:
+        return self.store is not None and (self.max_workers or 0) > 1
 
     # ------------------------------------------------------------------
     # Traces
@@ -70,11 +99,28 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Alone runs
     # ------------------------------------------------------------------
-    def alone(self, benchmark: str, config: SystemConfig) -> AloneResult:
-        """Run ``benchmark`` by itself on the full LLC (cached)."""
+    def cached_alone(
+        self, benchmark: str, config: SystemConfig
+    ) -> AloneResult | None:
+        """L1/L2 lookup of an alone run without simulating.
+
+        A disk hit is promoted into the in-memory cache, so callers
+        that probe and then read (the sweep executor's planning pass)
+        parse each artifact once.
+        """
         alone_config = config.alone()
         key = (benchmark, alone_config)
         result = self._alone.get(key)
+        if result is None:
+            result = self._alone_from_store(benchmark, alone_config)
+            if result is not None:
+                self._alone[key] = result
+        return result
+
+    def alone(self, benchmark: str, config: SystemConfig) -> AloneResult:
+        """Run ``benchmark`` by itself on the full LLC (cached)."""
+        alone_config = config.alone()
+        result = self.cached_alone(benchmark, config)
         if result is None:
             trace = self.trace_for(benchmark, config)
             simulator = CMPSimulator(
@@ -88,12 +134,55 @@ class ExperimentRunner:
                 mpki=core.mpki,
                 curves=tuple(tuple(curve) for curve in run.epoch_curves),
             )
-            self._alone[key] = result
+            self._alone_to_store(benchmark, alone_config, result)
+            self._alone[(benchmark, alone_config)] = result
         return result
+
+    def _alone_from_store(
+        self, benchmark: str, alone_config: SystemConfig
+    ) -> AloneResult | None:
+        if self.store is None:
+            return None
+        from repro.orchestration import serialize
+
+        payload = self.store.get(serialize.alone_task_key(alone_config, benchmark))
+        if payload is None:
+            return None
+        return serialize.alone_result_from_dict(payload)
+
+    def _alone_to_store(
+        self, benchmark: str, alone_config: SystemConfig, result: AloneResult
+    ) -> None:
+        if self.store is None:
+            return
+        from repro.orchestration import serialize
+
+        self.store.put(
+            serialize.alone_task_key(alone_config, benchmark),
+            serialize.alone_result_to_dict(result),
+            kind="alone",
+            meta={"benchmark": benchmark, "l2": alone_config.l2.describe()},
+        )
 
     # ------------------------------------------------------------------
     # Group runs
     # ------------------------------------------------------------------
+    def cached_group(
+        self, group: str, config: SystemConfig, policy: str
+    ) -> RunResult | None:
+        """L1/L2 lookup of a group run without simulating.
+
+        Disk hits are promoted into the in-memory cache (see
+        :meth:`cached_alone`).
+        """
+        key = (group, policy, config)
+        result = self._runs.get(key)
+        if result is None:
+            result = self._group_from_store(group, config, policy)
+            if result is not None:
+                self._runs[key] = result
+        return result
+
     def run_group(
         self,
         group: str,
@@ -101,16 +190,15 @@ class ExperimentRunner:
         policy: str,
     ) -> RunResult:
         """Run one Table 4 group under one scheme (cached)."""
-        key = (group, policy, config)
-        result = self._runs.get(key)
-        if result is not None:
-            return result
         benchmarks = group_benchmarks(group)
         if len(benchmarks) != config.n_cores:
             raise ValueError(
                 f"group {group} has {len(benchmarks)} applications but the "
                 f"config has {config.n_cores} cores"
             )
+        result = self.cached_group(group, config, policy)
+        if result is not None:
+            return result
         traces = [self.trace_for(benchmark, config) for benchmark in benchmarks]
         cpe_profiles = None
         if policy == "cpe":
@@ -120,8 +208,40 @@ class ExperimentRunner:
             ]
         simulator = CMPSimulator(config, traces, policy, cpe_profiles=cpe_profiles)
         result = simulator.run()
-        self._runs[key] = result
+        self._group_to_store(group, config, policy, result)
+        self._runs[(group, policy, config)] = result
         return result
+
+    def _group_from_store(
+        self, group: str, config: SystemConfig, policy: str
+    ) -> RunResult | None:
+        if self.store is None:
+            return None
+        from repro.orchestration import serialize
+
+        payload = self.store.get(serialize.group_task_key(config, group, policy))
+        if payload is None:
+            return None
+        return serialize.run_result_from_dict(payload)
+
+    def _group_to_store(
+        self, group: str, config: SystemConfig, policy: str, result: RunResult
+    ) -> None:
+        if self.store is None:
+            return
+        from repro.orchestration import serialize
+
+        self.store.put(
+            serialize.group_task_key(config, group, policy),
+            serialize.run_result_to_dict(result),
+            kind="group",
+            meta={
+                "group": group,
+                "policy": policy,
+                "n_cores": config.n_cores,
+                "l2": config.l2.describe(),
+            },
+        )
 
     def weighted_speedup_of(self, run: RunResult, config: SystemConfig) -> float:
         """Equation (1) for a finished group run."""
@@ -131,14 +251,49 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Sweeps and normalisation
     # ------------------------------------------------------------------
+    def prefetch(
+        self, tasks: Iterable[tuple[str, str, SystemConfig]]
+    ) -> tuple[int, int]:
+        """Materialise (group, policy, config) tasks into the store.
+
+        With a store and ``max_workers`` > 1 the tasks (plus the alone
+        runs they depend on) are sharded across worker processes;
+        otherwise this is a no-op and the tasks run lazily in-process.
+        Returns ``(computed, cached)`` counts.
+        """
+        if not self._parallel():
+            return (0, 0)
+        from repro.orchestration.executor import SweepExecutor
+
+        executor = SweepExecutor(self.store, self.max_workers, runner=self)
+        return executor.prefetch(tasks)
+
+    def prefetch_alone(
+        self, config: SystemConfig, benchmarks: Iterable[str]
+    ) -> tuple[int, int]:
+        """Materialise alone runs for ``benchmarks`` into the store.
+
+        The parallel counterpart of calling :meth:`alone` in a loop;
+        a no-op without a store and ``max_workers`` > 1.
+        """
+        if not self._parallel():
+            return (0, 0)
+        from repro.orchestration.executor import SweepExecutor
+
+        executor = SweepExecutor(self.store, self.max_workers, runner=self)
+        return executor.prefetch_alone(config.alone(), benchmarks)
+
     def sweep(
         self,
         config: SystemConfig,
         policies: tuple[str, ...] = ALL_POLICIES,
         groups: list[str] | None = None,
     ) -> dict[str, dict[str, RunResult]]:
-        """Run every group under every scheme."""
+        """Run every group under every scheme (in parallel if wired)."""
         groups = groups if groups is not None else group_names(config.n_cores)
+        self.prefetch(
+            (group, policy, config) for group in groups for policy in policies
+        )
         return {
             group: {policy: self.run_group(group, config, policy) for policy in policies}
             for group in groups
@@ -193,8 +348,24 @@ _SHARED_RUNNER: ExperimentRunner | None = None
 
 
 def get_shared_runner() -> ExperimentRunner:
-    """Process-wide runner so benchmarks share caches across files."""
+    """Process-wide runner so benchmarks share caches across files.
+
+    ``$REPRO_STORE`` (a directory path) attaches the on-disk result
+    store and ``$REPRO_JOBS`` enables parallel sweeps, so the same
+    entry point serves both quick in-memory scripting and orchestrated
+    runs.
+    """
     global _SHARED_RUNNER
     if _SHARED_RUNNER is None:
-        _SHARED_RUNNER = ExperimentRunner()
+        store = None
+        if os.environ.get("REPRO_STORE"):
+            from repro.orchestration.store import ResultStore, default_store_path
+
+            store = ResultStore(default_store_path())
+        jobs = None
+        if os.environ.get("REPRO_JOBS"):
+            from repro.orchestration.executor import resolve_jobs
+
+            jobs = resolve_jobs(None)
+        _SHARED_RUNNER = ExperimentRunner(store=store, max_workers=jobs)
     return _SHARED_RUNNER

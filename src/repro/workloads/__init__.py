@@ -7,7 +7,7 @@ reference inputs are proprietary, so this subpackage substitutes a
 with cyclic, uniform-random and streaming access patterns, phase
 modulation and a write ratio — tuned so each application's alone-run
 LLC MPKI lands in its Table 3 class and its way-utility curve has the
-shape the paper's narrative relies on (see DESIGN.md, substitution 2).
+shape the paper's narrative relies on (see docs/architecture.md).
 """
 
 from repro.workloads.groups import (

@@ -19,6 +19,7 @@ Address-space layout (line addresses):
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 
 from repro.cache.geometry import CacheGeometry
@@ -111,7 +112,10 @@ def generate_trace(
     """
     if n_refs <= 0:
         raise ValueError(f"n_refs must be positive, got {n_refs}")
-    rng = random.Random((hash(profile.name) & 0xFFFF_FFFF) ^ seed)
+    # crc32, not hash(): str hashing is salted per process, and trace
+    # identity must hold across the sweep executor's worker processes
+    # (and across sessions sharing one result store).
+    rng = random.Random(zlib.crc32(profile.name.encode("utf-8")) ^ seed)
     num_sets = llc_geometry.num_sets
     rings = [
         _RingState(

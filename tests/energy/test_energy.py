@@ -20,7 +20,7 @@ class TestOverheadBits:
         assert bits.takeover_bits == 4096 * 2 == 8192 or bits.takeover_bits == 2048 * 2
         # Note: the paper's Table 1 says 2048 sets x 2 cores = 4096,
         # but a 2MB/64B/8-way cache actually has 4096 sets; we follow
-        # the geometry (see EXPERIMENTS.md, Table 1 discussion).
+        # the geometry (see benchmarks/bench_table1_hw_overheads.py).
         assert bits.rap_bits == 8 * 2
         assert bits.wap_bits == 8 * 2
 

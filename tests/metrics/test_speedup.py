@@ -14,7 +14,7 @@ class TestWeightedSpeedup:
         assert weighted_speedup([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.5)
 
     def test_identical_ipcs_give_core_count(self):
-        """Sanity invariant from DESIGN.md: N unconstrained cores."""
+        """Sanity invariant: N unconstrained cores sum to N."""
         assert weighted_speedup([1.5] * 4, [1.5] * 4) == pytest.approx(4.0)
 
     def test_length_mismatch(self):

@@ -1,0 +1,119 @@
+"""The ``repro`` CLI: sweep / alone / report / clean end to end."""
+
+import pytest
+
+from repro.orchestration.cli import main
+
+#: small enough that the whole CLI suite stays in test-suite budget
+FAST = ["--refs-per-core", "3000", "--jobs", "2"]
+
+
+@pytest.fixture
+def store_arguments(tmp_path):
+    return ["--store", str(tmp_path / "store")]
+
+
+class TestSweep:
+    def test_sweep_prints_normalised_table(self, store_arguments, capsys):
+        code = main(["sweep", "--cores", "2", "--groups", "1", *FAST, *store_arguments])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out
+        assert "G2-1" in out
+        assert "computed" in out
+
+    def test_second_sweep_is_all_cache_hits(self, store_arguments, capsys):
+        main(["sweep", "--cores", "2", "--groups", "1", *FAST, *store_arguments])
+        capsys.readouterr()
+        code = main(["sweep", "--cores", "2", "--groups", "1", *FAST, *store_arguments])
+        assert code == 0
+        assert "0 tasks computed" in capsys.readouterr().out
+
+    def test_group_names_and_policy_subset(self, store_arguments, capsys):
+        code = main([
+            "sweep", "--groups", "G2-4,G2-8", "--policies", "fair_share,cooperative",
+            "--metric", "all", *FAST, *store_arguments,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "G2-8" in out and "dynamic energy" in out and "static" in out
+
+    def test_unknown_group_rejected(self, store_arguments):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--groups", "G9-9", *FAST, *store_arguments])
+
+    def test_nonpositive_group_count_rejected(self, store_arguments):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--groups", "0", *FAST, *store_arguments])
+
+    def test_nonpositive_refs_rejected(self, store_arguments):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--refs-per-core", "-5", "--groups", "1", *store_arguments])
+
+    def test_baseline_named_in_titles_without_fair_share(self, store_arguments, capsys):
+        code = main([
+            "sweep", "--groups", "G2-4", "--policies", "ucp,cooperative",
+            *FAST, *store_arguments,
+        ])
+        assert code == 0
+        assert "normalised to ucp" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self, store_arguments):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--policies", "lru", *FAST, *store_arguments])
+
+
+class TestAlone:
+    def test_alone_profiles_and_classifies(self, store_arguments, capsys):
+        code = main(["alone", "lbm", "povray", *FAST, *store_arguments])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lbm" in out and "povray" in out and "measured" in out
+
+    def test_unknown_benchmark_rejected(self, store_arguments):
+        with pytest.raises(SystemExit):
+            main(["alone", "doom", *FAST, *store_arguments])
+
+
+class TestReport:
+    def test_report_requires_swept_results(self, store_arguments, capsys):
+        code = main(["report", "--groups", "1", "--refs-per-core", "3000",
+                     *store_arguments])
+        assert code == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_report_renders_from_store_only(self, store_arguments, capsys):
+        main(["sweep", "--cores", "2", "--groups", "1", *FAST, *store_arguments])
+        capsys.readouterr()
+        code = main(["report", "--groups", "1", "--refs-per-core", "3000",
+                     *store_arguments])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out and "static" in out
+
+    def test_report_refuses_corrupt_artifact(self, tmp_path, capsys):
+        """A corrupt file must read as missing, never trigger simulation."""
+        store_arguments = ["--store", str(tmp_path / "store")]
+        main(["sweep", "--cores", "2", "--groups", "1", *FAST, *store_arguments])
+        capsys.readouterr()
+        victim = next((tmp_path / "store").glob("*/*.json"))
+        victim.write_text("{corrupt")
+        code = main(["report", "--groups", "1", "--refs-per-core", "3000",
+                     *store_arguments])
+        assert code == 1
+        assert "missing" in capsys.readouterr().err
+
+
+class TestClean:
+    def test_clean_empties_the_store(self, store_arguments, capsys):
+        main(["sweep", "--cores", "2", "--groups", "1", *FAST, *store_arguments])
+        capsys.readouterr()
+        assert main(["clean", *store_arguments]) == 0
+        assert "removed" in capsys.readouterr().out
+        code = main(["report", "--groups", "1", "--refs-per-core", "3000",
+                     *store_arguments])
+        assert code == 1
+
+    def test_clean_on_missing_store_is_fine(self, tmp_path, capsys):
+        assert main(["clean", "--store", str(tmp_path / "nowhere")]) == 0
+        assert "removed 0" in capsys.readouterr().out

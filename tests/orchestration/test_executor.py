@@ -1,0 +1,116 @@
+"""The sweep executor: parallel == serial, resume skips, planning."""
+
+import pytest
+
+from repro.orchestration.executor import SweepExecutor, orchestrated_runner, resolve_jobs
+from repro.orchestration.serialize import group_task_key
+from repro.orchestration.store import ResultStore
+from repro.sim.runner import ExperimentRunner
+
+GROUPS = ["G2-4", "G2-8"]
+POLICIES = ("fair_share", "cooperative", "cpe")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestParallelMatchesSerial:
+    def test_sweep_results_identical(self, store, tiny_two_core):
+        serial = ExperimentRunner()
+        expected = serial.normalized_weighted_speedup(
+            serial.sweep(tiny_two_core, POLICIES, GROUPS), tiny_two_core
+        )
+
+        executor = SweepExecutor(store, max_workers=2)
+        results = executor.sweep(tiny_two_core, POLICIES, GROUPS)
+        actual = executor.runner.normalized_weighted_speedup(results, tiny_two_core)
+        assert actual == expected, "parallel sweep must be bit-identical"
+
+        energies = executor.runner.normalized_energy(results, "dynamic")
+        reference = serial.normalized_energy(
+            serial.sweep(tiny_two_core, POLICIES, GROUPS), "dynamic"
+        )
+        assert energies == reference
+
+
+class TestResume:
+    def test_prefetch_reports_computed_then_cached(self, store, tiny_two_core):
+        executor = SweepExecutor(store, max_workers=2)
+        tasks = [(g, p, tiny_two_core) for g in GROUPS for p in POLICIES]
+        computed, cached = executor.prefetch(tasks)
+        assert computed > 0 and cached == 0
+        computed_again, cached_again = executor.prefetch(tasks)
+        assert computed_again == 0
+        assert cached_again == computed
+
+    def test_resumed_sweep_skips_completed_tasks(self, store, tiny_two_core):
+        first = SweepExecutor(store, max_workers=2)
+        first.sweep(tiny_two_core, POLICIES, GROUPS)
+
+        # Kill one artifact to simulate an interrupted sweep...
+        victim = group_task_key(tiny_two_core, "G2-4", "cooperative")
+        store.path_for(victim).unlink()
+
+        # ...and resume with an executor that cannot run in parallel
+        # but must recompute exactly the missing task.
+        resumed = SweepExecutor(store, max_workers=2)
+        pending = resumed.pending_group_tasks(
+            [(g, p, tiny_two_core) for g in GROUPS for p in POLICIES]
+        )
+        assert pending == [("G2-4", "cooperative", tiny_two_core)]
+        resumed.sweep(tiny_two_core, POLICIES, GROUPS)
+        assert store.has(victim)
+
+    def test_pending_alone_tasks_deduplicate(self, store, tiny_two_core):
+        executor = SweepExecutor(store, max_workers=1)
+        # G2-4 (lbm, povray) and G2-8 (lbm, soplex) share lbm.
+        tasks = [(g, "cooperative", tiny_two_core) for g in GROUPS]
+        pending = executor.pending_alone_tasks(tasks)
+        names = sorted(benchmark for _config, benchmark in pending)
+        assert names == ["lbm", "povray", "soplex"]
+
+
+class TestRunnerIntegration:
+    def test_runner_sweep_uses_pool_when_configured(self, store, tiny_two_core):
+        parallel = ExperimentRunner(store=store, max_workers=2)
+        results = parallel.sweep(tiny_two_core, POLICIES, GROUPS)
+
+        serial = ExperimentRunner()
+        expected = serial.sweep(tiny_two_core, POLICIES, GROUPS)
+        for group in GROUPS:
+            for policy in POLICIES:
+                assert results[group][policy].ipcs() == expected[group][policy].ipcs()
+
+    def test_prefetch_noop_without_store(self, tiny_two_core):
+        runner = ExperimentRunner()
+        assert runner.prefetch([("G2-4", "ucp", tiny_two_core)]) == (0, 0)
+        assert runner.prefetch_alone(tiny_two_core, ["lbm"]) == (0, 0)
+
+    def test_progress_callback_sees_every_task(self, store, tiny_two_core):
+        lines = []
+        executor = SweepExecutor(store, max_workers=2, progress=lines.append)
+        executor.prefetch([("G2-4", "fair_share", tiny_two_core)])
+        assert any("alone" in line for line in lines)
+        assert any("group G2-4 fair_share" in line for line in lines)
+
+
+class TestKnobs:
+    def test_resolve_jobs_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(5) == 5
+        assert resolve_jobs(None) == 3
+        monkeypatch.delenv("REPRO_JOBS")
+        assert resolve_jobs(None) >= 1
+
+    def test_resolve_jobs_rejects_garbage_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        with pytest.raises(SystemExit):
+            resolve_jobs(None)
+
+    def test_orchestrated_runner_wiring(self, tmp_path):
+        runner = orchestrated_runner(tmp_path / "s", max_workers=2)
+        assert runner.store is not None
+        assert runner.store.root == tmp_path / "s"
+        assert runner.max_workers == 2

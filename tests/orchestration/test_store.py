@@ -1,0 +1,187 @@
+"""The result store: round-trips, key stability, corruption recovery."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+from repro.orchestration.serialize import (
+    SCHEMA_VERSION,
+    alone_result_from_dict,
+    alone_result_to_dict,
+    alone_task_key,
+    group_task_key,
+    run_result_from_dict,
+    run_result_to_dict,
+    task_key,
+)
+from repro.orchestration.store import ResultStore, default_store_path
+from repro.sim.runner import ExperimentRunner
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestTaskKeys:
+    def test_key_is_hex_sha256(self, tiny_two_core):
+        key = task_key("group", tiny_two_core, group="G2-4", policy="ucp")
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+    def test_key_depends_on_every_input(self, tiny_two_core):
+        base = group_task_key(tiny_two_core, "G2-4", "ucp")
+        assert group_task_key(tiny_two_core, "G2-4", "cooperative") != base
+        assert group_task_key(tiny_two_core, "G2-5", "ucp") != base
+        bumped = tiny_two_core.with_threshold(0.2)
+        assert group_task_key(bumped, "G2-4", "ucp") != base
+
+    def test_alone_key_ignores_core_count(self, tiny_two_core, tiny_four_core):
+        # Alone runs always happen on the single-core variant, so the
+        # group config's n_cores must not fragment the cache...
+        two = alone_task_key(tiny_two_core, "lbm")
+        assert alone_task_key(tiny_two_core.alone(), "lbm") == two
+        # ...but a different geometry is a different run.
+        assert alone_task_key(tiny_four_core, "lbm") != two
+
+    def test_key_stable_across_processes(self, tiny_two_core):
+        """Keys must not depend on per-process hash randomisation."""
+        script = (
+            "from repro.sim.config import SystemConfig\n"
+            "from repro.cache.geometry import CacheGeometry\n"
+            "from repro.orchestration.serialize import group_task_key\n"
+            "config = SystemConfig(n_cores=2, l1=CacheGeometry(4096, 64, 4),\n"
+            "                      l2=CacheGeometry(32768, 64, 8), l2_latency=15,\n"
+            "                      epoch_cycles=30000, umon_interval=4,\n"
+            "                      refs_per_core=12000, warmup_refs=2000,\n"
+            "                      flush_bucket_cycles=2000)\n"
+            "print(group_task_key(config, 'G2-4', 'ucp'))\n"
+        )
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        keys = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONPATH": src, "PYTHONHASHSEED": hash_seed},
+            ).stdout.strip()
+            for hash_seed in ("0", "1", "12345")
+        }
+        assert keys == {group_task_key(tiny_two_core, "G2-4", "ucp")}
+
+
+class TestSerialisation:
+    def test_run_result_round_trip(self, tiny_two_core):
+        runner = ExperimentRunner()
+        run = runner.run_group("G2-4", tiny_two_core, "cooperative")
+        clone = run_result_from_dict(
+            json.loads(json.dumps(run_result_to_dict(run)))
+        )
+        assert clone.ipcs() == run.ipcs()
+        assert clone.dynamic_energy_nj == run.dynamic_energy_nj
+        assert clone.static_power_nw == run.static_power_nw
+        assert clone.policy_stats.takeover_events == run.policy_stats.takeover_events
+        assert dict(clone.policy_stats.transfer_flush_buckets) == dict(
+            run.policy_stats.transfer_flush_buckets
+        )
+        assert clone.takeover_event_fractions() == run.takeover_event_fractions()
+        assert clone.policy_stats.flush_series(8) == run.policy_stats.flush_series(8)
+
+    def test_flush_buckets_rekeyed_as_ints(self, tiny_two_core):
+        runner = ExperimentRunner()
+        run = runner.run_group("G2-4", tiny_two_core, "ucp")
+        clone = run_result_from_dict(run_result_to_dict(run))
+        assert all(
+            isinstance(bucket, int)
+            for bucket in clone.policy_stats.transfer_flush_buckets
+        )
+        # and the rebuilt mapping still defaults missing buckets to 0
+        assert clone.policy_stats.transfer_flush_buckets[10**6] == 0
+
+    def test_alone_result_round_trip(self, tiny_two_core):
+        runner = ExperimentRunner()
+        result = runner.alone("lbm", tiny_two_core)
+        clone = alone_result_from_dict(
+            json.loads(json.dumps(alone_result_to_dict(result)))
+        )
+        assert clone == result  # frozen dataclass: field-exact
+
+
+class TestResultStore:
+    def test_round_trip_persistence(self, store):
+        store.put("ab" * 32, {"x": 1.5, "y": [1, 2]}, kind="group")
+        assert store.get("ab" * 32) == {"x": 1.5, "y": [1, 2]}
+        assert store.has("ab" * 32)
+        assert store.count() == 1
+
+    def test_missing_key(self, store):
+        assert store.get("cd" * 32) is None
+        assert not store.has("cd" * 32)
+
+    def test_corrupted_artifact_recovers(self, store):
+        key = "ef" * 32
+        store.put(key, {"x": 1}, kind="group")
+        store.path_for(key).write_text("{truncated")
+        assert store.get(key) is None
+        assert not store.has(key), "corrupt artifact must be discarded"
+
+    def test_wrong_schema_treated_as_miss(self, store):
+        key = "12" * 32
+        store.put(key, {"x": 1}, kind="group")
+        envelope = json.loads(store.path_for(key).read_text())
+        envelope["schema"] = SCHEMA_VERSION + 1
+        store.path_for(key).write_text(json.dumps(envelope))
+        assert store.get(key) is None
+
+    def test_clean_removes_everything(self, store):
+        for index in range(5):
+            store.put(f"{index:02d}" + "0" * 62, {"i": index}, kind="alone")
+        assert store.count() == 5
+        assert store.clean() == 5
+        assert store.count() == 0
+
+    def test_default_store_path_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "/tmp/elsewhere")
+        assert str(default_store_path()) == "/tmp/elsewhere"
+        monkeypatch.delenv("REPRO_STORE")
+        assert str(default_store_path()).endswith("store")
+
+
+class TestStoreBackedRunner:
+    def test_results_survive_runner_restart(self, store, tiny_two_core):
+        first = ExperimentRunner(store=store)
+        run = first.run_group("G2-4", tiny_two_core, "cooperative")
+        ws = first.weighted_speedup_of(run, tiny_two_core)
+
+        second = ExperimentRunner(store=store)  # fresh memory caches
+        cached = second.run_group("G2-4", tiny_two_core, "cooperative")
+        assert cached.ipcs() == run.ipcs()
+        assert second.weighted_speedup_of(cached, tiny_two_core) == ws
+
+    def test_disk_hit_skips_simulation(self, store, tiny_two_core, monkeypatch):
+        seeded = ExperimentRunner(store=store)
+        expected = seeded.run_group("G2-4", tiny_two_core, "fair_share")
+        seeded.alone("lbm", tiny_two_core)
+
+        import repro.sim.runner as runner_module
+
+        def explode(*args, **kwargs):
+            raise AssertionError("simulated on a warm store")
+
+        monkeypatch.setattr(runner_module, "CMPSimulator", explode)
+        resumed = ExperimentRunner(store=store)
+        hit = resumed.run_group("G2-4", tiny_two_core, "fair_share")
+        assert hit.ipcs() == expected.ipcs()
+        resumed.alone("lbm", tiny_two_core)
+
+    def test_store_and_memory_agree(self, store, tiny_two_core):
+        runner = ExperimentRunner(store=store)
+        computed = runner.run_group("G2-4", tiny_two_core, "ucp")
+        assert runner.run_group("G2-4", tiny_two_core, "ucp") is computed

@@ -3,7 +3,7 @@
 Ring footprints are specified in "ways worth", so the same profile
 must exert the same relative pressure on the paper-scale 4096-set LLC
 and the scaled 256-set one — this is what justifies running the
-evaluation at the scaled geometry (DESIGN.md substitution 1).
+evaluation at the scaled geometry (README.md, "Scaling fidelity").
 """
 
 import pytest
