@@ -1,0 +1,33 @@
+"""Performance measurement for the simulation engine.
+
+Two closely related facilities live here:
+
+* :mod:`repro.bench.harness` — the throughput harness behind
+  ``repro bench``: it times the simulator on a fixed workload matrix,
+  reports references/second, writes ``BENCH_sim_throughput.json``
+  and can fail on regressions against a committed baseline;
+* :mod:`repro.bench.golden` — the golden-equivalence matrix: a fixed
+  set of (scheme x cores x geometry) simulations whose bit-exact
+  :class:`~repro.sim.stats.RunResult` serialisations are committed as
+  fixtures, so any engine change that alters a single counter is
+  caught by the test suite.
+
+Both use only the public simulation API, so they measure exactly what
+users of :class:`~repro.sim.simulator.CMPSimulator` experience.
+"""
+
+from repro.bench.harness import (
+    BENCH_FILENAME,
+    BenchCase,
+    bench_matrix,
+    compare_to_baseline,
+    run_benchmarks,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BenchCase",
+    "bench_matrix",
+    "compare_to_baseline",
+    "run_benchmarks",
+]

@@ -1,0 +1,149 @@
+"""Golden-equivalence matrix: the engine's bit-exactness contract.
+
+The hot-path optimisations (array-backed sets, tuple access paths,
+the scheduler fast paths) are only admissible because they change
+*nothing* about the simulated machine.  This module pins that down:
+a fixed matrix of simulations — every scheme x {2, 4} cores x two LLC
+geometries — whose complete :class:`~repro.sim.stats.RunResult`
+serialisations are committed as JSON fixtures under
+``tests/golden/fixtures/``.
+
+``tests/golden/test_engine_equivalence.py`` recomputes the matrix on
+every test run and compares against the fixtures field by field; a
+single drifted counter (a hit, a probed way, a nanojoule) fails the
+suite.  The committed fixtures were generated from the pre-overhaul
+seed engine, so they prove the optimised engine reproduces it exactly.
+
+Regenerate (only when a *deliberate* model change invalidates them)::
+
+    PYTHONPATH=src python -m repro.bench.golden tests/golden/fixtures
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cache.geometry import CacheGeometry
+from repro.orchestration.serialize import run_result_to_dict
+from repro.sim.config import SystemConfig, scaled_four_core, scaled_two_core
+from repro.sim.runner import ALL_POLICIES, ExperimentRunner
+from repro.sim.stats import RunResult
+
+#: fixture payload schema; bump on incompatible layout changes
+GOLDEN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class GoldenCase:
+    """One pinned simulation of the equivalence matrix."""
+
+    name: str
+    cores: int
+    geometry: str  # "base" or "small"
+    policy: str
+    group: str
+    refs_per_core: int
+
+    def config(self) -> SystemConfig:
+        """The exact system configuration of this case."""
+        factory = scaled_two_core if self.cores == 2 else scaled_four_core
+        config = factory(refs_per_core=self.refs_per_core)
+        if self.geometry == "small":
+            # Same associativity (the partitioned quantity), half the
+            # sets: exercises set-index/tag handling on a second shape.
+            small = CacheGeometry(
+                config.l2.size_bytes // 2, config.l2.line_bytes, config.l2.ways
+            )
+            config = dataclasses.replace(config, l2=small)
+        return config
+
+    @property
+    def filename(self) -> str:
+        """Fixture file name for this case."""
+        return f"{self.name}.json"
+
+
+def golden_matrix() -> list[GoldenCase]:
+    """Every scheme x {2, 4} cores x {base, small} LLC geometry."""
+    cases = []
+    for cores, group, refs in ((2, "G2-1", 8_000), (4, "G4-1", 6_000)):
+        for geometry in ("base", "small"):
+            for policy in ALL_POLICIES:
+                cases.append(
+                    GoldenCase(
+                        name=f"{cores}c_{geometry}_{policy}",
+                        cores=cores,
+                        geometry=geometry,
+                        policy=policy,
+                        group=group,
+                        refs_per_core=refs,
+                    )
+                )
+    return cases
+
+
+def run_golden_case(case: GoldenCase, runner: ExperimentRunner) -> RunResult:
+    """Simulate one case (the runner caches traces and CPE profiles)."""
+    return runner.run_group(case.group, case.config(), case.policy)
+
+
+def case_payload(case: GoldenCase, result: RunResult) -> dict:
+    """JSON-ready fixture payload for one simulated case."""
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "case": dataclasses.asdict(case),
+        "result": run_result_to_dict(result),
+    }
+
+
+def diff_payloads(expected: dict, actual: dict, prefix: str = "") -> list[str]:
+    """Recursive field-by-field diff; returns mismatch descriptions."""
+    mismatches: list[str] = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key not in expected:
+                mismatches.append(f"{path}: unexpected field {actual[key]!r}")
+            elif key not in actual:
+                mismatches.append(f"{path}: missing (expected {expected[key]!r})")
+            else:
+                mismatches.extend(diff_payloads(expected[key], actual[key], path))
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            mismatches.append(
+                f"{prefix}: length {len(actual)} != expected {len(expected)}"
+            )
+        else:
+            for index, (left, right) in enumerate(zip(expected, actual)):
+                mismatches.extend(diff_payloads(left, right, f"{prefix}[{index}]"))
+    elif expected != actual:
+        mismatches.append(f"{prefix}: {actual!r} != expected {expected!r}")
+    return mismatches
+
+
+def write_fixtures(directory: str | Path, progress=print) -> list[Path]:
+    """Generate every fixture into ``directory``; returns written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    runner = ExperimentRunner()
+    written = []
+    for case in golden_matrix():
+        result = run_golden_case(case, runner)
+        path = directory / case.filename
+        path.write_text(
+            json.dumps(case_payload(case, result), indent=2, sort_keys=True) + "\n"
+        )
+        written.append(path)
+        if progress is not None:
+            progress(f"wrote {path}")
+    return written
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    import sys
+
+    target = sys.argv[1] if len(sys.argv) > 1 else "tests/golden/fixtures"
+    write_fixtures(target)

@@ -1,0 +1,227 @@
+"""The ``repro bench`` throughput harness.
+
+Measures end-to-end simulator throughput — references per second of
+wall-clock time — on a fixed (group x scheme x geometry) workload
+matrix, so every PR records a comparable perf trajectory in
+``BENCH_sim_throughput.json``.
+
+Methodology
+-----------
+* Traces and Dynamic CPE's profiled miss curves are prepared *outside*
+  the timed region: the harness times :meth:`CMPSimulator.run` only.
+* Each case runs ``repeats`` times and keeps the best wall time
+  (minimum is the standard estimator for noisy timers — anything
+  slower is interference, never the code).
+* "References" counts every demand reference the run processed,
+  including warmup and the wrap-around execution of cores that
+  finished their measurement window (``sum(core.refs_done)``), which
+  is identical across engines producing bit-identical results — so
+  throughput ratios between engines are exact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.sim.config import SystemConfig, scaled_four_core, scaled_two_core
+from repro.sim.runner import ExperimentRunner
+from repro.sim.simulator import CMPSimulator
+
+#: canonical name of the tracked throughput artifact
+BENCH_FILENAME = "BENCH_sim_throughput.json"
+
+#: schema of the JSON payload; bump on incompatible layout changes
+BENCH_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed simulation of the workload matrix."""
+
+    name: str
+    cores: int
+    group: str
+    policy: str
+    refs_per_core: int
+
+    def config(self) -> SystemConfig:
+        """The scaled system configuration this case runs on."""
+        factory = scaled_two_core if self.cores == 2 else scaled_four_core
+        return factory(refs_per_core=self.refs_per_core)
+
+
+def bench_matrix(quick: bool = False) -> list[BenchCase]:
+    """The fixed workload matrix ``repro bench`` times.
+
+    The default matrix covers every scheme on the two-core geometry
+    (the paper's primary configuration and the acceptance target for
+    engine optimisations) plus the two dynamic schemes on the
+    four-core geometry.  ``--quick`` trims it to a smoke-sized pair;
+    the quick cases are a subset of the full matrix (same names), so a
+    quick run can be regression-checked against a committed full
+    payload.
+    """
+    quick_cases = [
+        BenchCase("2c-unmanaged-quick", 2, "G2-1", "unmanaged", 6_000),
+        BenchCase("2c-cooperative-quick", 2, "G2-1", "cooperative", 6_000),
+    ]
+    if quick:
+        return quick_cases
+    return quick_cases + [
+        BenchCase("2c-unmanaged", 2, "G2-1", "unmanaged", 20_000),
+        BenchCase("2c-fair_share", 2, "G2-1", "fair_share", 20_000),
+        BenchCase("2c-cpe", 2, "G2-1", "cpe", 20_000),
+        BenchCase("2c-ucp", 2, "G2-1", "ucp", 20_000),
+        BenchCase("2c-cooperative", 2, "G2-1", "cooperative", 20_000),
+        BenchCase("4c-ucp", 4, "G4-1", "ucp", 10_000),
+        BenchCase("4c-cooperative", 4, "G4-1", "cooperative", 10_000),
+    ]
+
+
+def _prepare(case: BenchCase, runner: ExperimentRunner) -> Callable[[], CMPSimulator]:
+    """Build a zero-argument factory for fresh, ready-to-run simulators.
+
+    Everything expensive that is *not* the engine (trace generation,
+    CPE's profiling runs) happens here, once, outside the timer.
+    """
+    from repro.workloads.groups import group_benchmarks
+
+    config = case.config()
+    benchmarks = group_benchmarks(case.group)
+    traces = [runner.trace_for(benchmark, config) for benchmark in benchmarks]
+    cpe_profiles = None
+    if case.policy == "cpe":
+        cpe_profiles = [
+            [list(curve) for curve in runner.alone(benchmark, config).curves]
+            for benchmark in benchmarks
+        ]
+    return lambda: CMPSimulator(config, traces, case.policy, cpe_profiles=cpe_profiles)
+
+
+def run_case(
+    case: BenchCase,
+    runner: ExperimentRunner | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Time one case; returns its JSON-ready record."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    factory = _prepare(case, runner or ExperimentRunner())
+    best = math.inf
+    refs = 0
+    for _ in range(repeats):
+        simulator = factory()
+        started = time.perf_counter()
+        simulator.run()
+        elapsed = time.perf_counter() - started
+        refs = sum(core.refs_done for core in simulator.cores)
+        best = min(best, elapsed)
+    return {
+        "name": case.name,
+        "cores": case.cores,
+        "group": case.group,
+        "policy": case.policy,
+        "refs_per_core": case.refs_per_core,
+        "references": refs,
+        "seconds": best,
+        "refs_per_sec": refs / best,
+    }
+
+
+def run_benchmarks(
+    cases: Sequence[BenchCase],
+    repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the matrix and return the ``BENCH_sim_throughput`` payload."""
+    runner = ExperimentRunner()
+    records = []
+    for case in cases:
+        record = run_case(case, runner, repeats)
+        records.append(record)
+        if progress is not None:
+            progress(
+                f"  {record['name']:<24}{record['refs_per_sec']:>12,.0f} refs/s"
+                f"  ({record['seconds']:.3f}s best of {repeats})"
+            )
+    aggregate = _geomean([record["refs_per_sec"] for record in records])
+    return {
+        "schema": BENCH_SCHEMA,
+        "aggregate_refs_per_sec": aggregate,
+        "cases": records,
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def _geomean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ----------------------------------------------------------------------
+# Persistence and regression checking
+# ----------------------------------------------------------------------
+def write_payload(payload: dict, path: str | Path) -> None:
+    """Write a bench payload as stable, diff-friendly JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_payload(path: str | Path) -> dict:
+    """Read a bench payload written by :func:`write_payload`."""
+    return json.loads(Path(path).read_text())
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, tolerance: float = 0.20
+) -> list[str]:
+    """Regression report of ``current`` against ``baseline``.
+
+    Returns one message per case whose throughput dropped by more than
+    ``tolerance`` (fraction) relative to the baseline case of the same
+    name; cases missing from either payload are ignored (the matrix is
+    allowed to grow).  An empty list means no regression.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    baseline_cases = {case["name"]: case for case in baseline.get("cases", [])}
+    regressions = []
+    for case in current.get("cases", []):
+        reference = baseline_cases.get(case["name"])
+        if reference is None:
+            continue
+        floor = reference["refs_per_sec"] * (1.0 - tolerance)
+        if case["refs_per_sec"] < floor:
+            regressions.append(
+                f"{case['name']}: {case['refs_per_sec']:,.0f} refs/s is "
+                f"{1.0 - case['refs_per_sec'] / reference['refs_per_sec']:.1%} "
+                f"below the baseline {reference['refs_per_sec']:,.0f} "
+                f"(tolerance {tolerance:.0%})"
+            )
+    return regressions
+
+
+def speedup_over(current: dict, baseline: dict) -> float | None:
+    """Geomean throughput ratio over the cases shared with ``baseline``.
+
+    Used to report the headline "x N over the pre-PR engine" number;
+    ``None`` when the payloads share no cases.
+    """
+    baseline_cases = {case["name"]: case for case in baseline.get("cases", [])}
+    ratios = [
+        case["refs_per_sec"] / baseline_cases[case["name"]]["refs_per_sec"]
+        for case in current.get("cases", [])
+        if case["name"] in baseline_cases
+    ]
+    if not ratios:
+        return None
+    return _geomean(ratios)

@@ -1,41 +1,67 @@
-"""One cache set: parallel line-state arrays plus a true-LRU stack.
+"""One cache set: parallel line-state arrays plus a stamp-based LRU.
 
 The set is the unit every policy in the paper manipulates: lookups are
 restricted to permitted ways (RAP registers), fills are restricted to
-writable ways (WAP registers), and victim selection walks the LRU
-stack filtered by those same way subsets.  Everything here is plain
-integer/list manipulation so the simulator's inner loop stays fast.
+writable ways (WAP registers), and victim selection walks the recency
+order filtered by those same way subsets.
+
+Hot-path representation (everything the inner loop touches is flat,
+preallocated and allocation-free to mutate):
+
+* ``tags``/``owner`` are ``array('q')`` columns with a ``-1`` sentinel
+  (:data:`NO_TAG`/``NO_OWNER``) instead of ``list[int | None]``;
+* ``dirty`` is a ``bytearray`` of 0/1 flags;
+* recency is a monotonically increasing **stamp** per way (``stamp``
+  plus the ``clock`` counter) instead of a reordered stack: a touch is
+  two integer stores, and the LRU victim is the minimum stamp among
+  the candidate ways — no ``list.remove``/``insert`` churn and no
+  ``set(candidates)`` allocation per eviction.  Stamps are unique, so
+  the induced order is exactly the old stack's order;
+* ``tag_map`` mirrors ``tags`` as a tag -> way dict so a full-width
+  probe is one hash lookup; restricted probes combine it with the
+  caller's precomputed way-membership bitmask (see
+  :meth:`repro.partitioning.base.BaseSharedCachePolicy.access_fast`).
+  The map always points at the *most recently installed* copy of a
+  tag, which for every simulated probe pattern is the only copy the
+  prober may see (cores have disjoint address spaces, and a stale
+  duplicate can only exist in a way its owner no longer probes);
+* ``valid_count`` lets the fill path skip the invalid-way scan once
+  the set is full (always, after warmup).
 """
 
 from __future__ import annotations
+
+from array import array
 
 from repro.cache.line import NO_OWNER, CacheLine
 
 #: Sentinel way index meaning "not found".
 NO_WAY = -1
 
+#: Sentinel tag meaning "invalid line" (real tags are non-negative).
+NO_TAG = -1
+
 
 class CacheSet:
-    """State of a single set in a set-associative cache.
+    """State of a single set in a set-associative cache."""
 
-    Line state lives in parallel lists indexed by way.  ``lru`` holds
-    way indices ordered most-recently-used first, which makes both
-    "find LRU victim among a subset of ways" and the UMON stack
-    distance computation O(associativity).
-    """
-
-    __slots__ = ("ways", "tags", "dirty", "owner", "lru")
+    __slots__ = ("ways", "tags", "dirty", "owner", "stamp", "clock",
+                 "tag_map", "valid_count")
 
     def __init__(self, ways: int) -> None:
         if ways <= 0:
             raise ValueError(f"a cache set needs at least one way, got {ways}")
         self.ways = ways
-        self.tags: list[int | None] = [None] * ways
-        self.dirty: list[bool] = [False] * ways
-        self.owner: list[int] = [NO_OWNER] * ways
-        # MRU first.  Initialised to way order; invalid ways are always
-        # preferred as victims regardless of their stack position.
-        self.lru: list[int] = list(range(ways))
+        self.tags = array("q", [NO_TAG]) * ways
+        self.dirty = bytearray(ways)
+        self.owner = array("q", [NO_OWNER]) * ways
+        # Initial recency matches the historical stack [0, 1, .., w-1]
+        # (way 0 most recent); stamps stay unique forever because the
+        # clock only moves forward.
+        self.stamp = list(range(ways, 0, -1))
+        self.clock = ways + 1
+        self.tag_map: dict[int, int] = {}
+        self.valid_count = 0
 
     # ------------------------------------------------------------------
     # Lookup
@@ -45,7 +71,9 @@ class CacheSet:
 
         Returns :data:`NO_WAY` when the tag is absent from the searched
         ways.  Searching a subset models the RAP-restricted probes that
-        give Cooperative Partitioning its dynamic-energy savings.
+        give Cooperative Partitioning its dynamic-energy savings.  This
+        is the general (scan-based) API; the simulator's inner loop
+        uses ``tag_map`` with precomputed membership masks instead.
         """
         tags = self.tags
         if ways is None:
@@ -59,15 +87,22 @@ class CacheSet:
         return NO_WAY
 
     def touch(self, way: int) -> None:
-        """Move ``way`` to the MRU position of the recency stack."""
-        lru = self.lru
-        if lru[0] != way:
-            lru.remove(way)
-            lru.insert(0, way)
+        """Make ``way`` the most recently used."""
+        self.stamp[way] = self.clock
+        self.clock += 1
 
     def stack_position(self, way: int) -> int:
         """Recency position of ``way`` (0 = MRU)."""
-        return self.lru.index(way)
+        mine = self.stamp[way]
+        return sum(1 for other in self.stamp if other > mine)
+
+    @property
+    def lru(self) -> list[int]:
+        """Way indices ordered most-recently-used first (API/debugging;
+        the hot paths compare stamps directly)."""
+        order = sorted(range(self.ways), key=self.stamp.__getitem__)
+        order.reverse()
+        return order
 
     # ------------------------------------------------------------------
     # Victim selection
@@ -78,39 +113,66 @@ class CacheSet:
         Invalid ways are returned first (fill before evict); otherwise
         the least recently used permitted way is chosen.
         """
-        candidates = range(self.ways) if ways is None else ways
-        for way in candidates:
-            if self.tags[way] is None:
-                return way
-        allowed = set(candidates)
-        for way in reversed(self.lru):
-            if way in allowed:
-                return way
-        raise ValueError("victim() called with an empty way set")
+        tags = self.tags
+        stamp = self.stamp
+        if ways is None:
+            if self.valid_count != self.ways:
+                for way in range(self.ways):
+                    if tags[way] == NO_TAG:
+                        return way
+            return stamp.index(min(stamp))
+        if self.valid_count != self.ways:
+            for way in ways:
+                if tags[way] == NO_TAG:
+                    return way
+        best = NO_WAY
+        best_stamp = 0
+        for way in ways:
+            s = stamp[way]
+            if best < 0 or s < best_stamp:
+                best = way
+                best_stamp = s
+        if best < 0:
+            raise ValueError("victim() called with an empty way set")
+        return best
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def install(self, way: int, tag: int, owner: int, dirty: bool) -> None:
         """Fill ``way`` with a new line and make it MRU."""
-        self.tags[way] = tag
-        self.dirty[way] = dirty
+        tags = self.tags
+        old = tags[way]
+        tag_map = self.tag_map
+        if old == NO_TAG:
+            self.valid_count += 1
+        elif tag_map.get(old) == way:
+            del tag_map[old]
+        tags[way] = tag
+        tag_map[tag] = way
+        self.dirty[way] = 1 if dirty else 0
         self.owner[way] = owner
-        self.touch(way)
+        self.stamp[way] = self.clock
+        self.clock += 1
 
     def invalidate(self, way: int) -> None:
         """Drop the line in ``way`` (used by power-gating and CPE flushes)."""
-        self.tags[way] = None
-        self.dirty[way] = False
+        old = self.tags[way]
+        if old != NO_TAG:
+            self.valid_count -= 1
+            if self.tag_map.get(old) == way:
+                del self.tag_map[old]
+        self.tags[way] = NO_TAG
+        self.dirty[way] = 0
         self.owner[way] = NO_OWNER
 
     def mark_dirty(self, way: int) -> None:
         """Record a write to the line in ``way``."""
-        self.dirty[way] = True
+        self.dirty[way] = 1
 
     def clean(self, way: int) -> None:
         """Clear the dirty bit after the line is flushed to memory."""
-        self.dirty[way] = False
+        self.dirty[way] = 0
 
     def set_owner(self, way: int, owner: int) -> None:
         """Reassign the per-line owner bits (cooperative takeover)."""
@@ -122,28 +184,32 @@ class CacheSet:
     def line(self, way: int) -> CacheLine:
         """Read-only snapshot of the line in ``way``."""
         tag = self.tags[way]
+        valid = tag != NO_TAG
         return CacheLine(
-            tag=tag,
-            valid=tag is not None,
-            dirty=self.dirty[way],
+            tag=tag if valid else None,
+            valid=valid,
+            dirty=bool(self.dirty[way]),
             owner=self.owner[way],
         )
 
     def valid_ways(self) -> list[int]:
         """Ways currently holding valid lines."""
-        return [way for way in range(self.ways) if self.tags[way] is not None]
+        tags = self.tags
+        return [way for way in range(self.ways) if tags[way] != NO_TAG]
 
     def occupancy(self, core: int) -> int:
         """Number of valid lines in this set owned by ``core``."""
+        tags = self.tags
+        owner = self.owner
         count = 0
         for way in range(self.ways):
-            if self.tags[way] is not None and self.owner[way] == core:
+            if tags[way] != NO_TAG and owner[way] == core:
                 count += 1
         return count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         entries = ", ".join(
-            f"w{way}:{'-' if self.tags[way] is None else self.tags[way]}"
+            f"w{way}:{'-' if self.tags[way] == NO_TAG else self.tags[way]}"
             f"{'*' if self.dirty[way] else ''}@{self.owner[way]}"
             for way in range(self.ways)
         )

@@ -14,6 +14,12 @@ a fill:
   capacity lazily through the replacement policy (Section 2.5, [20]);
 * random among permitted ways — used for the way-choice ablation the
   paper discusses under "Performance Overheads" (Section 2.5).
+
+All selectors operate on :class:`CacheSet`'s stamp-based recency:
+"least recently used among a subset" is a min-stamp scan over the
+candidate ways, so nothing here allocates per eviction (the old
+implementation built a ``set(ways)`` and walked the whole recency
+stack for every choice).
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 
-from repro.cache.cache_set import CacheSet
+from repro.cache.cache_set import NO_TAG, CacheSet
 
 
 class VictimSelector(ABC):
@@ -49,8 +55,9 @@ class RandomVictimSelector(VictimSelector):
         self._rng = random.Random(seed)
 
     def select(self, cset: CacheSet, core: int, ways: tuple[int, ...]) -> int:
+        tags = cset.tags
         for way in ways:
-            if cset.tags[way] is None:
+            if tags[way] == NO_TAG:
                 return way
         return self._rng.choice(list(ways))
 
@@ -74,39 +81,70 @@ class PartitionAwareVictimSelector(VictimSelector):
     def __init__(self, ways: int) -> None:
         self._ways = ways
         self.targets: dict[int, int] = {}
+        #: dense mirrors of ``targets`` indexed by core id, plus a
+        #: preallocated per-call occupancy scratch — the select path
+        #: allocates nothing
+        self._target_list: list[int | None] = []
+        self._counts: list[int] = []
 
     def set_targets(self, targets: dict[int, int]) -> None:
         """Install the allocation produced by the lookahead algorithm."""
         self.targets = dict(targets)
+        size = max(targets) + 1 if targets else 0
+        self._target_list = [targets.get(core) for core in range(size)]
+        self._counts = [0] * size
 
     def select(self, cset: CacheSet, core: int, ways: tuple[int, ...]) -> int:
+        tags = cset.tags
+        if cset.valid_count != cset.ways:
+            for way in ways:
+                if tags[way] == NO_TAG:
+                    return way
+        # One pass over the whole set (occupancy counts all ways, not
+        # just the permitted subset) instead of an occupancy() rescan
+        # per candidate way.  Owners without an entry in the target
+        # table count as over-occupying, exactly like the historical
+        # `targets.get(owner) is None` case.
+        owner = cset.owner
+        stamp = cset.stamp
+        target_list = self._target_list
+        counts = self._counts
+        known = len(counts)
+        for index in range(known):
+            counts[index] = 0
+        for way in range(cset.ways):
+            if tags[way] != NO_TAG:
+                line_owner = owner[way]
+                if 0 <= line_owner < known:
+                    counts[line_owner] += 1
+        target = target_list[core] if core < known else None
+        if target is not None and counts[core] < target:
+            # LRU valid line of some over-occupying core.
+            best = -1
+            best_stamp = 0
+            for way in ways:
+                if tags[way] == NO_TAG:
+                    continue
+                line_owner = owner[way]
+                if 0 <= line_owner < known:
+                    owner_target = target_list[line_owner]
+                    if owner_target is not None and counts[line_owner] <= owner_target:
+                        continue
+                s = stamp[way]
+                if best < 0 or s < best_stamp:
+                    best = way
+                    best_stamp = s
+            if best >= 0:
+                return best
+        # The core's own LRU line.
+        best = -1
+        best_stamp = 0
         for way in ways:
-            if cset.tags[way] is None:
-                return way
-        target = self.targets.get(core)
-        if target is not None and cset.occupancy(core) < target:
-            victim = self._lru_of_over_occupier(cset, ways)
-            if victim is not None:
-                return victim
-        victim = self._lru_owned_by(cset, core, ways)
-        if victim is not None:
-            return victim
+            if tags[way] != NO_TAG and owner[way] == core:
+                s = stamp[way]
+                if best < 0 or s < best_stamp:
+                    best = way
+                    best_stamp = s
+        if best >= 0:
+            return best
         return cset.victim(ways)
-
-    def _lru_of_over_occupier(self, cset: CacheSet, ways: tuple[int, ...]) -> int | None:
-        allowed = set(ways)
-        for way in reversed(cset.lru):
-            if way not in allowed or cset.tags[way] is None:
-                continue
-            owner = cset.owner[way]
-            target = self.targets.get(owner)
-            if target is None or cset.occupancy(owner) > target:
-                return way
-        return None
-
-    def _lru_owned_by(self, cset: CacheSet, core: int, ways: tuple[int, ...]) -> int | None:
-        allowed = set(ways)
-        for way in reversed(cset.lru):
-            if way in allowed and cset.tags[way] is not None and cset.owner[way] == core:
-                return way
-        return None

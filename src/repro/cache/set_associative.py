@@ -4,13 +4,20 @@ This class provides *mechanism only*: probe a subset of ways, fill a
 line evicting a chosen victim, flush or invalidate lines.  All *policy*
 (which ways may be probed or filled, who the victim is, what happens on
 an epoch boundary) lives in ``repro.partitioning`` and ``repro.core``.
+
+Per-core occupancy is tracked **incrementally**: ``core_occupancy``
+is updated on every install, invalidation and ownership transfer, so
+:meth:`occupancy_by_core` is an O(cores) read instead of the full
+sets x ways scan it used to be.  The simulator's inlined fill paths
+(:mod:`repro.sim.simulator`, :mod:`repro.partitioning.base`) maintain
+the same counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cache.cache_set import NO_WAY, CacheSet
+from repro.cache.cache_set import NO_TAG, NO_WAY, CacheSet
 from repro.cache.geometry import CacheGeometry
 
 
@@ -50,6 +57,20 @@ class SetAssociativeCache:
     def __init__(self, geometry: CacheGeometry) -> None:
         self.geometry = geometry
         self.sets = [CacheSet(geometry.ways) for _ in range(geometry.num_sets)]
+        #: valid lines per owning core, maintained incrementally;
+        #: grown on demand (owner ids are small non-negative ints)
+        self.core_occupancy: list[int] = []
+
+    def ensure_cores(self, n_cores: int) -> list[int]:
+        """Grow (never shrink) the occupancy counters to ``n_cores``.
+
+        Returns the counter list itself so hot paths can bind it to a
+        local once instead of re-reading the attribute per access.
+        """
+        counters = self.core_occupancy
+        while len(counters) < n_cores:
+            counters.append(0)
+        return counters
 
     # ------------------------------------------------------------------
     # Probing
@@ -94,20 +115,25 @@ class SetAssociativeCache:
         tag = line_address >> geometry.set_shift
         cset = self.sets[set_index]
         evicted_tag = cset.tags[victim_way]
-        evicted_dirty = cset.dirty[victim_way] if evicted_tag is not None else False
-        evicted_owner = cset.owner[victim_way] if evicted_tag is not None else -1
+        evicted = evicted_tag != NO_TAG
+        evicted_dirty = bool(cset.dirty[victim_way]) if evicted else False
+        evicted_owner = cset.owner[victim_way] if evicted else -1
+        counters = self.ensure_cores(max(core, evicted_owner) + 1)
+        if evicted and evicted_owner >= 0:
+            counters[evicted_owner] -= 1
+        counters[core] += 1
         cset.install(victim_way, tag, core, is_write)
         return AccessResult(
             hit=False,
             way=victim_way,
             set_index=set_index,
-            evicted_tag=evicted_tag,
+            evicted_tag=evicted_tag if evicted else None,
             evicted_dirty=evicted_dirty,
             evicted_owner=evicted_owner,
         )
 
     # ------------------------------------------------------------------
-    # Flush / invalidate
+    # Flush / invalidate / ownership
     # ------------------------------------------------------------------
     def flush_way_in_set(self, set_index: int, way: int) -> int | None:
         """Write back the line in (set, way) if dirty.
@@ -119,9 +145,9 @@ class SetAssociativeCache:
         """
         cset = self.sets[set_index]
         tag = cset.tags[way]
-        if tag is None or not cset.dirty[way]:
+        if tag == NO_TAG or not cset.dirty[way]:
             return None
-        cset.clean(way)
+        cset.dirty[way] = 0
         return self.geometry.rebuild_line_address(tag, set_index)
 
     def invalidate_way(self, way: int) -> list[int]:
@@ -135,26 +161,41 @@ class SetAssociativeCache:
         """
         flushed: list[int] = []
         rebuild = self.geometry.rebuild_line_address
+        counters = self.core_occupancy
+        n_known = len(counters)
         for set_index, cset in enumerate(self.sets):
             tag = cset.tags[way]
-            if tag is not None and cset.dirty[way]:
-                flushed.append(rebuild(tag, set_index))
+            if tag != NO_TAG:
+                if cset.dirty[way]:
+                    flushed.append(rebuild(tag, set_index))
+                owner = cset.owner[way]
+                if 0 <= owner < n_known:
+                    counters[owner] -= 1
             cset.invalidate(way)
         return flushed
+
+    def transfer_ownership(self, set_index: int, way: int, owner: int) -> None:
+        """Reassign a valid line's owner, keeping the counters exact."""
+        cset = self.sets[set_index]
+        if cset.tags[way] == NO_TAG:
+            return
+        counters = self.ensure_cores(max(owner, cset.owner[way]) + 1)
+        previous = cset.owner[way]
+        if previous >= 0:
+            counters[previous] -= 1
+        if owner >= 0:
+            counters[owner] += 1
+        cset.set_owner(way, owner)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def occupancy_by_core(self, n_cores: int) -> list[int]:
-        """Total valid lines per core across the whole cache."""
-        counts = [0] * n_cores
-        for cset in self.sets:
-            for way in range(cset.ways):
-                owner = cset.owner[way]
-                if cset.tags[way] is not None and 0 <= owner < n_cores:
-                    counts[owner] += 1
-        return counts
+        """Total valid lines per core — an O(cores) counter read."""
+        counters = self.core_occupancy
+        return [counters[core] if core < len(counters) else 0
+                for core in range(n_cores)]
 
     def valid_line_count(self) -> int:
         """Number of valid lines in the cache."""
-        return sum(len(cset.valid_ways()) for cset in self.sets)
+        return sum(cset.valid_count for cset in self.sets)

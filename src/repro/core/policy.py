@@ -65,10 +65,28 @@ class CooperativePartitioningPolicy(BaseSharedCachePolicy):
                 self.permissions.grant_full(way, core)
                 self.logical_owner[way] = core
         self.engine = TakeoverEngine(self.cache, self.memory, self.energy, self.stats)
+        # Probe/fill restrictions mirror the RAP/WAP registers; the
+        # fast tables are refreshed whenever the registers change and
+        # the takeover/victim hooks only run while ways are in flight.
+        self._custom_victim = False
+        self._pre_access_active = False
+        self._refresh_access_tables()
 
     # ------------------------------------------------------------------
     # Access-path hooks
     # ------------------------------------------------------------------
+    _ways_are_tabled = True
+
+    def _refresh_access_tables(self) -> None:
+        """Sync the fast probe/fill tables with the RAP/WAP registers."""
+        permissions = self.permissions
+        for core in range(self.n_cores):
+            self._set_core_ways(
+                core,
+                permissions.readable_ways(core),
+                permissions.writable_ways(core),
+            )
+
     def _probe_ways(self, core: int) -> tuple[int, ...]:
         return self.permissions.readable_ways(core)
 
@@ -93,10 +111,14 @@ class CooperativePartitioningPolicy(BaseSharedCachePolicy):
         return cset.victim(ways)
 
     def _pre_access(self, core: int, set_index: int, now: int, hit: bool) -> None:
-        if not self.engine.active:
-            return
-        for donor in self.engine.on_access(core, set_index, hit, now):
-            self._finalize_donor(donor, now)
+        # Only reached while transitions are in flight (the base policy
+        # gates this hook on `_pre_access_active`, which mirrors
+        # `engine.active`); a spurious call with an idle engine is a
+        # cheap no-op inside on_access anyway.
+        completed = self.engine.on_access(core, set_index, hit, now)
+        if completed:
+            for donor in completed:
+                self._finalize_donor(donor, now)
 
     # ------------------------------------------------------------------
     # Transition completion
@@ -129,6 +151,10 @@ class CooperativePartitioningPolicy(BaseSharedCachePolicy):
                 power_changed = True
         if power_changed:
             self.energy.set_active_ways(self.active_ways(), now)
+        self._refresh_access_tables()
+        active = self.engine.active
+        self._pre_access_active = active
+        self._custom_victim = active
 
     def note_pending(self, now: int) -> None:
         """Record ages of in-flight core-to-core transfers (Figure 15)."""
@@ -236,6 +262,10 @@ class CooperativePartitioningPolicy(BaseSharedCachePolicy):
         self.engine.begin(transitions)
         if power_changed:
             self.energy.set_active_ways(self.active_ways(), now)
+        self._refresh_access_tables()
+        active = self.engine.active
+        self._pre_access_active = active
+        self._custom_victim = active
 
     # ------------------------------------------------------------------
     # Introspection

@@ -148,29 +148,38 @@ class TakeoverEngine:
     # ------------------------------------------------------------------
     # Hot path: called on every LLC access while transitions exist
     # ------------------------------------------------------------------
-    def on_access(self, core: int, set_index: int, hit: bool, now: int) -> list[int]:
-        """Apply takeover work for one access; returns completed donors."""
-        completed: list[int] = []
-        events = self.stats.takeover_events
+    def on_access(self, core: int, set_index: int, hit: bool, now: int) -> tuple[int, ...]:
+        """Apply takeover work for one access; returns completed donors.
+
+        Allocation-free in the common case: most accesses mark no new
+        bit (or complete no vector) and return the shared empty tuple.
+        """
+        completed: tuple[int, ...] = ()
 
         donating = self._donor_ways.get(core)
         if donating is not None:
             vector = self.vectors[core]
-            if vector.mark(set_index):
+            if vector.bits[set_index] == 0:
+                vector.bits[set_index] = 1
+                vector.set_count += 1
                 self._flush_ways_in_set(donating, set_index, now)
+                events = self.stats.takeover_events
                 events["donor_hit" if hit else "donor_miss"] += 1
-                if vector.complete:
-                    completed.append(core)
+                if vector.set_count >= vector.num_sets:
+                    completed = (core,)
 
         sources = self._recipient_sources.get(core)
         if sources is not None:
             for donor, ways in sources.items():
                 vector = self.vectors[donor]
-                if vector.mark(set_index):
+                if vector.bits[set_index] == 0:
+                    vector.bits[set_index] = 1
+                    vector.set_count += 1
                     self._flush_ways_in_set(ways, set_index, now)
+                    events = self.stats.takeover_events
                     events["recipient_hit" if hit else "recipient_miss"] += 1
-                    if vector.complete:
-                        completed.append(donor)
+                    if vector.set_count >= vector.num_sets:
+                        completed += (donor,)
         return completed
 
     def _flush_ways_in_set(self, ways: tuple[int, ...], set_index: int, now: int) -> None:

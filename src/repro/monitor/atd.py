@@ -36,14 +36,16 @@ class AuxiliaryTagDirectory:
         """
         stack = self._stacks[set_index]
         self.accesses += 1
-        try:
-            position = stack.index(tag)
-        except ValueError:
+        # Membership test first: both scans run at C speed over a
+        # stack of at most `ways` tags, and the miss path (common for
+        # streaming workloads) never pays exception dispatch.
+        if tag not in stack:
             self.misses += 1
             stack.insert(0, tag)
             if len(stack) > self.ways:
                 stack.pop()
             return -1
+        position = stack.index(tag)
         del stack[position]
         stack.insert(0, tag)
         self.position_hits[position] += 1

@@ -1,6 +1,6 @@
 """``repro`` — the command-line front end of the reproduction.
 
-Four subcommands drive the whole evaluation through the orchestrator:
+Five subcommands drive the whole evaluation through the orchestrator:
 
 * ``repro sweep``  — run a (group × scheme) cross-product in parallel,
   persisting every result; re-running is a cache-hit no-op.
@@ -8,6 +8,10 @@ Four subcommands drive the whole evaluation through the orchestrator:
 * ``repro report`` — render the figure tables from stored artifacts
   only (never simulates; tells you what to sweep if results are
   missing).
+* ``repro bench``  — time the simulation engine on the fixed workload
+  matrix, write ``BENCH_sim_throughput.json`` and (with ``--check``)
+  fail on throughput regressions against a committed baseline (see
+  ``docs/performance.md``).
 * ``repro clean``  — drop the store.
 
 Every run-shaped command accepts ``--cores``, ``--refs-per-core``,
@@ -25,6 +29,7 @@ import sys
 import time
 from typing import Sequence
 
+from repro.bench.harness import BENCH_FILENAME
 from repro.metrics.speedup import geometric_mean
 from repro.orchestration.executor import SweepExecutor, resolve_jobs
 from repro.orchestration.serialize import alone_task_key, group_task_key
@@ -126,6 +131,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the figure tables from stored results (never simulates)",
     )
     report.set_defaults(handler=_cmd_report)
+
+    bench = commands.add_parser(
+        "bench",
+        help="measure engine throughput (refs/s) on the fixed workload matrix",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smoke-sized matrix (two cases, short traces) for CI",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="timed runs per case, best kept (default: 3, 2 with --quick)",
+    )
+    bench.add_argument(
+        "--output", default=None, metavar="FILE",
+        help=f"where to write the payload (default: ./{BENCH_FILENAME}; "
+             f"'-' skips writing)",
+    )
+    bench.add_argument(
+        "--baseline", default="benchmarks/perf/baseline.json", metavar="FILE",
+        help="pre-overhaul engine payload to report the speedup against "
+             "(default: benchmarks/perf/baseline.json; skipped if missing)",
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="FILE",
+        help="compare against a committed bench payload and exit non-zero "
+             "on any regression beyond --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.20, metavar="F",
+        help="allowed fractional throughput drop for --check (default 0.20)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     clean = commands.add_parser(
         "clean", parents=[common], help="delete every stored artifact"
@@ -332,6 +370,67 @@ def _cmd_report(options: argparse.Namespace) -> int:
         for group in groups
     }
     _render_tables(runner, results, config, policies, _METRICS)
+    return 0
+
+
+def _cmd_bench(options: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.harness import (
+        bench_matrix,
+        compare_to_baseline,
+        load_payload,
+        run_benchmarks,
+        speedup_over,
+        write_payload,
+    )
+
+    repeats = options.repeats
+    if repeats is None:
+        repeats = 2 if options.quick else 3
+    if repeats <= 0:
+        raise SystemExit(f"--repeats must be positive, got {repeats}")
+    if not 0.0 <= options.tolerance < 1.0:
+        raise SystemExit(f"--tolerance must be in [0, 1), got {options.tolerance}")
+    cases = bench_matrix(quick=options.quick)
+    print(f"timing {len(cases)} cases, best of {repeats} runs each:")
+    payload = run_benchmarks(cases, repeats=repeats, progress=print)
+    print(f"aggregate: {payload['aggregate_refs_per_sec']:,.0f} refs/s (geomean)")
+
+    if options.baseline and Path(options.baseline).exists():
+        baseline = load_payload(options.baseline)
+        speedup = speedup_over(payload, baseline)
+        if speedup is not None:
+            print(
+                f"speedup vs {baseline.get('engine', 'baseline')}: "
+                f"{speedup:.2f}x (geomean over shared cases)"
+            )
+
+    output = options.output if options.output is not None else BENCH_FILENAME
+    if output != "-":
+        write_payload(payload, output)
+        print(f"wrote {output}")
+
+    if options.check:
+        reference = load_payload(options.check)
+        reference_names = {case["name"] for case in reference.get("cases", [])}
+        shared = [
+            case for case in payload["cases"] if case["name"] in reference_names
+        ]
+        if not shared:
+            print(
+                f"--check: no cases shared with {options.check}; "
+                f"nothing was verified",
+                file=sys.stderr,
+            )
+            return 1
+        regressions = compare_to_baseline(payload, reference, options.tolerance)
+        if regressions:
+            print(f"\nthroughput regression vs {options.check}:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {options.check} (tolerance {options.tolerance:.0%})")
     return 0
 
 

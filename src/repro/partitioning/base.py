@@ -7,12 +7,26 @@ filled, *which* victim is chosen, and what happens at each 5M-cycle
 partitioning epoch.  :class:`BaseSharedCachePolicy` implements the
 skeleton once, charges energy/statistics uniformly, and exposes hooks
 for the scheme-specific parts.
+
+Hot-path design.  :meth:`BaseSharedCachePolicy.access_fast` is the
+allocation-free inner loop: one flat function, no result objects, no
+per-access hook calls.  The way restrictions are *data*, not code —
+per-core tuples plus precomputed way-membership bitmasks
+(``_probe_masks``) that the built-in schemes keep in sync with their
+partitions — so a probe is a ``tag_map`` dict lookup and one mask
+test.  The historical ``_probe_ways``/``_fill_ways`` hook methods
+remain fully supported: a subclass that overrides them (and does not
+declare ``_ways_are_tabled``) is transparently routed through a
+compatibility path that calls them per access, exactly as before.
+:meth:`access` wraps the fast path and still returns an
+:class:`LLCOutcome` for API users; the simulator never allocates one.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.cache.cache_set import NO_TAG
 from repro.cache.hierarchy import LLCOutcome
 from repro.cache.memory import MainMemory
 from repro.cache.set_associative import SetAssociativeCache
@@ -60,15 +74,16 @@ class PolicyStats:
     def reset_counters(self) -> None:
         """Zero every counter (end of warmup) without replacing self.
 
-        Policies hold a reference to this object, so warmup statistics
-        are discarded in place.
+        Policies hold a reference to this object — and the hot access
+        path binds the per-core counter *lists* once — so both the
+        object and its list fields are zeroed in place.
         """
         n = self.n_cores
-        self.demand_accesses = [0] * n
-        self.demand_hits = [0] * n
-        self.writeback_accesses = [0] * n
-        self.ways_probed_sum = [0] * n
-        self.probe_events = [0] * n
+        self.demand_accesses[:] = [0] * n
+        self.demand_hits[:] = [0] * n
+        self.writeback_accesses[:] = [0] * n
+        self.ways_probed_sum[:] = [0] * n
+        self.probe_events[:] = [0] * n
         self.decisions = 0
         self.repartitions = 0
         self.last_decision_cycle = None
@@ -118,15 +133,21 @@ class PolicyStats:
 class BaseSharedCachePolicy:
     """Common probe/fill/writeback skeleton for all shared-LLC schemes.
 
-    Subclasses override the ``_probe_ways``/``_fill_ways``/
-    ``_select_victim`` hooks and the epoch-boundary ``decide`` method.
-    ``None`` from a way hook means "all ways".
+    Subclasses either maintain the per-core way tables (built-ins, via
+    :meth:`_set_core_ways`) or override the
+    ``_probe_ways``/``_fill_ways``/``_select_victim`` hooks and the
+    epoch-boundary ``decide`` method.  ``None`` for a way restriction
+    means "all ways".
     """
 
     #: human-readable scheme name (matches the paper's legends)
     name = "base"
     #: whether the simulator should keep UMON monitors updated
     needs_monitors = False
+    #: set True by subclasses whose ``_probe_ways``/``_fill_ways``
+    #: overrides mirror the fast tables (so the hooks are API-only and
+    #: the inner loop may use the tables directly)
+    _ways_are_tabled = False
 
     def __init__(
         self,
@@ -144,16 +165,66 @@ class BaseSharedCachePolicy:
         self.n_cores = stats.n_cores
         self.geometry = cache.geometry
 
+        # --- hot-path state -------------------------------------------
+        n = self.n_cores
+        ways = self.geometry.ways
+        cls = type(self)
+        base = BaseSharedCachePolicy
+        self._sets = cache.sets
+        self._set_mask = self.geometry.set_mask
+        self._set_shift = self.geometry.set_shift
+        self._occ = cache.ensure_cores(n)
+        #: per-core probe restriction (tuple | None), membership mask
+        #: over ways (-1 = all bits set = every way) and probe width
+        self._probe_lists: list[tuple[int, ...] | None] = [None] * n
+        self._probe_masks: list[int] = [-1] * n
+        self._probe_counts: list[int] = [ways] * n
+        self._fill_lists: list[tuple[int, ...] | None] = [None] * n
+        #: fused (probe_mask, probe_count, fill_ways) per core — one
+        #: index + unpack in the inner loop instead of three lookups
+        self._core_tables: list[tuple[int, int, tuple[int, ...] | None]] = [
+            (-1, ways, None)
+        ] * n
+        # The per-core counter lists are zeroed in place by
+        # PolicyStats.reset_counters, so binding them here is safe.
+        self._ways_probed_sum = stats.ways_probed_sum
+        self._probe_events = stats.probe_events
+        self._writeback_accesses = stats.writeback_accesses
+        self._demand_accesses = stats.demand_accesses
+        self._demand_hits = stats.demand_hits
+        #: compatibility: subclasses overriding the way hooks without
+        #: declaring them tabled get the hook-calling slow path
+        self._dynamic_ways = not cls._ways_are_tabled and (
+            cls._probe_ways is not base._probe_ways
+            or cls._fill_ways is not base._fill_ways
+        )
+        self._custom_victim = cls._select_victim is not base._select_victim
+        self._pre_access_active = cls._pre_access is not base._pre_access
+        self._post_fill_active = cls._post_fill is not base._post_fill
+        if self.monitors:
+            sampler = self.monitors[0].sampler
+            self._umon_mask = sampler.mask
+            self._umon_offset = sampler.offset
+            self._atds = [monitor.atd for monitor in self.monitors]
+        else:
+            self._umon_mask = -1  # (x & -1) == x never equals offset -1
+            self._umon_offset = -1
+            self._atds = []
+        #: outcome scratch published by the last ``access_fast`` call
+        #: (read by the :meth:`access`/hierarchy API wrappers)
+        self.last_hit = False
+        self.last_probed = 0
+
     # ------------------------------------------------------------------
     # Hooks for subclasses
     # ------------------------------------------------------------------
     def _probe_ways(self, core: int) -> tuple[int, ...] | None:
         """Ways ``core`` must consult on a lookup (None = all)."""
-        return None
+        return self._probe_lists[core]
 
     def _fill_ways(self, core: int) -> tuple[int, ...] | None:
         """Ways ``core`` may fill into (None = all)."""
-        return None
+        return self._fill_lists[core]
 
     def _select_victim(self, core: int, set_index: int, ways: tuple[int, ...] | None) -> int:
         """Choose the way a miss by ``core`` fills into."""
@@ -175,10 +246,177 @@ class BaseSharedCachePolicy:
         return self.geometry.ways
 
     # ------------------------------------------------------------------
+    # Fast-table maintenance (built-in schemes)
+    # ------------------------------------------------------------------
+    def _set_core_ways(
+        self,
+        core: int,
+        probe: tuple[int, ...] | None,
+        fill: tuple[int, ...] | None,
+    ) -> None:
+        """Install ``core``'s way restrictions into the fast tables."""
+        self._probe_lists[core] = probe
+        if probe is None:
+            self._probe_masks[core] = -1
+            self._probe_counts[core] = self.geometry.ways
+        else:
+            mask = 0
+            for way in probe:
+                mask |= 1 << way
+            self._probe_masks[core] = mask
+            self._probe_counts[core] = len(probe)
+        self._fill_lists[core] = fill
+        self._core_tables[core] = (
+            self._probe_masks[core], self._probe_counts[core], fill
+        )
+
+    # ------------------------------------------------------------------
     # The shared access path
     # ------------------------------------------------------------------
-    def access(self, core: int, line_address: int, is_write: bool, now: int) -> LLCOutcome:
-        """One LLC access: probe, account energy, fill on miss."""
+    def access_fast(self, core: int, line_address: int, is_write: bool, now: int) -> int:
+        """One LLC access; returns the memory latency it incurred.
+
+        Allocation-free: the hit/width outcome is published through
+        ``last_hit``/``last_probed`` instead of a result object.
+        """
+        if self._dynamic_ways:
+            return self._access_hooked(core, line_address, is_write, now)
+        set_index = line_address & self._set_mask
+        tag = line_address >> self._set_shift
+        cset = self._sets[set_index]
+        tag_map = cset.tag_map
+        probe_mask, n_probed, fill_ways = self._core_tables[core]
+        way = tag_map.get(tag, -1)
+        if way >= 0 and not (probe_mask >> way) & 1:
+            way = -1
+        hit = way >= 0
+
+        energy = self.energy
+        energy.tag_probes += n_probed
+        if hit:
+            energy.data_reads += 1
+        self._ways_probed_sum[core] += n_probed
+        self._probe_events[core] += 1
+        if is_write:
+            self._writeback_accesses[core] += 1
+        else:
+            self._demand_accesses[core] += 1
+            if hit:
+                self._demand_hits[core] += 1
+            if (set_index & self._umon_mask) == self._umon_offset:
+                self._atds[core].record(set_index, tag)
+                energy.monitor_updates += 1
+
+        pre_access = self._pre_access_active
+        if pre_access:
+            self._pre_access(core, set_index, now, hit)
+
+        if hit:
+            # The takeover hook may have restructured the set (e.g. a
+            # power-gating completion invalidated the hit way), so
+            # re-check before touching.
+            if not pre_access or cset.tags[way] == tag:
+                cset.stamp[way] = cset.clock
+                cset.clock += 1
+                if is_write:
+                    cset.dirty[way] = 1
+                    energy.data_writes += 1
+            self.last_hit = True
+            self.last_probed = n_probed
+            return 0
+
+        # Miss path: fetch (demand only), choose victim, fill, write back.
+        memory = self.memory
+        memory_latency = 0
+        if not is_write:
+            bank = (line_address >> memory._bank_shift) % memory.n_banks
+            bank_free = memory._bank_free_at
+            start = bank_free[bank]
+            if now > start:
+                start = now
+            bank_free[bank] = start + memory.bank_busy
+            queueing = start - now
+            memory.reads += 1
+            memory.read_stall_cycles += queueing
+            memory_latency = queueing + memory.latency
+
+        tags = cset.tags
+        if self._custom_victim:
+            victim_way = self._select_victim(core, set_index, fill_ways)
+        else:
+            victim_way = -1
+            if fill_ways is None:
+                if cset.valid_count != cset.ways:
+                    for candidate in range(cset.ways):
+                        if tags[candidate] == NO_TAG:
+                            victim_way = candidate
+                            break
+                if victim_way < 0:
+                    stamp = cset.stamp
+                    victim_way = stamp.index(min(stamp))
+            else:
+                if cset.valid_count != cset.ways:
+                    for candidate in fill_ways:
+                        if tags[candidate] == NO_TAG:
+                            victim_way = candidate
+                            break
+                if victim_way < 0:
+                    stamp = cset.stamp
+                    best_stamp = 0
+                    for candidate in fill_ways:
+                        s = stamp[candidate]
+                        if victim_way < 0 or s < best_stamp:
+                            victim_way = candidate
+                            best_stamp = s
+                    if victim_way < 0:
+                        raise ValueError("victim() called with an empty way set")
+
+        # Inline fill (keep in sync with SetAssociativeCache.fill).
+        old_tag = tags[victim_way]
+        tag_map = cset.tag_map
+        occ = self._occ
+        if old_tag != NO_TAG:
+            evicted_dirty = cset.dirty[victim_way]
+            evicted_owner = cset.owner[victim_way]
+            if tag_map.get(old_tag) == victim_way:
+                del tag_map[old_tag]
+            if evicted_owner >= 0:
+                occ[evicted_owner] -= 1
+        else:
+            evicted_dirty = 0
+            evicted_owner = -1
+            cset.valid_count += 1
+        tags[victim_way] = tag
+        tag_map[tag] = victim_way
+        cset.dirty[victim_way] = 1 if is_write else 0
+        cset.owner[victim_way] = core
+        cset.stamp[victim_way] = cset.clock
+        cset.clock += 1
+        occ[core] += 1
+        energy.data_writes += 1
+        if evicted_dirty:
+            victim_address = (old_tag << self._set_shift) | set_index
+            bank = (victim_address >> memory._bank_shift) % memory.n_banks
+            bank_free = memory._bank_free_at
+            start = bank_free[bank]
+            if now > start:
+                start = now
+            bank_free[bank] = start + memory.bank_busy
+            memory.writebacks += 1
+            memory.flush_timeline[now // memory.flush_bucket_cycles] += 1
+            energy.writebacks += 1
+        if self._post_fill_active:
+            self._post_fill(
+                core, set_index, victim_way, evicted_owner, evicted_dirty, now
+            )
+        self.last_hit = False
+        self.last_probed = n_probed
+        return memory_latency
+
+    def _access_hooked(self, core: int, line_address: int, is_write: bool, now: int) -> int:
+        """Compatibility access path for subclasses overriding the way
+        hooks: semantics of the original skeleton, hooks called per
+        access."""
         geometry = self.geometry
         set_index = line_address & geometry.set_mask
         tag = line_address >> geometry.set_shift
@@ -208,17 +446,15 @@ class BaseSharedCachePolicy:
         self._pre_access(core, set_index, now, hit)
 
         if hit:
-            # The takeover hook may have restructured the set (e.g. a
-            # donor write-hit on a donating way migrates the line), so
-            # re-check before touching.
             if cset.tags[way] == tag:
                 cset.touch(way)
                 if is_write:
                     cset.mark_dirty(way)
                     energy.fill()
-            return LLCOutcome(hit=True, ways_probed=n_probed, memory_latency=0)
+            self.last_hit = True
+            self.last_probed = n_probed
+            return 0
 
-        # Miss path: fetch (demand only), choose victim, fill, write back.
         memory_latency = 0
         if not is_write:
             memory_latency = self.memory.read(line_address, now)
@@ -233,7 +469,23 @@ class BaseSharedCachePolicy:
         self._post_fill(
             core, set_index, victim_way, result.evicted_owner, result.evicted_dirty, now
         )
-        return LLCOutcome(hit=False, ways_probed=n_probed, memory_latency=memory_latency)
+        self.last_hit = False
+        self.last_probed = n_probed
+        return memory_latency
+
+    def access(self, core: int, line_address: int, is_write: bool, now: int) -> LLCOutcome:
+        """One LLC access: probe, account energy, fill on miss.
+
+        API wrapper over :meth:`access_fast`; the simulator's inner
+        loop calls the fast path directly and never allocates the
+        :class:`LLCOutcome`.
+        """
+        memory_latency = self.access_fast(core, line_address, is_write, now)
+        return LLCOutcome(
+            hit=self.last_hit,
+            ways_probed=self.last_probed,
+            memory_latency=memory_latency,
+        )
 
     # ------------------------------------------------------------------
     # Epoch plumbing shared by all policies

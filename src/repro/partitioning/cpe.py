@@ -69,15 +69,9 @@ class DynamicCPEPolicy(BaseSharedCachePolicy):
             tuple(w for w, owner in enumerate(self.assignment) if owner == core)
             for core in range(self.n_cores)
         ]
-
-    # ------------------------------------------------------------------
-    # Access-path hooks
-    # ------------------------------------------------------------------
-    def _probe_ways(self, core: int) -> tuple[int, ...]:
-        return self._partitions[core]
-
-    def _fill_ways(self, core: int) -> tuple[int, ...]:
-        return self._partitions[core]
+        # Way-aligned probes and fills both follow the assignment.
+        for core, partition in enumerate(self._partitions):
+            self._set_core_ways(core, partition, partition)
 
     # ------------------------------------------------------------------
     # Epoch behaviour

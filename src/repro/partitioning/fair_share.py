@@ -30,13 +30,10 @@ class FairSharePolicy(BaseSharedCachePolicy):
         self._partitions: list[tuple[int, ...]] = [
             tuple(range(core * share, (core + 1) * share)) for core in range(n)
         ]
+        # Static partitions: install the fast probe/fill tables once.
+        for core, partition in enumerate(self._partitions):
+            self._set_core_ways(core, partition, partition)
 
     def partition_of(self, core: int) -> tuple[int, ...]:
         """The fixed way block owned by ``core``."""
-        return self._partitions[core]
-
-    def _probe_ways(self, core: int) -> tuple[int, ...]:
-        return self._partitions[core]
-
-    def _fill_ways(self, core: int) -> tuple[int, ...]:
         return self._partitions[core]

@@ -75,13 +75,17 @@ class UCPPolicy(BaseSharedCachePolicy):
         self._selector.set_targets(self.targets)
         self._transitions: dict[int, _Transition] = {}
         self._all_ways = tuple(range(self.geometry.ways))
+        # The post-fill hook only has work while a repartition is
+        # migrating capacity; keep the fast path clear otherwise.
+        self._post_fill_active = False
 
     # ------------------------------------------------------------------
     # Access-path hooks
     # ------------------------------------------------------------------
     def _select_victim(self, core: int, set_index: int, ways: tuple[int, ...] | None) -> int:
-        cset = self.cache.sets[set_index]
-        return self._selector.select(cset, core, self._all_ways if ways is None else ways)
+        return self._selector.select(
+            self._sets[set_index], core, self._all_ways if ways is None else ways
+        )
 
     def _post_fill(self, core: int, set_index: int, way: int, evicted_owner: int,
                    evicted_dirty: bool, now: int) -> None:
@@ -96,6 +100,7 @@ class UCPPolicy(BaseSharedCachePolicy):
             self.stats.transitions_completed += 1
         if transition.finished:
             del self._transitions[core]
+            self._post_fill_active = bool(self._transitions)
 
     def note_pending(self, now: int) -> None:
         """Record ages of unfinished migrations at run end (Figure 15).
@@ -134,5 +139,6 @@ class UCPPolicy(BaseSharedCachePolicy):
             elif core in self._transitions:
                 # The core stopped gaining; abandon its pending transition.
                 del self._transitions[core]
+        self._post_fill_active = bool(self._transitions)
         self.targets = new_targets
         self._selector.set_targets(new_targets)

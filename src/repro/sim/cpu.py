@@ -12,9 +12,16 @@ A core whose trace is exhausted wraps around and keeps running — the
 paper keeps finished applications executing "to keep contending for
 cache resources" — but its performance counters freeze at the target
 reference count.
+
+The reference stream is held in ``array``-backed columns (``gaps``,
+``addresses``, ``writes``) shared with or derived from the
+:class:`~repro.workloads.trace.Trace`, so the simulator's inner loop
+indexes flat machine-word arrays instead of lists of boxed objects.
 """
 
 from __future__ import annotations
+
+from array import array
 
 from repro.workloads.trace import Trace
 
@@ -41,6 +48,8 @@ class CoreState:
         "cycle_base",
         "frozen_instructions",
         "frozen_cycles",
+        "window_closed",
+        "l1_sets",
     )
 
     def __init__(self, core_id: int, trace: Trace) -> None:
@@ -48,9 +57,13 @@ class CoreState:
         self.benchmark = trace.name
         offset = (core_id + 1) << CORE_ADDRESS_SPACE_BITS
         self.gaps = trace.gaps
-        self.addresses = [address + offset for address in trace.line_addresses]
+        self.addresses = array(
+            "q", (address + offset for address in trace.line_addresses)
+        )
         self.writes = trace.writes
-        self.warm_lines = [address + offset for address in trace.warm_lines]
+        self.warm_lines = array(
+            "q", (address + offset for address in trace.warm_lines)
+        )
         self.length = len(trace.line_addresses)
         self.position = 0
         self.time = 0
@@ -60,11 +73,15 @@ class CoreState:
         self.cycle_base = 0
         self.frozen_instructions = 0
         self.frozen_cycles = 0
+        self.window_closed = False
+        #: the core's private L1 sets, bound by the simulator so the
+        #: inner loop reaches them in one attribute load
+        self.l1_sets: list | None = None
 
     @property
     def finished(self) -> bool:
         """Whether the measurement window for this core has closed."""
-        return self.frozen_cycles > 0
+        return self.window_closed
 
     def start_measurement(self) -> None:
         """Reset the measured window (end of warmup)."""
@@ -75,3 +92,4 @@ class CoreState:
         """Capture the measured window at the target reference count."""
         self.frozen_instructions = self.instructions - self.instr_base
         self.frozen_cycles = self.time - self.cycle_base
+        self.window_closed = True

@@ -13,10 +13,24 @@ that finish keep running (wrapping their trace) so the others still
 contend; the run ends when every core has closed its window.  Energy
 integrates from the end of warmup to the end of the run under the
 same rules for every scheme.
+
+Hot-path notes.  ``run`` is written for throughput and is
+allocation-free per reference: the next core comes from a two-way
+compare (2 cores), a plain read (1 core) or a heap (3+); the L1
+lookup is inlined (a ``tag_map`` dict probe plus a stamp store on a
+hit — the overwhelmingly common case never enters another frame); L1
+misses take one call into :meth:`_l1_miss`, which drives the LLC
+policy's ``access_fast`` and performs the L1 fill inline.  The same
+state is reachable through :meth:`CacheHierarchy.access` for tests
+and API users — both paths mutate identical structures in the same
+order, so they are interchangeable mid-run.
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heapreplace
+
+from repro.cache.cache_set import NO_TAG
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.memory import MainMemory
 from repro.cache.set_associative import SetAssociativeCache
@@ -94,32 +108,76 @@ class CMPSimulator:
             self.policy,
         )
         self.epoch_curves: list[list[int]] = []
+        # Inner-loop constants and per-core L1 bindings.  The counter
+        # lists are zeroed in place at the end of warmup, so these
+        # references stay valid for the whole run.
+        l1_geometry = self.hierarchy.l1[0].geometry
+        self._l1_mask = l1_geometry.set_mask
+        self._l1_shift = l1_geometry.set_shift
+        self._miss_latency = config.l1_latency + config.l2_latency
+        self._policy_access = self.policy.access_fast
+        self._l1_misses = self.hierarchy.l1_misses
+        self._l1_writebacks = self.hierarchy.l1_writebacks
+        for core in self.cores:
+            l1 = self.hierarchy.l1[core.core_id]
+            l1.ensure_cores(config.n_cores)
+            core.l1_sets = l1.sets
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the run protocol and return the collected results."""
         config = self.config
         cores = self.cores
-        hierarchy = self.hierarchy
         issue_shift = max(0, config.issue_width.bit_length() - 1)
         target = config.refs_per_core
         warmup = min(config.warmup_refs, max(0, target - 1))
         warmed_up = warmup == 0
-        unfinished = len(cores)
+        n = len(cores)
+        unfinished = n
 
         self._prewarm()
         # The first epoch starts after the warming traffic has drained
         # so the catch-up logic does not fire several decisions back to
         # back on sparse monitor data.
-        next_epoch = max(core.time for core in cores) + config.epoch_cycles
+        epoch_cycles = config.epoch_cycles
+        next_epoch = max(core.time for core in cores) + epoch_cycles
+
+        l1_mask = self._l1_mask
+        l1_shift = self._l1_shift
+        l1_latency = self.hierarchy.l1_latency
+        l1_hits = self.hierarchy.l1_hits
+        l1_misses = self._l1_misses
+        l1_writebacks = self._l1_writebacks
+        policy_access = self._policy_access
+        miss_latency = self._miss_latency
+
+        # Scheduler: two-way compare for the common 2-core geometry, a
+        # heap keyed on (time, core_id) for 3+ cores (same tie-break
+        # as min() over the core list: earliest time, lowest id).
+        core_a = cores[0]
+        core_b = cores[1] if n == 2 else None
+        heap = None
+        if n > 2:
+            heap = [(core.time, core.core_id) for core in cores]
+            heapify(heap)
 
         while unfinished:
-            core = min(cores, key=_core_time)
-            now = core.time
+            if core_b is not None:
+                core = core_a if core_a.time <= core_b.time else core_b
+                now = core.time
+            elif heap is None:
+                core = core_a
+                now = core.time
+            else:
+                now, core_id = heap[0]
+                core = cores[core_id]
 
             if now >= next_epoch:
-                self._run_epoch(next_epoch)
-                next_epoch += config.epoch_cycles
+                if self._run_epoch(next_epoch) and heap is not None:
+                    # The epoch stalled every core; re-key the heap.
+                    heap = [(core.time, core.core_id) for core in cores]
+                    heapify(heap)
+                next_epoch += epoch_cycles
                 continue
 
             position = core.position
@@ -127,12 +185,68 @@ class CMPSimulator:
             address = core.addresses[position]
             is_write = core.writes[position]
             issue_time = now + (gap >> issue_shift)
-            access = hierarchy.access(core.core_id, address, is_write, issue_time)
-            core.time = issue_time + access.latency
+
+            # Inlined L1 lookup — the hit path touches three integers
+            # and returns to the scheduler without another frame.
+            set_index = address & l1_mask
+            tag = address >> l1_shift
+            cset = core.l1_sets[set_index]
+            way = cset.tag_map.get(tag, -1)
+            if way >= 0:
+                cset.stamp[way] = cset.clock
+                cset.clock += 1
+                if is_write:
+                    cset.dirty[way] = 1
+                l1_hits[core.core_id] += 1
+                core.time = issue_time + l1_latency
+            else:
+                # Inlined L1 miss path — a verbatim copy of _l1_miss
+                # (worth one frame per miss at this call frequency).
+                # Any edit must be applied to BOTH copies; the golden
+                # suite (tests/golden/) catches divergence, since
+                # _prewarm drives _l1_miss and this loop drives the
+                # inline copy within the same pinned runs.
+                core_id = core.core_id
+                l1_misses[core_id] += 1
+                memory_latency = policy_access(core_id, address, False, issue_time)
+                tags = cset.tags
+                victim_way = -1
+                if cset.valid_count != cset.ways:
+                    for candidate in range(cset.ways):
+                        if tags[candidate] == NO_TAG:
+                            victim_way = candidate
+                            break
+                if victim_way < 0:
+                    stamp = cset.stamp
+                    victim_way = stamp.index(min(stamp))
+                old_tag = tags[victim_way]
+                tag_map = cset.tag_map
+                evicted_dirty = 0
+                if old_tag != NO_TAG:
+                    evicted_dirty = cset.dirty[victim_way]
+                    if tag_map.get(old_tag) == victim_way:
+                        del tag_map[old_tag]
+                else:
+                    cset.valid_count += 1
+                    self.hierarchy.l1[core_id].core_occupancy[core_id] += 1
+                tags[victim_way] = tag
+                tag_map[tag] = victim_way
+                cset.dirty[victim_way] = 1 if is_write else 0
+                cset.owner[victim_way] = core_id
+                cset.stamp[victim_way] = cset.clock
+                cset.clock += 1
+                if evicted_dirty:
+                    l1_writebacks[core_id] += 1
+                    policy_access(
+                        core_id, (old_tag << l1_shift) | set_index, True, issue_time
+                    )
+                core.time = issue_time + miss_latency + memory_latency
             core.instructions += gap + 1
             position += 1
             core.position = 0 if position == core.length else position
             core.refs_done += 1
+            if heap is not None:
+                heapreplace(heap, (core.time, core.core_id))
 
             if not warmed_up and core.refs_done == warmup:
                 # Each core's IPC window opens at its own warmup point
@@ -143,7 +257,7 @@ class CMPSimulator:
                 if all(c.refs_done >= warmup for c in cores):
                     self._end_warmup()
                     warmed_up = True
-            if core.refs_done == target and not core.finished:
+            if core.refs_done == target and not core.window_closed:
                 core.freeze()
                 unfinished -= 1
 
@@ -155,6 +269,65 @@ class CMPSimulator:
         return self._collect(end_cycle)
 
     # ------------------------------------------------------------------
+    def _l1_miss(
+        self,
+        core_id: int,
+        address: int,
+        is_write: int,
+        now: int,
+        cset,
+        set_index: int,
+        tag: int,
+    ) -> int:
+        """L1 miss path: LLC fetch, inlined L1 fill, victim writeback.
+
+        Mirrors :meth:`CacheHierarchy.access`'s miss handling (fetch
+        before fill, write the dirty victim through the LLC after) and
+        :meth:`SetAssociativeCache.fill`'s state updates — keep the
+        three in sync.
+        """
+        self._l1_misses[core_id] += 1
+        policy_access = self._policy_access
+        # Fetch the line from the shared LLC (write-allocate).
+        memory_latency = policy_access(core_id, address, False, now)
+
+        # Choose the L1 victim (plain LRU over the full set).
+        tags = cset.tags
+        victim_way = -1
+        if cset.valid_count != cset.ways:
+            for candidate in range(cset.ways):
+                if tags[candidate] == NO_TAG:
+                    victim_way = candidate
+                    break
+        if victim_way < 0:
+            stamp = cset.stamp
+            victim_way = stamp.index(min(stamp))
+
+        # Inlined L1 fill.
+        old_tag = tags[victim_way]
+        tag_map = cset.tag_map
+        evicted_dirty = 0
+        if old_tag != NO_TAG:
+            evicted_dirty = cset.dirty[victim_way]
+            if tag_map.get(old_tag) == victim_way:
+                del tag_map[old_tag]
+        else:
+            cset.valid_count += 1
+            self.hierarchy.l1[core_id].core_occupancy[core_id] += 1
+        tags[victim_way] = tag
+        tag_map[tag] = victim_way
+        cset.dirty[victim_way] = 1 if is_write else 0
+        cset.owner[victim_way] = core_id
+        cset.stamp[victim_way] = cset.clock
+        cset.clock += 1
+
+        if evicted_dirty:
+            victim_address = (old_tag << self._l1_shift) | set_index
+            self._l1_writebacks[core_id] += 1
+            policy_access(core_id, victim_address, True, now)
+        return self._miss_latency + memory_latency
+
+    # ------------------------------------------------------------------
     def _prewarm(self) -> None:
         """Pre-touch each core's resident working set (cache warming).
 
@@ -163,25 +336,55 @@ class CMPSimulator:
         interleaved across cores, before the measured window.  The
         traffic ages normally and everything it touches is discarded
         by the warmup statistics reset.
-        """
-        hierarchy = self.hierarchy
-        cores = self.cores
-        positions = [0] * len(cores)
-        remaining = sum(len(core.warm_lines) for core in cores)
-        while remaining:
-            for core in cores:
-                position = positions[core.core_id]
-                if position >= len(core.warm_lines):
-                    continue
-                access = hierarchy.access(
-                    core.core_id, core.warm_lines[position], False, core.time
-                )
-                core.time += access.latency
-                positions[core.core_id] = position + 1
-                remaining -= 1
 
-    def _run_epoch(self, now: int) -> None:
-        """Partitioning decision at a global epoch boundary."""
+        Cores advance through per-core cursors and drained cores drop
+        out of the sweep list, so each round only visits cores that
+        still have lines to warm (the previous implementation rescanned
+        every core per warmed line).
+        """
+        l1_mask = self._l1_mask
+        l1_shift = self._l1_shift
+        l1_latency = self.hierarchy.l1_latency
+        l1_hits = self.hierarchy.l1_hits
+        miss = self._l1_miss
+        # [core, cursor, lines, length] per core with warming to do.
+        active = [
+            [core, 0, core.warm_lines, len(core.warm_lines)]
+            for core in self.cores
+            if len(core.warm_lines)
+        ]
+        while active:
+            drained = False
+            for entry in active:
+                core = entry[0]
+                cursor = entry[1]
+                address = entry[2][cursor]
+                now = core.time
+                cset = core.l1_sets[address & l1_mask]
+                way = cset.tag_map.get(address >> l1_shift, -1)
+                if way >= 0:
+                    cset.stamp[way] = cset.clock
+                    cset.clock += 1
+                    l1_hits[core.core_id] += 1
+                    core.time = now + l1_latency
+                else:
+                    core.time = now + miss(
+                        core.core_id, address, False, now,
+                        cset, address & l1_mask, address >> l1_shift,
+                    )
+                cursor += 1
+                entry[1] = cursor
+                if cursor == entry[3]:
+                    drained = True
+            if drained:
+                active = [entry for entry in active if entry[1] < entry[3]]
+
+    def _run_epoch(self, now: int) -> bool:
+        """Partitioning decision at a global epoch boundary.
+
+        Returns True when the decision stalled the cores (so the
+        scheduler knows its cached orderings are stale).
+        """
         if self.collect_curves and self.monitors:
             self.epoch_curves.append(self.monitors[0].miss_curve())
         self.policy.epoch(now)
@@ -190,6 +393,8 @@ class CMPSimulator:
             for core in self.cores:
                 core.time += stall
             self.policy.pending_stall = 0
+            return True
+        return False
 
     def _end_warmup(self) -> None:
         """Discard warmup statistics; the measured window starts here."""
@@ -200,11 +405,13 @@ class CMPSimulator:
         # it, keeping the static integration monotonic.
         now = min(core.time for core in self.cores)
         self.energy.reset_window(now)
+        # Zero the L1 counters in place: the run loop holds direct
+        # references to these lists.
         hierarchy = self.hierarchy
-        n = self.config.n_cores
-        hierarchy.l1_hits = [0] * n
-        hierarchy.l1_misses = [0] * n
-        hierarchy.l1_writebacks = [0] * n
+        for core_id in range(self.config.n_cores):
+            hierarchy.l1_hits[core_id] = 0
+            hierarchy.l1_misses[core_id] = 0
+            hierarchy.l1_writebacks[core_id] = 0
 
     def _collect(self, end_cycle: int) -> RunResult:
         if self.collect_curves and self.monitors:
@@ -241,7 +448,3 @@ class CMPSimulator:
             window_cycles=window_cycles,
             epoch_curves=self.epoch_curves,
         )
-
-
-def _core_time(core: CoreState) -> int:
-    return core.time

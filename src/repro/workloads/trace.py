@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 import zlib
+from array import array
 from dataclasses import dataclass
 
 from repro.cache.geometry import CacheGeometry
@@ -42,13 +43,18 @@ class Trace:
     before measurement, mirroring the paper's explicit cache-warming
     phase after fast-forward, so short traces are not dominated by
     compulsory misses the paper's 1B-instruction runs amortise away.
+
+    The three parallel columns are ``array``-backed (``'q'`` for gaps
+    and addresses, ``'b'`` 0/1 flags for writes) so a 100k-reference
+    trace is three flat buffers, not 300k boxed Python objects; the
+    simulator indexes them directly in its inner loop.
     """
 
     name: str
-    gaps: list[int]
-    line_addresses: list[int]
-    writes: list[bool]
-    warm_lines: list[int]
+    gaps: "array[int]"
+    line_addresses: "array[int]"
+    writes: "array[int]"
+    warm_lines: "array[int]"
 
     def __len__(self) -> int:
         return len(self.line_addresses)
@@ -196,10 +202,10 @@ def generate_trace(
 
     return Trace(
         name=profile.name,
-        gaps=gaps,
-        line_addresses=addresses,
-        writes=writes,
-        warm_lines=warm_lines,
+        gaps=array("q", gaps),
+        line_addresses=array("q", addresses),
+        writes=array("b", writes),
+        warm_lines=array("q", warm_lines),
     )
 
 

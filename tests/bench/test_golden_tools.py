@@ -1,0 +1,43 @@
+"""Unit tests for the golden-fixture tooling (diffing and payloads)."""
+
+from repro.bench.golden import GoldenCase, diff_payloads, golden_matrix
+
+
+class TestDiffPayloads:
+    def test_identical_payloads_have_no_mismatches(self):
+        payload = {"a": 1, "b": [1, 2, {"c": 3.5}], "d": {"e": None}}
+        assert diff_payloads(payload, payload) == []
+
+    def test_scalar_drift_is_located(self):
+        expected = {"stats": {"hits": [10, 20]}}
+        actual = {"stats": {"hits": [10, 21]}}
+        mismatches = diff_payloads(expected, actual)
+        assert mismatches == ["stats.hits[1]: 21 != expected 20"]
+
+    def test_missing_and_unexpected_fields_are_reported(self):
+        mismatches = diff_payloads({"a": 1}, {"b": 2})
+        assert len(mismatches) == 2
+        assert any("missing" in m for m in mismatches)
+        assert any("unexpected" in m for m in mismatches)
+
+    def test_length_mismatch_short_circuits_element_diffs(self):
+        mismatches = diff_payloads({"xs": [1, 2]}, {"xs": [1]})
+        assert mismatches == ["xs: length 1 != expected 2"]
+
+    def test_float_comparison_is_exact(self):
+        """Bit-exactness is the whole point: no tolerance anywhere."""
+        assert diff_payloads({"e": 0.1}, {"e": 0.1 + 1e-18}) == []  # same double
+        assert diff_payloads({"e": 0.1}, {"e": 0.1000001}) != []
+
+
+class TestGoldenCases:
+    def test_small_geometry_halves_the_sets_keeping_ways(self):
+        case = GoldenCase("x", 2, "small", "unmanaged", "G2-1", 1_000)
+        base = GoldenCase("x", 2, "base", "unmanaged", "G2-1", 1_000)
+        small, full = case.config().l2, base.config().l2
+        assert small.ways == full.ways
+        assert small.num_sets * 2 == full.num_sets
+
+    def test_fixture_names_are_unique(self):
+        names = [case.filename for case in golden_matrix()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,82 @@
+"""Unit tests for the throughput harness and its regression checks."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchCase,
+    bench_matrix,
+    compare_to_baseline,
+    run_case,
+    speedup_over,
+)
+from repro.sim.runner import ExperimentRunner
+
+
+def _payload(**cases: float) -> dict:
+    return {
+        "cases": [
+            {"name": name, "refs_per_sec": value} for name, value in cases.items()
+        ]
+    }
+
+
+class TestMatrix:
+    def test_quick_cases_are_a_subset_of_the_full_matrix(self):
+        """--check against a committed full payload must cover --quick runs."""
+        full = {case.name for case in bench_matrix()}
+        quick = {case.name for case in bench_matrix(quick=True)}
+        assert quick and quick <= full
+
+    def test_case_names_are_unique(self):
+        names = [case.name for case in bench_matrix()]
+        assert len(names) == len(set(names))
+
+    def test_two_core_matrix_covers_every_scheme(self):
+        policies = {case.policy for case in bench_matrix() if case.cores == 2}
+        assert policies == {"unmanaged", "fair_share", "cpe", "ucp", "cooperative"}
+
+
+class TestRegressionCheck:
+    def test_no_regression_within_tolerance(self):
+        current = _payload(a=90.0, b=200.0)
+        baseline = _payload(a=100.0, b=180.0)
+        assert compare_to_baseline(current, baseline, tolerance=0.20) == []
+
+    def test_regression_beyond_tolerance_is_reported(self):
+        current = _payload(a=70.0)
+        baseline = _payload(a=100.0)
+        messages = compare_to_baseline(current, baseline, tolerance=0.20)
+        assert len(messages) == 1
+        assert "a" in messages[0]
+
+    def test_cases_missing_from_baseline_are_ignored(self):
+        current = _payload(a=100.0, new_case=1.0)
+        baseline = _payload(a=100.0)
+        assert compare_to_baseline(current, baseline, tolerance=0.20) == []
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            compare_to_baseline(_payload(), _payload(), tolerance=1.5)
+
+    def test_speedup_is_the_geomean_of_shared_ratios(self):
+        current = _payload(a=200.0, b=800.0, only_current=1.0)
+        baseline = _payload(a=100.0, b=200.0, only_base=1.0)
+        assert speedup_over(current, baseline) == pytest.approx((2.0 * 4.0) ** 0.5)
+
+    def test_speedup_none_without_shared_cases(self):
+        assert speedup_over(_payload(a=1.0), _payload(b=1.0)) is None
+
+
+class TestRunCase:
+    def test_records_throughput_for_a_tiny_case(self):
+        case = BenchCase("tiny", 2, "G2-1", "unmanaged", 2_000)
+        record = run_case(case, ExperimentRunner(), repeats=1)
+        assert record["name"] == "tiny"
+        assert record["references"] >= 2 * 2_000
+        assert record["refs_per_sec"] > 0
+        assert record["seconds"] > 0
+
+    def test_rejects_nonpositive_repeats(self):
+        case = BenchCase("tiny", 2, "G2-1", "unmanaged", 2_000)
+        with pytest.raises(ValueError):
+            run_case(case, ExperimentRunner(), repeats=0)

@@ -77,6 +77,17 @@ class TestFlush:
         assert cache.valid_line_count() == 0
 
 
+def _scan_occupancy(cache, n_cores):
+    """Brute-force per-core occupancy (the pre-counter implementation)."""
+    counts = [0] * n_cores
+    for cset in cache.sets:
+        for way in range(cset.ways):
+            owner = cset.owner[way]
+            if cset.tags[way] != -1 and 0 <= owner < n_cores:
+                counts[owner] += 1
+    return counts
+
+
 class TestOccupancy:
     def test_occupancy_by_core(self):
         cache = _cache()
@@ -85,3 +96,49 @@ class TestOccupancy:
         cache.fill(2, core=1, is_write=False, victim_way=1)
         assert cache.occupancy_by_core(2) == [2, 1]
         assert cache.valid_line_count() == 3
+
+    def test_eviction_moves_the_count_between_cores(self):
+        cache = _cache()
+        cache.fill(0, core=0, is_write=False, victim_way=0)
+        cache.fill(64, core=1, is_write=False, victim_way=0)  # same set, same way
+        assert cache.occupancy_by_core(2) == [0, 1]
+
+    def test_invalidate_way_decrements_counters(self):
+        cache = _cache()
+        for set_index in range(4):
+            address = cache.geometry.rebuild_line_address(7, set_index)
+            cache.fill(address, core=0, is_write=False, victim_way=2)
+        cache.fill(5, core=1, is_write=False, victim_way=1)
+        cache.invalidate_way(2)
+        assert cache.occupancy_by_core(2) == [0, 1]
+
+    def test_transfer_ownership_moves_one_line(self):
+        cache = _cache()
+        _, _, set_index = cache.probe(1000)
+        cache.fill(1000, core=0, is_write=False, victim_way=3)
+        cache.transfer_ownership(set_index, 3, 1)
+        assert cache.occupancy_by_core(2) == [0, 1]
+        # Transferring an invalid way changes nothing.
+        cache.transfer_ownership(set_index, 0, 1)
+        assert cache.occupancy_by_core(2) == [0, 1]
+
+    def test_counters_match_a_brute_force_scan_after_a_run(self):
+        """The incremental counters stay exact through a full simulation
+        (installs, evictions, takeover flushes and power-gating)."""
+        from repro.sim.config import scaled_two_core
+        from repro.sim.runner import ExperimentRunner
+
+        runner = ExperimentRunner()
+        config = scaled_two_core(refs_per_core=4_000)
+        from repro.sim.simulator import CMPSimulator
+        from repro.workloads.groups import group_benchmarks
+
+        traces = [
+            runner.trace_for(benchmark, config)
+            for benchmark in group_benchmarks("G2-1")
+        ]
+        simulator = CMPSimulator(config, traces, "cooperative")
+        simulator.run()
+        assert simulator.cache.occupancy_by_core(2) == _scan_occupancy(
+            simulator.cache, 2
+        )

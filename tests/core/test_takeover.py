@@ -1,5 +1,6 @@
 """Unit tests for takeover vectors and the cooperative takeover engine."""
 
+from repro.cache.cache_set import NO_TAG
 from repro.cache.geometry import CacheGeometry
 from repro.cache.memory import MainMemory
 from repro.cache.set_associative import SetAssociativeCache
@@ -46,10 +47,10 @@ class TestEngineProtocol:
         engine.begin([WayTransition(way=2, donor=1, recipient=0, start_cycle=0)])
 
         completed = engine.on_access(core=1, set_index=3, hit=True, now=10)
-        assert completed == []
+        assert not completed
         assert memory.writebacks == 1  # the dirty line was flushed
         assert not cache.sets[3].dirty[2]  # but stays valid and clean
-        assert cache.sets[3].tags[2] is not None
+        assert cache.sets[3].tags[2] != NO_TAG
         assert stats.takeover_events["donor_hit"] == 1
 
     def test_recipient_access_marks_donor_vector(self):
@@ -73,7 +74,7 @@ class TestEngineProtocol:
         completed = []
         for set_index in range(GEOMETRY.num_sets):
             completed = engine.on_access(core=0, set_index=set_index, hit=False, now=set_index)
-        assert completed == [1]
+        assert list(completed) == [1]
         assert engine.pop_donor(1)[0].way == 2
         assert not engine.active
 

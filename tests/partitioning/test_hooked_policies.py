@@ -1,0 +1,91 @@
+"""Custom policies that override the way hooks keep their semantics.
+
+The hot-path overhaul moved the built-in schemes onto precomputed
+probe/fill tables, but third-party subclasses (see
+``examples/custom_policy.py``) override ``_probe_ways``/``_fill_ways``
+and must keep working through the compatibility path.  The strongest
+check: a hook-overriding policy whose restrictions equal Fair Share's
+static partitions must produce a bit-identical ``RunResult``.
+"""
+
+from repro.orchestration.serialize import run_result_to_dict
+from repro.partitioning.base import BaseSharedCachePolicy
+from repro.partitioning.registry import POLICY_NAMES
+from repro.sim.config import scaled_two_core
+from repro.sim.runner import ExperimentRunner
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.groups import group_benchmarks
+
+
+class _HookedEqualShare(BaseSharedCachePolicy):
+    """Fair Share expressed through the historical hook API."""
+
+    name = "Fair Share"  # same display name so RunResults compare equal
+    needs_monitors = False
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        ways = self.geometry.ways
+        share = ways // self.n_cores
+        self._blocks = [
+            tuple(range(core * share, (core + 1) * share))
+            for core in range(self.n_cores)
+        ]
+
+    def _probe_ways(self, core):
+        return self._blocks[core]
+
+    def _fill_ways(self, core):
+        return self._blocks[core]
+
+
+def _run(policy_name, monkeypatch=None):
+    runner = ExperimentRunner()
+    config = scaled_two_core(refs_per_core=4_000)
+    traces = [
+        runner.trace_for(benchmark, config)
+        for benchmark in group_benchmarks("G2-1")
+    ]
+    return CMPSimulator(config, traces, policy_name).run()
+
+
+def test_hooked_subclass_uses_the_compatibility_path():
+    # Borrow a throwaway simulator's plumbing to build the policy.
+    config = scaled_two_core(refs_per_core=1_000)
+    sim = CMPSimulator(
+        config,
+        [ExperimentRunner().trace_for(b, config)
+         for b in group_benchmarks("G2-1")],
+        "unmanaged",
+    )
+    policy = _HookedEqualShare(sim.cache, sim.memory, sim.energy, sim.stats)
+    assert policy._dynamic_ways  # the override was detected
+    assert not sim.policy._dynamic_ways  # built-ins stay on the fast path
+
+
+def test_hooked_policy_matches_tabled_fair_share(monkeypatch):
+    """Hook path and table path simulate the identical machine."""
+    import repro.partitioning.registry as registry
+
+    expected = run_result_to_dict(_run("fair_share"))
+
+    original = registry.create_policy
+
+    def hooked_create(name, *args, **kwargs):
+        if name == "fair_share_hooked":
+            cache, memory, energy, stats = args[:4]
+            monitors = args[4] if len(args) > 4 else kwargs.get("monitors")
+            return _HookedEqualShare(cache, memory, energy, stats, monitors)
+        return original(name, *args, **kwargs)
+
+    monkeypatch.setattr(registry, "create_policy", hooked_create)
+    # CMPSimulator imported create_policy by name; patch its reference.
+    import repro.sim.simulator as simulator_module
+
+    monkeypatch.setattr(simulator_module, "create_policy", hooked_create)
+    actual = run_result_to_dict(_run("fair_share_hooked"))
+    assert actual == expected
+
+
+def test_policy_names_registry_matches_display_names():
+    assert POLICY_NAMES["fair_share"] == "Fair Share"
