@@ -1,0 +1,64 @@
+"""Scenario timeline: a core arrives mid-run and wins its ways back.
+
+The inverse of consolidation: the machine starts under-committed (the
+last slot idle, its share gated under the gating schemes) and the
+arriving application must be granted capacity immediately — powered-on
+gated ways first, cooperative takeover from the richest core if the
+cache is fully lit.  Prints the allocation timeline around the arrival
+for each scheme that manages ways explicitly.
+"""
+
+from repro.scenarios import Scenario, arrival_scenario, render_timeline
+
+GROUP_BENCHMARKS = ("lbm", "soplex")  # G2-8
+SCHEMES = ("cooperative", "fair_share", "ucp")
+
+
+def test_scenario_arrival_grants_ways(benchmark, runner, two_core_config):
+    config = two_core_config
+
+    def sweep():
+        static = Scenario.static(GROUP_BENCHMARKS, name="static-G2-8")
+        probe = runner.run_scenario(static, config, "cooperative")
+        window_start = probe.end_cycle - probe.window_cycles
+        scenario = arrival_scenario(
+            GROUP_BENCHMARKS,
+            late_core=1,
+            arrive_cycle=window_start + probe.window_cycles // 3,
+            name="arrival-G2-8",
+        )
+        return {
+            policy: runner.run_scenario(scenario, config, policy)
+            for policy in SCHEMES
+        }
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ways = config.l2.ways
+    for policy, run in runs.items():
+        print(f"\n=== arrival under {run.policy} ===")
+        print(render_timeline(run.timeline, ways))
+
+    for policy, run in runs.items():
+        arrival_samples = [
+            sample
+            for sample in run.timeline
+            if any("arrive" in event for event in sample.events)
+        ]
+        assert len(arrival_samples) == 1, f"{policy}: arrival not on timeline"
+        sample = arrival_samples[0]
+        # The arrival holds capacity from its first cycle on.
+        assert sample.allocations[1] >= 1, f"{policy}: arrival got no ways"
+        # The late core completed a measured window.
+        assert run.cores[1].instructions > 0
+        assert run.cores[1].cycles > 0
+
+    # Cooperative gates the idle share before the arrival: powered ways
+    # must rise when the core joins.
+    cooperative = runs["cooperative"]
+    arrival_cycle = next(s.cycle for s in cooperative.timeline if s.events)
+    before = [s for s in cooperative.timeline if s.cycle < arrival_cycle]
+    after = [s for s in cooperative.timeline if s.cycle >= arrival_cycle]
+    assert before and min(s.powered_ways for s in before) < ways
+    assert max(s.powered_ways for s in after) > min(
+        s.powered_ways for s in before
+    )

@@ -1,0 +1,61 @@
+"""Scenario timeline: mid-run consolidation (cores depart, ways gate).
+
+The dynamic counterpart of the paper's static-energy figures: half the
+cores drain mid-window and the gating schemes (Cooperative, Dynamic
+CPE) power down the released capacity while UCP/Fair Share merely
+re-target.  Prints each scheme's integrated static energy against its
+own no-departure baseline and the cooperative powered-ways timeline —
+the shape Figures 14-16 reason about.
+"""
+
+from repro.scenarios import Scenario, consolidation_scenario, render_timeline
+from repro.sim.runner import ALL_POLICIES
+
+GROUP_BENCHMARKS = ("lbm", "libquantum", "gromacs", "mcf")  # G4-5
+
+
+def test_scenario_consolidation_static_energy(benchmark, runner, four_core_config):
+    config = four_core_config
+
+    def sweep():
+        static = Scenario.static(GROUP_BENCHMARKS, name="static-G4-5")
+        probe = runner.run_scenario(static, config, "cooperative")
+        window_start = probe.end_cycle - probe.window_cycles
+        scenario = consolidation_scenario(
+            GROUP_BENCHMARKS,
+            depart_cores=[2, 3],
+            depart_cycle=window_start + probe.window_cycles // 3,
+            name="consolidate-G4-5",
+        )
+        table = {}
+        for policy in ALL_POLICIES:
+            run = runner.run_scenario(scenario, config, policy)
+            baseline = runner.run_scenario(static, config, policy)
+            table[policy] = (run, baseline)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== consolidation: integrated static energy vs no departure ===")
+    print(
+        f"{'scheme':<14}{'static nJ':>12}{'baseline':>12}{'ratio':>8}"
+        f"{'min powered':>13}"
+    )
+    for policy, (run, baseline) in table.items():
+        ratio = run.static_energy_nj / baseline.static_energy_nj
+        print(
+            f"{policy:<14}{run.static_energy_nj:>12,.0f}"
+            f"{baseline.static_energy_nj:>12,.0f}{ratio:>8.2f}"
+            f"{run.min_powered_ways():>13}"
+        )
+    cooperative, cooperative_baseline = table["cooperative"]
+    print("\ncooperative timeline:")
+    print(render_timeline(cooperative.timeline, config.l2.ways))
+
+    # The gating schemes must save static energy when cores leave...
+    assert cooperative.static_energy_nj < cooperative_baseline.static_energy_nj
+    assert cooperative.min_powered_ways() < config.l2.ways
+    # ...while the non-gating schemes keep the full cache powered.
+    ucp_run, _ = table["ucp"]
+    assert ucp_run.min_powered_ways() == config.l2.ways
+    # The departure edge itself is on the timeline.
+    assert any(s.events for s in cooperative.timeline)

@@ -40,6 +40,17 @@ from repro.orchestration import (
 )
 from repro.partitioning.lookahead import AllocationResult, lookahead_partition
 from repro.partitioning.registry import POLICY_NAMES, create_policy
+from repro.scenarios import (
+    Scenario,
+    ScenarioEvent,
+    TimelineSample,
+    arrival_scenario,
+    consolidation_scenario,
+    core_arrive,
+    core_depart,
+    phase_change,
+    phased_scenario,
+)
 from repro.sim.config import (
     SystemConfig,
     paper_four_core,
@@ -73,11 +84,18 @@ __all__ = [
     "POLICY_NAMES",
     "ResultStore",
     "RunResult",
+    "Scenario",
+    "ScenarioEvent",
     "SweepExecutor",
     "SystemConfig",
     "TWO_CORE_GROUPS",
+    "TimelineSample",
     "Trace",
     "TransferPlan",
+    "arrival_scenario",
+    "consolidation_scenario",
+    "core_arrive",
+    "core_depart",
     "create_policy",
     "default_store_path",
     "generate_trace",
@@ -90,6 +108,8 @@ __all__ = [
     "orchestrated_runner",
     "paper_four_core",
     "paper_two_core",
+    "phase_change",
+    "phased_scenario",
     "plan_transfers",
     "profile_for",
     "scaled_four_core",

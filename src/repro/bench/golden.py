@@ -28,9 +28,16 @@ from pathlib import Path
 
 from repro.cache.geometry import CacheGeometry
 from repro.orchestration.serialize import run_result_to_dict
+from repro.scenarios.model import (
+    Scenario,
+    arrival_scenario,
+    consolidation_scenario,
+    phased_scenario,
+)
 from repro.sim.config import SystemConfig, scaled_four_core, scaled_two_core
 from repro.sim.runner import ALL_POLICIES, ExperimentRunner
 from repro.sim.stats import RunResult
+from repro.workloads.groups import group_benchmarks
 
 #: fixture payload schema; bump on incompatible layout changes
 GOLDEN_SCHEMA = 1
@@ -90,6 +97,87 @@ def run_golden_case(case: GoldenCase, runner: ExperimentRunner) -> RunResult:
     return runner.run_group(case.group, case.config(), case.policy)
 
 
+# ----------------------------------------------------------------------
+# Scenario-timeline fixtures
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioGoldenCase:
+    """One pinned time-varying schedule whose full result — per-epoch
+    timeline, allocations and energy included — is a committed fixture."""
+
+    name: str
+    cores: int
+    policy: str
+    group: str
+    refs_per_core: int
+    shape: str  # "depart" | "arrive" | "phase"
+    event_cycle: int
+
+    def config(self) -> SystemConfig:
+        """The exact system configuration of this case."""
+        factory = scaled_two_core if self.cores == 2 else scaled_four_core
+        return factory(refs_per_core=self.refs_per_core)
+
+    def scenario(self) -> Scenario:
+        """The pinned event schedule of this case."""
+        benchmarks = group_benchmarks(self.group)
+        if self.shape == "depart":
+            return consolidation_scenario(
+                benchmarks, [len(benchmarks) - 1], self.event_cycle,
+                name=self.name,
+            )
+        if self.shape == "arrive":
+            return arrival_scenario(
+                benchmarks, len(benchmarks) - 1, self.event_cycle,
+                name=self.name,
+            )
+        if self.shape == "phase":
+            return phased_scenario(
+                benchmarks, 0, ["lbm"], [self.event_cycle], name=self.name
+            )
+        raise ValueError(f"unknown scenario shape {self.shape!r}")
+
+    @property
+    def filename(self) -> str:
+        """Fixture file name for this case."""
+        return f"{self.name}.json"
+
+
+def scenario_golden_matrix() -> list[ScenarioGoldenCase]:
+    """Three pinned schedules: a departure and a phase change on the
+    two-core system, a late arrival on the four-core system.
+
+    The event cycles sit inside the measured windows of the matching
+    static golden runs (2-core window ≈ 2.82M..3.03M cycles at 8000
+    refs; 4-core ≈ 1.28M..1.43M at 6000 refs), so the timelines pin
+    the interesting transitions, not just the steady state.
+    """
+    return [
+        ScenarioGoldenCase(
+            name="scn_2c_depart_cooperative",
+            cores=2, policy="cooperative", group="G2-1",
+            refs_per_core=8_000, shape="depart", event_cycle=2_880_000,
+        ),
+        ScenarioGoldenCase(
+            name="scn_4c_arrive_cooperative",
+            cores=4, policy="cooperative", group="G4-1",
+            refs_per_core=6_000, shape="arrive", event_cycle=1_320_000,
+        ),
+        ScenarioGoldenCase(
+            name="scn_2c_phase_ucp",
+            cores=2, policy="ucp", group="G2-1",
+            refs_per_core=8_000, shape="phase", event_cycle=2_880_000,
+        ),
+    ]
+
+
+def run_scenario_golden_case(
+    case: ScenarioGoldenCase, runner: ExperimentRunner
+) -> RunResult:
+    """Simulate one pinned schedule (trace cache shared via the runner)."""
+    return runner.run_scenario(case.scenario(), case.config(), case.policy)
+
+
 def case_payload(case: GoldenCase, result: RunResult) -> dict:
     """JSON-ready fixture payload for one simulated case."""
     return {
@@ -125,13 +213,26 @@ def diff_payloads(expected: dict, actual: dict, prefix: str = "") -> list[str]:
 
 
 def write_fixtures(directory: str | Path, progress=print) -> list[Path]:
-    """Generate every fixture into ``directory``; returns written paths."""
+    """Generate every fixture into ``directory``; returns written paths.
+
+    Covers both matrices: the static engine-equivalence cases and the
+    scenario-timeline cases.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     runner = ExperimentRunner()
     written = []
     for case in golden_matrix():
         result = run_golden_case(case, runner)
+        path = directory / case.filename
+        path.write_text(
+            json.dumps(case_payload(case, result), indent=2, sort_keys=True) + "\n"
+        )
+        written.append(path)
+        if progress is not None:
+            progress(f"wrote {path}")
+    for case in scenario_golden_matrix():
+        result = run_scenario_golden_case(case, runner)
         path = directory / case.filename
         path.write_text(
             json.dumps(case_payload(case, result), indent=2, sort_keys=True) + "\n"

@@ -28,7 +28,7 @@ from repro.core.permissions import WayPermissionFile
 from repro.core.takeover import TO_OFF, TakeoverEngine, WayTransition
 from repro.core.transfer import OFF, InsufficientSettledWays, plan_transfers
 from repro.partitioning.base import BaseSharedCachePolicy
-from repro.partitioning.lookahead import lookahead_partition
+from repro.partitioning.lookahead import AllocationResult, lookahead_partition
 
 #: the paper's default takeover threshold (Section 5.1 justifies 0.05)
 DEFAULT_THRESHOLD = 0.05
@@ -149,6 +149,11 @@ class CooperativePartitioningPolicy(BaseSharedCachePolicy):
                     self.stats.note_transfer_flush(now)
                 self.powered[move.way] = False
                 power_changed = True
+        self._sync_access_state(power_changed, now)
+
+    def _sync_access_state(self, power_changed: bool, now: int) -> None:
+        """Re-sync everything derived from the RAP/WAP registers and the
+        engine's in-flight set after any permission/power change."""
         if power_changed:
             self.energy.set_active_ways(self.active_ways(), now)
         self._refresh_access_tables()
@@ -166,7 +171,12 @@ class CooperativePartitioningPolicy(BaseSharedCachePolicy):
     # Epoch behaviour (partitioning decision)
     # ------------------------------------------------------------------
     def decide(self, now: int) -> None:
-        """Run the threshold lookahead and start the needed transfers."""
+        """Run the threshold lookahead and start the needed transfers.
+
+        Under a scenario only active cores bid for ways: the lookahead
+        runs on their miss curves and idle cores are pinned to zero
+        (their ways were already released when they went idle).
+        """
         # A way heading for power-off makes progress only on donor
         # accesses, and the donor is precisely the core that no longer
         # needs the cache, so scrub-by-takeover can dawdle.  Any
@@ -181,18 +191,28 @@ class CooperativePartitioningPolicy(BaseSharedCachePolicy):
         for donor in aged_donors:
             self._finalize_moves(self.engine.force_complete(donor, now), now)
 
+        active = self.active_core_ids()
+        if not active:
+            self.stats.note_decision(now, repartitioned=False)
+            return
         curves = self.miss_curves()
         result = lookahead_partition(
-            curves, self.geometry.ways, threshold=self.threshold
+            [curves[core] for core in active],
+            self.geometry.ways,
+            threshold=self.threshold,
         )
-        current = [0] * self.n_cores
-        for owner in self.logical_owner:
-            if owner != OFF:
-                current[owner] += 1
-        repartitioned = result.allocations != current
+        allocations = [0] * self.n_cores
+        for index, core in enumerate(active):
+            allocations[core] = result.allocations[index]
+        repartitioned = allocations != self.way_allocations()
         self.stats.note_decision(now, repartitioned)
         if not repartitioned:
             return
+        result = AllocationResult(
+            allocations=allocations,
+            unallocated=self.geometry.ways - sum(allocations),
+            rounds=result.rounds,
+        )
 
         # Rare by the paper's observation: a new decision may need ways
         # that are still mid-transition.  Complete those donors eagerly
@@ -260,12 +280,137 @@ class CooperativePartitioningPolicy(BaseSharedCachePolicy):
             )
 
         self.engine.begin(transitions)
-        if power_changed:
-            self.energy.set_active_ways(self.active_ways(), now)
-        self._refresh_access_tables()
-        active = self.engine.active
-        self._pre_access_active = active
-        self._custom_victim = active
+        self._sync_access_state(power_changed, now)
+
+    # ------------------------------------------------------------------
+    # Scenario transitions (core departure / arrival)
+    # ------------------------------------------------------------------
+    def _retarget_idle(self, core: int, now: int) -> None:
+        """Release, flush and power-gate a departing core's ways.
+
+        A departed core issues no further accesses, so the lazy
+        takeover protocol cannot scrub its ways (donor progress is
+        exactly what is missing).  Departure therefore scrubs eagerly,
+        like an OS offlining a core: finish any transition the core is
+        involved in, then flush and gate every way it owns.  The
+        static-energy savings start immediately.
+        """
+        involved_donors = {
+            move.donor
+            for move in self.engine.transitions.values()
+            if move.donor == core or move.recipient == core
+        }
+        for donor in involved_donors:
+            self._finalize_moves(self.engine.force_complete(donor, now), now)
+
+        released = [
+            way for way, owner in enumerate(self.logical_owner) if owner == core
+        ]
+        if released:
+            self.stats.note_decision(now, repartitioned=True)
+        for way in released:
+            self.permissions.revoke_all(way)
+            self.logical_owner[way] = OFF
+            for address in self.cache.invalidate_way(way):
+                self.memory.writeback(address, now)
+                self.energy.writeback()
+                self.stats.note_transfer_flush(now)
+            self.powered[way] = False
+        self._sync_access_state(bool(released), now)
+
+    def _retarget_active(self, core: int, now: int) -> None:
+        """Grant an arriving core a fair share's worth of ways.
+
+        Gated ways are powered on and handed over immediately (they
+        hold no data); if the machine is fully powered, ways migrate
+        from the richest active cores through the regular cooperative
+        takeover.  The arrival holds full access from the first cycle
+        — the next epoch's lookahead rebalances once the new core has
+        monitor data.
+        """
+        ways = self.geometry.ways
+        n_active = len(self.active_core_ids())
+        desired = max(1, ways // n_active)
+        self.stats.note_decision(now, repartitioned=True)
+
+        granted = 0
+        power_changed = False
+        in_flight = self.engine.transitions
+        for way, owner in enumerate(self.logical_owner):
+            if granted >= desired:
+                break
+            if owner == OFF and way not in in_flight:
+                self.permissions.grant_full(way, core)
+                self.logical_owner[way] = core
+                self.powered[way] = True
+                power_changed = True
+                granted += 1
+
+        transitions: list[WayTransition] = []
+        while granted < desired:
+            donor = self._richest_donor(core)
+            if donor is None:
+                break
+            pool = [
+                way
+                for way, owner in enumerate(self.logical_owner)
+                if owner == donor and way not in in_flight
+            ]
+            way = pool[self._rng.randrange(len(pool))]
+            self.permissions.grant_full(way, core)
+            self.permissions.revoke_write(way, donor)
+            self.logical_owner[way] = core
+            transitions.append(
+                WayTransition(way=way, donor=donor, recipient=core, start_cycle=now)
+            )
+            granted += 1
+
+        if granted == 0:
+            # Pathological: everything is mid-transition.  Finish the
+            # pending power-downs and hand one freed way over.
+            to_off_donors = {
+                move.donor for move in in_flight.values() if move.to_off
+            }
+            for donor in to_off_donors:
+                self._finalize_moves(self.engine.force_complete(donor, now), now)
+            for way, owner in enumerate(self.logical_owner):
+                if owner == OFF and way not in self.engine.transitions:
+                    self.permissions.grant_full(way, core)
+                    self.logical_owner[way] = core
+                    self.powered[way] = True
+                    power_changed = True
+                    granted += 1
+                    break
+            if granted == 0:
+                raise RuntimeError(
+                    f"could not grant arriving core {core} any LLC way"
+                )
+
+        self.engine.begin(transitions)
+        self._sync_access_state(power_changed, now)
+
+    def _richest_donor(self, recipient: int) -> int | None:
+        """Active core (not ``recipient``) owning the most ways that can
+        spare a settled one; ties go to the lowest id."""
+        in_flight = self.engine.transitions
+        best: int | None = None
+        best_owned = 0
+        for candidate in self.active_core_ids():
+            if candidate == recipient:
+                continue
+            owned = 0
+            settled = 0
+            for way, owner in enumerate(self.logical_owner):
+                if owner == candidate:
+                    owned += 1
+                    if way not in in_flight:
+                        settled += 1
+            # A donor keeps at least one way and the donated way must
+            # be settled (not already mid-takeover).
+            if owned >= 2 and settled >= 1 and owned > best_owned:
+                best = candidate
+                best_owned = owned
+        return best
 
     # ------------------------------------------------------------------
     # Introspection
@@ -277,3 +422,11 @@ class CooperativePartitioningPolicy(BaseSharedCachePolicy):
     def allocation_of(self, core: int) -> int:
         """Ways logically owned by ``core`` right now."""
         return sum(1 for owner in self.logical_owner if owner == core)
+
+    def way_allocations(self) -> list[int]:
+        """Per-slot logical way ownership (timeline view)."""
+        counts = [0] * self.n_cores
+        for owner in self.logical_owner:
+            if owner != OFF:
+                counts[owner] += 1
+        return counts

@@ -120,6 +120,32 @@ class EnergyAccounting:
             total += window * self.model.overhead_leakage_nj_per_cycle
         return total
 
+    def static_nj_at(self, now: int) -> float:
+        """Static energy integrated up to ``now`` without closing the
+        window — the scenario timeline's per-interval observation.
+
+        ``now`` must not precede the last recorded way on/off event
+        (the timeline samples at the same monotone boundaries the
+        events use, so this holds by construction).
+        """
+        if now < self._last_event_cycle:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_event_cycle}"
+            )
+        way_cycles = self._way_cycles + self._active_ways * (
+            now - self._last_event_cycle
+        )
+        total = way_cycles * self.model.leakage_nj_per_way_cycle
+        if self.charge_overheads:
+            window = max(0, now - self._window_start)
+            total += window * self.model.overhead_leakage_nj_per_cycle
+        return total
+
+    @property
+    def active_ways_now(self) -> int:
+        """Ways currently drawing leakage power."""
+        return self._active_ways
+
     @property
     def total_nj(self) -> float:
         """Dynamic plus static energy."""

@@ -1,18 +1,23 @@
 """``repro`` — the command-line front end of the reproduction.
 
-Five subcommands drive the whole evaluation through the orchestrator:
+Six subcommands drive the whole evaluation through the orchestrator:
 
-* ``repro sweep``  — run a (group × scheme) cross-product in parallel,
-  persisting every result; re-running is a cache-hit no-op.
-* ``repro alone``  — profile benchmarks in isolation (Table 3).
-* ``repro report`` — render the figure tables from stored artifacts
+* ``repro sweep``    — run a (group × scheme) cross-product in
+  parallel, persisting every result; re-running is a cache-hit no-op.
+* ``repro alone``    — profile benchmarks in isolation (Table 3).
+* ``repro report``   — render the figure tables from stored artifacts
   only (never simulates; tells you what to sweep if results are
-  missing).
-* ``repro bench``  — time the simulation engine on the fixed workload
-  matrix, write ``BENCH_sim_throughput.json`` and (with ``--check``)
-  fail on throughput regressions against a committed baseline (see
-  ``docs/performance.md``).
-* ``repro clean``  — drop the store.
+  missing).  ``--format {table,json,csv}`` makes the output
+  machine-readable.
+* ``repro scenario`` — run a time-varying schedule (consolidation,
+  arrival or phase preset, or a ``--spec`` JSON file) under the
+  selected schemes and print the recorded timeline plus a comparison
+  against the matching static run (see ``docs/scenarios.md``).
+* ``repro bench``    — time the simulation engine on the fixed
+  workload matrix, write ``BENCH_sim_throughput.json`` and (with
+  ``--check``) fail on throughput regressions against a committed
+  baseline (see ``docs/performance.md``).
+* ``repro clean``    — drop the store.
 
 Every run-shaped command accepts ``--cores``, ``--refs-per-core``,
 ``--groups``, ``--policies`` and ``--threshold`` to select the slice
@@ -130,7 +135,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", parents=[common, selection],
         help="print the figure tables from stored results (never simulates)",
     )
+    report.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="output format: human tables, one JSON document, or flat "
+             "metric,group,policy,value CSV rows (default: table)",
+    )
     report.set_defaults(handler=_cmd_report)
+
+    scenario = commands.add_parser(
+        "scenario", parents=[common, selection],
+        help="run a time-varying schedule (arrivals/departures/phases) "
+             "and print its timeline",
+    )
+    scenario.add_argument(
+        "--preset", choices=("consolidation", "arrival", "phases"),
+        default="consolidation",
+        help="schedule shape: consolidation (half the cores depart "
+             "mid-run), arrival (the last core joins mid-run), phases "
+             "(core 0 switches benchmark mid-run); default: consolidation",
+    )
+    scenario.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON schedule file (the scenario_to_dict format) overriding "
+             "--preset",
+    )
+    scenario.add_argument(
+        "--group", default=None, metavar="NAME",
+        help="Table 4 group supplying the applications (default: G2-1 / G4-1)",
+    )
+    scenario.add_argument(
+        "--at-fraction", type=float, default=0.35, metavar="F",
+        help="preset event position within the measured window of the "
+             "static baseline run, 0..1 (default: 0.35)",
+    )
+    scenario.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="output format (default: table)",
+    )
+    scenario.set_defaults(handler=_cmd_scenario)
 
     bench = commands.add_parser(
         "bench",
@@ -250,19 +292,21 @@ def _print_table(
     print(f"{'AVG':<8}" + "".join(f"{average[p]:>14.3f}" for p in policies))
 
 
-def _render_tables(
+def _metric_tables(
     runner: ExperimentRunner,
     results: dict,
     config: SystemConfig,
     policies: Sequence[str],
     metrics: Sequence[str],
-) -> None:
+) -> dict[str, dict]:
+    """Normalised (metric -> {title, groups, average}) figure data."""
     baseline = "fair_share" if "fair_share" in policies else policies[0]
     titles = {
         "speedup": f"weighted speedup (normalised to {baseline})",
         "dynamic": f"dynamic energy per kilo-instruction (normalised to {baseline})",
         "static": f"static leakage power (normalised to {baseline})",
     }
+    tables: dict[str, dict] = {}
     for metric in metrics:
         if metric == "speedup":
             table = runner.normalized_weighted_speedup(results, config, baseline)
@@ -272,9 +316,52 @@ def _render_tables(
             policy: geometric_mean([table[group][policy] for group in table])
             for policy in policies
         }
-        _print_table(
-            f"{config.n_cores}-core {titles[metric]}", table, policies, average
+        tables[metric] = {
+            "title": f"{config.n_cores}-core {titles[metric]}",
+            "baseline": baseline,
+            "groups": table,
+            "average": average,
+        }
+    return tables
+
+
+def _render_tables(
+    runner: ExperimentRunner,
+    results: dict,
+    config: SystemConfig,
+    policies: Sequence[str],
+    metrics: Sequence[str],
+    output_format: str = "table",
+) -> None:
+    """Render the figure tables as human tables, JSON or CSV."""
+    tables = _metric_tables(runner, results, config, policies, metrics)
+    if output_format == "json":
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "n_cores": config.n_cores,
+                    "refs_per_core": config.refs_per_core,
+                    "policies": list(policies),
+                    "metrics": tables,
+                },
+                indent=2,
+                sort_keys=True,
+            )
         )
+        return
+    if output_format == "csv":
+        print("metric,group,policy,value")
+        for metric, data in tables.items():
+            for group, row in data["groups"].items():
+                for policy in policies:
+                    print(f"{metric},{group},{policy},{row[policy]!r}")
+            for policy in policies:
+                print(f"{metric},AVG,{policy},{data['average'][policy]!r}")
+        return
+    for data in tables.values():
+        _print_table(data["title"], data["groups"], policies, data["average"])
 
 
 # ----------------------------------------------------------------------
@@ -369,7 +456,143 @@ def _cmd_report(options: argparse.Namespace) -> int:
         group: {policy: runner.run_group(group, config, policy) for policy in policies}
         for group in groups
     }
-    _render_tables(runner, results, config, policies, _METRICS)
+    _render_tables(runner, results, config, policies, _METRICS, options.format)
+    return 0
+
+
+def _cmd_scenario(options: argparse.Namespace) -> int:
+    import json
+
+    from repro.orchestration.serialize import scenario_from_dict, scenario_to_dict
+    from repro.scenarios.model import (
+        Scenario,
+        arrival_scenario,
+        consolidation_scenario,
+        core_arrive,
+        phased_scenario,
+    )
+    from repro.scenarios.timeline import render_timeline
+
+    config = _config_from(options)
+    policies = _policies_from(options)
+    group = options.group or ("G2-1" if options.cores == 2 else "G4-1")
+    benchmarks = group_benchmarks(group)
+    if len(benchmarks) != config.n_cores:
+        raise SystemExit(
+            f"group {group} has {len(benchmarks)} applications but "
+            f"--cores is {config.n_cores}"
+        )
+    runner = ExperimentRunner(store=_store_from(options))
+
+    if options.spec:
+        with open(options.spec, "r", encoding="utf-8") as handle:
+            scenario = scenario_from_dict(json.load(handle))
+        scenario.validate(config.n_cores)
+        # The comparison baseline must run the spec's own workload mix:
+        # each slot's arrival benchmark, present from cycle 0.
+        static = Scenario(
+            name=f"static-{scenario.name}",
+            events=tuple(
+                core_arrive(core, benchmark, 0)
+                for core, benchmark in enumerate(
+                    scenario.arrival_benchmarks(config.n_cores)
+                )
+                if benchmark
+            ),
+        )
+    else:
+        static = Scenario.static(benchmarks, name=f"static-{group}")
+        if not 0.0 <= options.at_fraction <= 1.0:
+            raise SystemExit(
+                f"--at-fraction must be in [0, 1], got {options.at_fraction}"
+            )
+        # Calibrate the preset's event cycle from the static baseline's
+        # measured window (the baseline is cached, so this is cheap on
+        # re-runs and doubles as the comparison point below).
+        probe = runner.run_scenario(static, config, policies[0])
+        window_start = probe.end_cycle - probe.window_cycles
+        event_cycle = window_start + int(
+            probe.window_cycles * options.at_fraction
+        )
+        n = config.n_cores
+        if options.preset == "consolidation":
+            scenario = consolidation_scenario(
+                benchmarks, list(range(n // 2, n)), event_cycle,
+                name=f"consolidation-{group}",
+            )
+        elif options.preset == "arrival":
+            scenario = arrival_scenario(
+                benchmarks, n - 1, event_cycle, name=f"arrival-{group}"
+            )
+        else:
+            scenario = phased_scenario(
+                benchmarks, 0, ["lbm"], [event_cycle], name=f"phases-{group}"
+            )
+
+    document: dict = {
+        "scenario": scenario_to_dict(scenario),
+        "group": group,
+        "n_cores": config.n_cores,
+        "refs_per_core": config.refs_per_core,
+        "runs": {},
+    }
+    for policy in policies:
+        run = runner.run_scenario(scenario, config, policy)
+        baseline = runner.run_scenario(static, config, policy)
+        takeovers = sum(run.policy_stats.takeover_events.values())
+        summary = {
+            "static_energy_nj": run.static_energy_nj,
+            "static_energy_nj_baseline": baseline.static_energy_nj,
+            "dynamic_energy_nj": run.dynamic_energy_nj,
+            "average_active_ways": run.average_active_ways,
+            "min_powered_ways": run.min_powered_ways(),
+            "initial_powered_ways": (
+                run.timeline[0].powered_ways if run.timeline else config.l2.ways
+            ),
+            "transitions_started": run.policy_stats.transitions_started,
+            "takeover_events": takeovers,
+            "transfer_flushes": run.policy_stats.transfer_flushes,
+            "end_cycle": run.end_cycle,
+        }
+        document["runs"][policy] = {
+            "summary": summary,
+            "timeline": [sample.to_dict() for sample in run.timeline],
+        }
+        if options.format == "table":
+            print(f"\n=== scenario {scenario.name} under {run.policy} ===")
+            print(render_timeline(run.timeline, config.l2.ways))
+            ratio = (
+                run.static_energy_nj / baseline.static_energy_nj
+                if baseline.static_energy_nj
+                else float("nan")
+            )
+            print(
+                f"static energy {run.static_energy_nj:,.1f} nJ vs "
+                f"{baseline.static_energy_nj:,.1f} nJ static baseline "
+                f"({ratio:.2f}x); powered ways "
+                f"{summary['initial_powered_ways']} -> min "
+                f"{summary['min_powered_ways']}; "
+                f"{summary['transitions_started']} way transitions, "
+                f"{takeovers} takeover events, "
+                f"{summary['transfer_flushes']} transfer flushes"
+            )
+    if options.format == "json":
+        print(json.dumps(document, indent=2, sort_keys=True))
+    elif options.format == "csv":
+        print(
+            "policy,cycle,active_cores,allocations,powered_ways,"
+            "static_energy_nj,dynamic_energy_nj,events"
+        )
+        for policy, data in document["runs"].items():
+            for sample in data["timeline"]:
+                active = "+".join(str(c) for c in sample["active_cores"])
+                allocations = "+".join(str(a) for a in sample["allocations"])
+                events = "+".join(sample["events"])
+                print(
+                    f"{policy},{sample['cycle']},{active},{allocations},"
+                    f"{sample['powered_ways']},{sample['static_energy_nj']!r},"
+                    f"{sample['dynamic_energy_nj']!r},{events}"
+                )
     return 0
 
 

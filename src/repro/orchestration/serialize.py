@@ -31,6 +31,8 @@ from collections import defaultdict
 from typing import TYPE_CHECKING, Any
 
 from repro.partitioning.base import PolicyStats
+from repro.scenarios.model import Scenario, ScenarioEvent
+from repro.scenarios.timeline import TimelineSample
 from repro.sim.config import SystemConfig
 from repro.sim.stats import CoreResult, RunResult
 
@@ -82,6 +84,53 @@ def alone_task_key(config: SystemConfig, benchmark: str) -> str:
 def group_task_key(config: SystemConfig, group: str, policy: str) -> str:
     """Key of one (group, scheme) simulation on this geometry."""
     return task_key("group", config, group=group, policy=policy)
+
+
+def scenario_task_key(config: SystemConfig, scenario: Scenario, policy: str) -> str:
+    """Key of one (scenario, scheme) simulation on this geometry.
+
+    The digest covers the complete event schedule, so two scenarios
+    sharing a name but differing in any event time never collide.
+    """
+    return task_key(
+        "scenario", config, scenario=scenario_to_dict(scenario), policy=policy
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
+    """Flatten a :class:`Scenario` into JSON-encodable primitives."""
+    return {
+        "name": scenario.name,
+        "events": [
+            {
+                "kind": event.kind,
+                "core": event.core,
+                "at_cycle": event.at_cycle,
+                "benchmark": event.benchmark,
+            }
+            for event in scenario.events
+        ],
+    }
+
+
+def scenario_from_dict(data: dict[str, Any]) -> Scenario:
+    """Rebuild a :class:`Scenario` from :func:`scenario_to_dict` output
+    (also the on-disk ``--spec`` file format of ``repro scenario``)."""
+    return Scenario(
+        name=data["name"],
+        events=tuple(
+            ScenarioEvent(
+                kind=event["kind"],
+                core=event["core"],
+                at_cycle=event["at_cycle"],
+                benchmark=event.get("benchmark"),
+            )
+            for event in data["events"]
+        ),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -143,8 +192,14 @@ def policy_stats_from_dict(data: dict[str, Any]) -> PolicyStats:
 # RunResult
 # ----------------------------------------------------------------------
 def run_result_to_dict(run: RunResult) -> dict[str, Any]:
-    """Flatten a :class:`RunResult` (cores and policy stats included)."""
-    return {
+    """Flatten a :class:`RunResult` (cores and policy stats included).
+
+    The scenario fields are emitted only when they carry information
+    (a non-static scenario or a recorded timeline), so classic static
+    artifacts — including the pre-overhaul golden fixtures — keep
+    their exact historical shape.
+    """
+    payload = {
         "policy": run.policy,
         "cores": [dataclasses.asdict(core) for core in run.cores],
         "dynamic_energy_nj": run.dynamic_energy_nj,
@@ -159,6 +214,11 @@ def run_result_to_dict(run: RunResult) -> dict[str, Any]:
         "window_cycles": run.window_cycles,
         "epoch_curves": [list(curve) for curve in run.epoch_curves],
     }
+    if run.scenario != "static":
+        payload["scenario"] = run.scenario
+    if run.timeline:
+        payload["timeline"] = [sample.to_dict() for sample in run.timeline]
+    return payload
 
 
 def run_result_from_dict(data: dict[str, Any]) -> RunResult:
@@ -177,6 +237,11 @@ def run_result_from_dict(data: dict[str, Any]) -> RunResult:
         window_instructions=data["window_instructions"],
         window_cycles=data["window_cycles"],
         epoch_curves=[list(curve) for curve in data["epoch_curves"]],
+        scenario=data.get("scenario", "static"),
+        timeline=[
+            TimelineSample.from_dict(sample)
+            for sample in data.get("timeline", [])
+        ],
     )
 
 

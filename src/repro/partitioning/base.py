@@ -214,6 +214,10 @@ class BaseSharedCachePolicy:
         #: (read by the :meth:`access`/hierarchy API wrappers)
         self.last_hit = False
         self.last_probed = 0
+        #: per-slot activity mask maintained by the scenario engine via
+        #: :meth:`on_core_active`/:meth:`on_core_idle`; static runs
+        #: never change it
+        self.core_active = [True] * n
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -244,6 +248,66 @@ class BaseSharedCachePolicy:
     def active_ways(self) -> int:
         """Number of powered ways (for static-energy integration)."""
         return self.geometry.ways
+
+    # ------------------------------------------------------------------
+    # Core arrival / departure (scenario engine)
+    # ------------------------------------------------------------------
+    def on_core_idle(self, core: int, now: int) -> None:
+        """``core`` stopped executing (departed, or absent from cycle 0).
+
+        Idempotent; subclasses react in :meth:`_retarget_idle`
+        (cooperative partitioning releases and gates the core's ways,
+        UCP/Fair Share re-target on the remaining cores).
+        """
+        if not self.core_active[core]:
+            return
+        self.core_active[core] = False
+        self._retarget_idle(core, now)
+
+    def on_core_active(self, core: int, now: int) -> None:
+        """``core`` started executing (a scenario arrival)."""
+        if self.core_active[core]:
+            return
+        self.core_active[core] = True
+        self._retarget_active(core, now)
+
+    def _retarget_idle(self, core: int, now: int) -> None:
+        """Scheme-specific reaction to a core going idle (default: none;
+        an unmanaged cache simply stops seeing the core's accesses)."""
+
+    def _retarget_active(self, core: int, now: int) -> None:
+        """Scheme-specific reaction to a core becoming active."""
+
+    def active_core_ids(self) -> list[int]:
+        """Slots currently executing, in id order."""
+        return [core for core in range(self.n_cores) if self.core_active[core]]
+
+    def even_split(self) -> list[int]:
+        """Per-slot way counts splitting the cache evenly over the
+        active cores (remainder ways go to the lowest-id active cores;
+        idle slots get zero).  The shared arrival/departure re-target
+        rule of the way-counting schemes."""
+        counts = [0] * self.n_cores
+        active = self.active_core_ids()
+        if active:
+            share, remainder = divmod(self.geometry.ways, len(active))
+            for index, core in enumerate(active):
+                counts[core] = share + (1 if index < remainder else 0)
+        return counts
+
+    def way_allocations(self) -> list[int]:
+        """Per-slot way allocation as the policy sees it (timeline view).
+
+        The default reports the fill restriction width (``None`` =
+        every way, as in an unmanaged cache); schemes with an explicit
+        partition override this with their logical allocation.
+        """
+        ways = self.geometry.ways
+        allocations = []
+        for core in range(self.n_cores):
+            fill = self._fill_ways(core)
+            allocations.append(ways if fill is None else len(fill))
+        return allocations
 
     # ------------------------------------------------------------------
     # Fast-table maintenance (built-in schemes)

@@ -83,18 +83,39 @@ class DynamicCPEPolicy(BaseSharedCachePolicy):
         return profile
 
     def decide(self, now: int) -> None:
-        """Repartition from profiles, flushing every reassigned way."""
+        """Repartition from profiles, flushing every reassigned way.
+
+        Under a scenario only active cores receive ways; idle cores'
+        shares are left unallocated (and therefore gated).
+        """
         if self.profiles is None:
             raise RuntimeError("Dynamic CPE needs profiled miss curves")
         self._epoch_index += 1
-        curves = [self._curve_for(core) for core in range(self.n_cores)]
+        active = self.active_core_ids()
+        if not active:
+            self.stats.note_decision(now, repartitioned=False)
+            return
+        curves = [self._curve_for(core) for core in active]
         result = lookahead_partition(curves, self.geometry.ways, threshold=self.threshold)
+        allocations = [0] * self.n_cores
+        for index, core in enumerate(active):
+            allocations[core] = result.allocations[index]
+        self._install_assignment(allocations, now)
 
+    def _install_assignment(self, allocations: list[int], now: int) -> None:
+        """Realise per-core way counts with CPE's immediate flush.
+
+        Ways are packed contiguously by core id — the profile-driven
+        epoch layout (and the arrival re-split, which flushes anyway).
+        """
         new_assignment: list[int] = []
         for core in range(self.n_cores):
-            new_assignment.extend([core] * result.allocations[core])
-        new_assignment.extend([_OFF] * result.unallocated)
+            new_assignment.extend([core] * allocations[core])
+        new_assignment.extend([_OFF] * (self.geometry.ways - len(new_assignment)))
+        self._apply_assignment(new_assignment, now)
 
+    def _apply_assignment(self, new_assignment: list[int], now: int) -> None:
+        """Diff against the current way owners, flushing every change."""
         repartitioned = new_assignment != self.assignment
         self.stats.note_decision(now, repartitioned)
         if not repartitioned:
@@ -116,6 +137,28 @@ class DynamicCPEPolicy(BaseSharedCachePolicy):
         self.assignment = new_assignment
         self._rebuild_partitions()
         self.energy.set_active_ways(self.active_ways(), now)
+
+    # ------------------------------------------------------------------
+    # Scenario transitions
+    # ------------------------------------------------------------------
+    def _retarget_idle(self, core: int, now: int) -> None:
+        """Flush-and-gate the departing core's ways immediately.
+
+        CPE's defining mechanism is the immediate flush, so departure
+        uses it too: the core's ways are scrubbed on the spot and left
+        unallocated (gated).  The survivors' ways are *not* repacked —
+        they keep their physical ways (and their cached state) until
+        the next profile-driven epoch rebalances them.
+        """
+        new_assignment = [
+            _OFF if owner == core else owner for owner in self.assignment
+        ]
+        self._apply_assignment(new_assignment, now)
+
+    def _retarget_active(self, core: int, now: int) -> None:
+        """Even split over active cores; the next epoch re-applies the
+        profile-driven allocation (which knows the arrival's curve)."""
+        self._install_assignment(self.even_split(), now)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -7,6 +7,13 @@ consults only its own ways on a probe — this is why the paper uses
 Fair Share as the energy normalisation baseline (its dynamic energy is
 the "honest" statically-partitioned cost, while Unmanaged and UCP pay
 for probing every way).  No ways are ever gated.
+
+Under a time-varying scenario the partition is equal over the *active*
+cores: an arrival or departure re-splits the ways into contiguous
+blocks (remainder ways go to the lowest-id active cores).  Idle cores
+hold no ways, but nothing is gated — Fair Share keeps every way
+powered, which is exactly why the paper's gating schemes beat it on
+static energy when the machine is under-committed.
 """
 
 from __future__ import annotations
@@ -35,5 +42,30 @@ class FairSharePolicy(BaseSharedCachePolicy):
             self._set_core_ways(core, partition, partition)
 
     def partition_of(self, core: int) -> tuple[int, ...]:
-        """The fixed way block owned by ``core``."""
+        """The way block currently owned by ``core``."""
         return self._partitions[core]
+
+    def way_allocations(self) -> list[int]:
+        """Per-slot partition sizes (timeline view)."""
+        return [len(partition) for partition in self._partitions]
+
+    # ------------------------------------------------------------------
+    # Scenario transitions: equal split over the active cores
+    # ------------------------------------------------------------------
+    def _retarget_idle(self, core: int, now: int) -> None:
+        self._resplit(now)
+
+    def _retarget_active(self, core: int, now: int) -> None:
+        self._resplit(now)
+
+    def _resplit(self, now: int) -> None:
+        """Re-partition the ways equally over the active cores."""
+        partitions: list[tuple[int, ...]] = [()] * self.n_cores
+        start = 0
+        for core, width in enumerate(self.even_split()):
+            partitions[core] = tuple(range(start, start + width))
+            start += width
+        self._partitions = partitions
+        for core, partition in enumerate(partitions):
+            self._set_core_ways(core, partition, partition)
+        self.stats.note_decision(now, repartitioned=True)

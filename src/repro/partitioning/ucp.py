@@ -114,14 +114,60 @@ class UCPPolicy(BaseSharedCachePolicy):
             for _ in range(remaining):
                 self.stats.pending_transition_ages.append(now - transition.start_cycle)
 
+    def way_allocations(self) -> list[int]:
+        """Per-slot way targets (timeline view)."""
+        return [self.targets[core] for core in range(self.n_cores)]
+
+    # ------------------------------------------------------------------
+    # Scenario transitions
+    # ------------------------------------------------------------------
+    def _retarget_idle(self, core: int, now: int) -> None:
+        """Zero the departed core's target; its blocks drain lazily.
+
+        The survivors keep their utility-derived lookahead targets (the
+        departed core's blocks count as over-target, so under-target
+        cores steal them on their misses; the next epoch's lookahead
+        reallocates the freed capacity properly).  UCP enforces
+        partitions purely through replacement, so nothing is flushed or
+        gated.  An in-flight gain transition of the departed core is
+        abandoned.
+        """
+        self._transitions.pop(core, None)
+        self._post_fill_active = bool(self._transitions)
+        targets = dict(self.targets)
+        targets[core] = 0
+        self.targets = targets
+        self._selector.set_targets(targets)
+        self.stats.note_decision(now, repartitioned=True)
+
+    def _retarget_active(self, core: int, now: int) -> None:
+        """Even re-split on arrival (the newcomer has no UMON data to
+        bid with); the next epoch's lookahead refines it."""
+        targets = dict(enumerate(self.even_split()))
+        self.targets = targets
+        self._selector.set_targets(targets)
+        self.stats.note_decision(now, repartitioned=True)
+
     # ------------------------------------------------------------------
     # Epoch behaviour
     # ------------------------------------------------------------------
     def decide(self, now: int) -> None:
-        """Recompute way targets with plain (T=0) lookahead."""
+        """Recompute way targets with plain (T=0) lookahead.
+
+        Under a scenario, only active cores bid: the lookahead runs on
+        their curves and idle cores are pinned to a zero target.
+        """
+        active = self.active_core_ids()
+        if not active:
+            self.stats.note_decision(now, repartitioned=False)
+            return
         curves = self.miss_curves()
-        result = lookahead_partition(curves, self.geometry.ways, threshold=0.0)
-        new_targets = {core: result.allocations[core] for core in range(self.n_cores)}
+        result = lookahead_partition(
+            [curves[core] for core in active], self.geometry.ways, threshold=0.0
+        )
+        new_targets = {core: 0 for core in range(self.n_cores)}
+        for index, core in enumerate(active):
+            new_targets[core] = result.allocations[index]
         repartitioned = new_targets != self.targets
         self.stats.note_decision(now, repartitioned)
         if not repartitioned:

@@ -1,0 +1,59 @@
+"""Scenario engine: time-varying multiprogram schedules.
+
+Public surface of the package:
+
+* :class:`~repro.scenarios.model.Scenario` and the event constructors
+  (:func:`core_arrive`, :func:`core_depart`, :func:`phase_change`) —
+  the declarative schedule model;
+* the preset builders (:func:`consolidation_scenario`,
+  :func:`arrival_scenario`, :func:`phased_scenario`);
+* :class:`~repro.scenarios.timeline.TimelineSample` and the series
+  helpers over recorded timelines.
+
+``ExperimentRunner.run_scenario`` executes a scenario (with store
+caching) and ``repro scenario`` drives the presets from the CLI.
+"""
+
+from repro.scenarios.model import (
+    ARRIVE,
+    DEPART,
+    PHASE,
+    Scenario,
+    ScenarioEvent,
+    arrival_scenario,
+    consolidation_scenario,
+    core_arrive,
+    core_depart,
+    phase_change,
+    phased_scenario,
+)
+from repro.scenarios.timeline import (
+    TimelineSample,
+    min_powered_ways,
+    powered_ways_dropped,
+    powered_ways_series,
+    render_timeline,
+    samples_with_events,
+    static_energy_deltas,
+)
+
+__all__ = [
+    "ARRIVE",
+    "DEPART",
+    "PHASE",
+    "Scenario",
+    "ScenarioEvent",
+    "TimelineSample",
+    "arrival_scenario",
+    "consolidation_scenario",
+    "core_arrive",
+    "core_depart",
+    "min_powered_ways",
+    "phase_change",
+    "phased_scenario",
+    "powered_ways_dropped",
+    "powered_ways_series",
+    "render_timeline",
+    "samples_with_events",
+    "static_energy_deltas",
+]

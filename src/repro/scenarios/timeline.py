@@ -1,0 +1,119 @@
+"""Per-epoch timeline series recorded by scenario-aware runs.
+
+The paper's most interesting cooperative-partitioning behaviours are
+*timelines* (Figures 14-16): what happens while the workload mix
+changes.  A scenario run records one :class:`TimelineSample` at the
+end of warmup, at every partitioning epoch, at every schedule event
+and at run end, so the figures' dynamic quantities — active cores, way
+allocations, powered ways, integrated energy — can be plotted against
+time directly.
+
+Samples are observations only: recording them never mutates simulator
+state, which is what lets the degenerate static scenario stay
+bit-identical to the classic fixed-workload runs (those simply record
+no samples unless asked to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One observation of the machine state at a point in time."""
+
+    #: simulator cycle of the observation
+    cycle: int
+    #: core slots currently executing
+    active_cores: tuple[int, ...]
+    #: per-slot way allocation (policy view: ways a core may fill)
+    allocations: tuple[int, ...]
+    #: ways currently drawing leakage power
+    powered_ways: int
+    #: static energy integrated up to this cycle (current window)
+    static_energy_nj: float
+    #: dynamic energy accumulated up to this cycle (current window)
+    dynamic_energy_nj: float
+    #: labels of schedule events applied at this cycle ("" = epoch tick)
+    events: tuple[str, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (lossless)."""
+        return {
+            "cycle": self.cycle,
+            "active_cores": list(self.active_cores),
+            "allocations": list(self.allocations),
+            "powered_ways": self.powered_ways,
+            "static_energy_nj": self.static_energy_nj,
+            "dynamic_energy_nj": self.dynamic_energy_nj,
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TimelineSample":
+        """Rebuild a sample from :meth:`to_dict` output."""
+        return cls(
+            cycle=data["cycle"],
+            active_cores=tuple(data["active_cores"]),
+            allocations=tuple(data["allocations"]),
+            powered_ways=data["powered_ways"],
+            static_energy_nj=data["static_energy_nj"],
+            dynamic_energy_nj=data["dynamic_energy_nj"],
+            events=tuple(data["events"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Series helpers (consumed by benchmarks, the CLI and tests)
+# ----------------------------------------------------------------------
+def powered_ways_series(timeline: Sequence[TimelineSample]) -> list[tuple[int, int]]:
+    """``(cycle, powered_ways)`` pairs in time order."""
+    return [(sample.cycle, sample.powered_ways) for sample in timeline]
+
+
+def min_powered_ways(timeline: Sequence[TimelineSample]) -> int:
+    """Smallest powered-way count observed (0 for an empty timeline)."""
+    if not timeline:
+        return 0
+    return min(sample.powered_ways for sample in timeline)
+
+
+def powered_ways_dropped(timeline: Sequence[TimelineSample]) -> bool:
+    """Whether the powered-way count ever fell below its first sample."""
+    if not timeline:
+        return False
+    return min_powered_ways(timeline) < timeline[0].powered_ways
+
+
+def samples_with_events(
+    timeline: Sequence[TimelineSample],
+) -> list[TimelineSample]:
+    """Samples recorded because a schedule event fired."""
+    return [sample for sample in timeline if sample.events]
+
+
+def static_energy_deltas(timeline: Sequence[TimelineSample]) -> list[float]:
+    """Per-interval static energy between consecutive samples."""
+    deltas: list[float] = []
+    for previous, current in zip(timeline, timeline[1:]):
+        deltas.append(current.static_energy_nj - previous.static_energy_nj)
+    return deltas
+
+
+def render_timeline(timeline: Sequence[TimelineSample], ways: int) -> str:
+    """Fixed-width text table of a timeline (CLI / example output)."""
+    lines = [
+        f"{'cycle':>12} {'active':<14} {'allocs':<20} "
+        f"{'powered':>8} {'static nJ':>12}  events"
+    ]
+    for sample in timeline:
+        active = ",".join(str(c) for c in sample.active_cores) or "-"
+        allocations = "/".join(str(a) for a in sample.allocations)
+        events = " ".join(sample.events)
+        lines.append(
+            f"{sample.cycle:>12} {active:<14} {allocations:<20} "
+            f"{sample.powered_ways:>5}/{ways:<2} {sample.static_energy_nj:>12.1f}  {events}"
+        )
+    return "\n".join(lines)

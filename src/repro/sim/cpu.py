@@ -49,13 +49,54 @@ class CoreState:
         "frozen_instructions",
         "frozen_cycles",
         "window_closed",
+        "window_open",
+        "active",
+        "departed",
         "l1_sets",
     )
 
-    def __init__(self, core_id: int, trace: Trace) -> None:
+    def __init__(self, core_id: int, trace: Trace | None) -> None:
         self.core_id = core_id
+        self.position = 0
+        self.time = 0
+        self.instructions = 0
+        self.refs_done = 0
+        self.instr_base = 0
+        self.cycle_base = 0
+        self.frozen_instructions = 0
+        self.frozen_cycles = 0
+        self.window_closed = False
+        #: whether the measurement window has opened (end of this
+        #: core's warmup) — per core so late arrivals measure too
+        self.window_open = False
+        #: whether the core is currently executing (scenario engine)
+        self.active = True
+        #: whether the core has departed for good
+        self.departed = False
+        #: the core's private L1 sets, bound by the simulator so the
+        #: inner loop reaches them in one attribute load
+        self.l1_sets: list | None = None
+        if trace is None:
+            # An absent slot (scenario engine): never executes, but
+            # keeps CoreResult/RunResult shapes uniform.
+            self.benchmark = "(absent)"
+            self.gaps = array("q")
+            self.addresses = array("q")
+            self.writes = array("b")
+            self.warm_lines = array("q")
+            self.length = 0
+            self.active = False
+        else:
+            self.load_trace(trace)
+
+    def load_trace(self, trace: Trace) -> None:
+        """Bind (or rebind, on a phase change) the reference stream.
+
+        Applies the core's private address-space offset and restarts
+        the stream at position 0; execution counters keep running.
+        """
+        offset = (self.core_id + 1) << CORE_ADDRESS_SPACE_BITS
         self.benchmark = trace.name
-        offset = (core_id + 1) << CORE_ADDRESS_SPACE_BITS
         self.gaps = trace.gaps
         self.addresses = array(
             "q", (address + offset for address in trace.line_addresses)
@@ -66,17 +107,6 @@ class CoreState:
         )
         self.length = len(trace.line_addresses)
         self.position = 0
-        self.time = 0
-        self.instructions = 0
-        self.refs_done = 0
-        self.instr_base = 0
-        self.cycle_base = 0
-        self.frozen_instructions = 0
-        self.frozen_cycles = 0
-        self.window_closed = False
-        #: the core's private L1 sets, bound by the simulator so the
-        #: inner loop reaches them in one attribute load
-        self.l1_sets: list | None = None
 
     @property
     def finished(self) -> bool:
@@ -84,9 +114,10 @@ class CoreState:
         return self.window_closed
 
     def start_measurement(self) -> None:
-        """Reset the measured window (end of warmup)."""
+        """Reset the measured window (end of this core's warmup)."""
         self.instr_base = self.instructions
         self.cycle_base = self.time
+        self.window_open = True
 
     def freeze(self) -> None:
         """Capture the measured window at the target reference count."""

@@ -39,6 +39,7 @@ from repro.workloads.trace import Trace, generate_trace
 
 if TYPE_CHECKING:
     from repro.orchestration.store import ResultStore
+    from repro.scenarios.model import Scenario
 
 #: the five evaluated schemes, in the paper's legend order
 ALL_POLICIES = ("unmanaged", "fair_share", "cpe", "ucp", "cooperative")
@@ -72,6 +73,7 @@ class ExperimentRunner:
         self._traces: dict[tuple, Trace] = {}
         self._alone: dict[tuple, AloneResult] = {}
         self._runs: dict[tuple, RunResult] = {}
+        self._scenario_runs: dict[tuple, RunResult] = {}
         self.store = store
         self.max_workers = max_workers
 
@@ -247,6 +249,108 @@ class ExperimentRunner:
         """Equation (1) for a finished group run."""
         alone_ipcs = [self.alone(core.benchmark, config).ipc for core in run.cores]
         return weighted_speedup(run.ipcs(), alone_ipcs)
+
+    # ------------------------------------------------------------------
+    # Scenario runs (time-varying schedules)
+    # ------------------------------------------------------------------
+    def cached_scenario(
+        self, scenario: "Scenario", config: SystemConfig, policy: str
+    ) -> RunResult | None:
+        """L1/L2 lookup of a scenario run without simulating."""
+        key = (scenario, policy, config)
+        result = self._scenario_runs.get(key)
+        if result is None:
+            result = self._scenario_from_store(scenario, config, policy)
+            if result is not None:
+                self._scenario_runs[key] = result
+        return result
+
+    def run_scenario(
+        self,
+        scenario: "Scenario",
+        config: SystemConfig,
+        policy: str,
+    ) -> RunResult:
+        """Run one time-varying schedule under one scheme (cached).
+
+        The degenerate static scenario routes through the same engine
+        path as :meth:`run_group` and produces identical numbers; it is
+        cached under its own scenario key, so the two never collide.
+        """
+        from repro.sim.simulator import CMPSimulator
+
+        scenario.validate(config.n_cores)
+        result = self.cached_scenario(scenario, config, policy)
+        if result is not None:
+            return result
+        cpe_profiles = None
+        if policy == "cpe":
+            cpe_profiles = self._scenario_cpe_profiles(scenario, config)
+        simulator = CMPSimulator.for_scenario(
+            config,
+            scenario,
+            policy,
+            lambda benchmark: self.trace_for(benchmark, config),
+            cpe_profiles=cpe_profiles,
+            collect_timeline=True,
+        )
+        result = simulator.run()
+        self._scenario_to_store(scenario, config, policy, result)
+        self._scenario_runs[(scenario, policy, config)] = result
+        return result
+
+    def _scenario_cpe_profiles(
+        self, scenario: "Scenario", config: SystemConfig
+    ) -> list[list]:
+        """Per-slot profiled miss curves (arrival benchmark; absent
+        slots get a flat zero curve the lookahead never rewards)."""
+        profiles: list[list] = []
+        for benchmark in scenario.arrival_benchmarks(config.n_cores):
+            if benchmark is None:
+                profiles.append([0] * (config.l2.ways + 1))
+            else:
+                profiles.append(
+                    [list(curve) for curve in self.alone(benchmark, config).curves]
+                )
+        return profiles
+
+    def _scenario_from_store(
+        self, scenario: "Scenario", config: SystemConfig, policy: str
+    ) -> RunResult | None:
+        if self.store is None:
+            return None
+        from repro.orchestration import serialize
+
+        payload = self.store.get(
+            serialize.scenario_task_key(config, scenario, policy)
+        )
+        if payload is None:
+            return None
+        return serialize.run_result_from_dict(payload)
+
+    def _scenario_to_store(
+        self,
+        scenario: "Scenario",
+        config: SystemConfig,
+        policy: str,
+        result: RunResult,
+    ) -> None:
+        if self.store is None:
+            return
+        from repro.orchestration import serialize
+
+        self.store.put(
+            serialize.scenario_task_key(config, scenario, policy),
+            serialize.run_result_to_dict(result),
+            kind="scenario",
+            meta={
+                "scenario": scenario.name,
+                "policy": policy,
+                "n_cores": config.n_cores,
+                "l2": config.l2.describe(),
+                "events": len(scenario.events),
+            },
+        )
 
     # ------------------------------------------------------------------
     # Sweeps and normalisation

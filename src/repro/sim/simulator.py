@@ -14,10 +14,26 @@ contend; the run ends when every core has closed its window.  Energy
 integrates from the end of warmup to the end of the run under the
 same rules for every scheme.
 
+Scenario engine.  Every run executes a
+:class:`~repro.scenarios.model.Scenario` — a timed schedule of core
+arrivals, departures and phase changes.  The classic fixed-workload
+run is the degenerate static scenario (all cores arrive at cycle 0,
+nothing else happens) and routes through exactly the same loop; the
+golden-equivalence suite pins it bit-exact against the seed engine.
+Dynamic schedules interleave their events with the epoch boundaries
+in timestamp order: an arriving core is warmed and scheduled from its
+arrival cycle, a departing core freezes its measurement window and
+the policy is told to release its ways
+(:meth:`~repro.partitioning.base.BaseSharedCachePolicy.on_core_idle`),
+and a phase change swaps the core's reference stream in place.
+Dynamic runs additionally record a per-epoch/per-event
+:class:`~repro.scenarios.timeline.TimelineSample` series.
+
 Hot-path notes.  ``run`` is written for throughput and is
 allocation-free per reference: the next core comes from a two-way
-compare (2 cores), a plain read (1 core) or a heap (3+); the L1
-lookup is inlined (a ``tag_map`` dict probe plus a stamp store on a
+compare (2 cores), a plain read (1 core) or a heap (3+; always a heap
+when the schedule is dynamic, since membership changes mid-run); the
+L1 lookup is inlined (a ``tag_map`` dict probe plus a stamp store on a
 hit — the overwhelmingly common case never enters another frame); L1
 misses take one call into :meth:`_l1_miss`, which drives the LLC
 policy's ``access_fast`` and performs the L1 fill inline.  The same
@@ -29,6 +45,7 @@ order, so they are interchangeable mid-run.
 from __future__ import annotations
 
 from heapq import heapify, heapreplace
+from typing import Callable
 
 from repro.cache.cache_set import NO_TAG
 from repro.cache.hierarchy import CacheHierarchy
@@ -40,30 +57,62 @@ from repro.monitor.sampling import SetSampler
 from repro.monitor.umon import UtilityMonitor
 from repro.partitioning.base import PolicyStats
 from repro.partitioning.registry import create_policy
+from repro.scenarios.model import ARRIVE, DEPART, PHASE, Scenario, ScenarioEvent
+from repro.scenarios.timeline import TimelineSample
 from repro.sim.config import SystemConfig
 from repro.sim.cpu import CoreState
 from repro.sim.stats import CoreResult, RunResult
 from repro.workloads.trace import Trace
 
+#: sentinel "no more events" cycle (far beyond any simulated time)
+_NEVER = 1 << 62
+
 
 class CMPSimulator:
-    """One complete simulation: a system config + traces + a policy."""
+    """One complete simulation: a system config + a schedule + a policy."""
 
     def __init__(
         self,
         config: SystemConfig,
-        traces: list[Trace],
+        traces: list[Trace | None],
         policy_name: str,
         cpe_profiles: list[list] | None = None,
         collect_curves: bool = False,
+        scenario: Scenario | None = None,
+        phase_traces: dict[str, Trace] | None = None,
+        collect_timeline: bool | None = None,
     ) -> None:
         if len(traces) != config.n_cores:
             raise ValueError(
                 f"{config.n_cores} cores need {config.n_cores} traces, "
                 f"got {len(traces)}"
             )
+        if scenario is None:
+            scenario = Scenario.static([trace.name for trace in traces])
+        else:
+            scenario.validate(config.n_cores)
         self.config = config
+        self.scenario = scenario
+        self._arrival_events: list[ScenarioEvent | None] = [
+            scenario.arrival_of(core) for core in range(config.n_cores)
+        ]
+        self._check_traces(traces, phase_traces or {}, scenario)
+        self._phase_traces = phase_traces or {}
         self.cores = [CoreState(i, trace) for i, trace in enumerate(traces)]
+        for core, arrival in zip(self.cores, self._arrival_events):
+            core.active = arrival is not None and arrival.at_cycle == 0
+        self._pending_events = scenario.dynamic_events()
+        #: whether the schedule changes the machine at/after cycle 0
+        self._scenario_dynamic = bool(self._pending_events) or any(
+            not core.active for core in self.cores
+        )
+        if collect_timeline is None:
+            collect_timeline = self._scenario_dynamic
+        self._timeline: list[TimelineSample] | None = (
+            [] if collect_timeline else None
+        )
+        self._measuring = False
+        self._warmup = 0
         self.collect_curves = collect_curves
 
         self.cache = SetAssociativeCache(config.l2)
@@ -122,6 +171,82 @@ class CMPSimulator:
             l1 = self.hierarchy.l1[core.core_id]
             l1.ensure_cores(config.n_cores)
             core.l1_sets = l1.sets
+        # Slots not present at cycle 0 (late arrivals and never-arriving
+        # slots) start idle: the policy releases their share before the
+        # run begins — under cooperative partitioning their ways are
+        # gated from the first cycle.
+        if self._scenario_dynamic:
+            for core in self.cores:
+                if not core.active:
+                    self.policy.on_core_idle(core.core_id, 0)
+
+    @staticmethod
+    def _check_traces(
+        traces: list[Trace | None],
+        phase_traces: dict[str, Trace],
+        scenario: Scenario,
+    ) -> None:
+        for slot, (trace, arrival) in enumerate(
+            zip(traces, (scenario.arrival_of(i) for i in range(len(traces))))
+        ):
+            if arrival is None:
+                if trace is not None:
+                    raise ValueError(
+                        f"slot {slot} never arrives in scenario "
+                        f"{scenario.name!r} but was given a trace"
+                    )
+            elif trace is None:
+                raise ValueError(
+                    f"slot {slot} arrives in scenario {scenario.name!r} "
+                    f"but has no trace"
+                )
+            elif trace.name != arrival.benchmark:
+                raise ValueError(
+                    f"slot {slot}: trace {trace.name!r} does not match "
+                    f"arrival benchmark {arrival.benchmark!r}"
+                )
+        for event in scenario.events:
+            if event.kind == PHASE and event.benchmark not in phase_traces:
+                raise ValueError(
+                    f"phase event {event.describe()} has no trace; pass it "
+                    f"via phase_traces (or use CMPSimulator.for_scenario)"
+                )
+
+    @classmethod
+    def for_scenario(
+        cls,
+        config: SystemConfig,
+        scenario: Scenario,
+        policy_name: str,
+        trace_for: Callable[[str], Trace],
+        cpe_profiles: list[list] | None = None,
+        collect_curves: bool = False,
+        collect_timeline: bool | None = None,
+    ) -> "CMPSimulator":
+        """Build a simulator for ``scenario``, fetching traces on demand.
+
+        ``trace_for(benchmark)`` supplies the deterministic trace for a
+        benchmark name (e.g. ``ExperimentRunner.trace_for`` partially
+        applied to the config).
+        """
+        scenario.validate(config.n_cores)
+        arrivals = scenario.arrival_benchmarks(config.n_cores)
+        traces = [trace_for(name) if name else None for name in arrivals]
+        phase_traces = {
+            event.benchmark: trace_for(event.benchmark)
+            for event in scenario.events
+            if event.kind == PHASE and event.benchmark is not None
+        }
+        return cls(
+            config,
+            traces,
+            policy_name,
+            cpe_profiles=cpe_profiles,
+            collect_curves=collect_curves,
+            scenario=scenario,
+            phase_traces=phase_traces,
+            collect_timeline=collect_timeline,
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -131,16 +256,32 @@ class CMPSimulator:
         issue_shift = max(0, config.issue_width.bit_length() - 1)
         target = config.refs_per_core
         warmup = min(config.warmup_refs, max(0, target - 1))
+        self._warmup = warmup
         warmed_up = warmup == 0
-        n = len(cores)
-        unfinished = n
+        if warmed_up:
+            # No warmup: every window is open from the start and the
+            # timeline (if any) begins at cycle 0.
+            for core in cores:
+                core.window_open = True
+            self._measuring = True
+        initial = [core for core in cores if core.active]
+        #: cores whose warmup gates the global statistics reset (late
+        #: arrivals open their own windows but do not hold up the gate)
+        self._warm_gate = initial
+        unfinished = sum(
+            1 for arrival in self._arrival_events if arrival is not None
+        )
 
         self._prewarm()
         # The first epoch starts after the warming traffic has drained
         # so the catch-up logic does not fire several decisions back to
         # back on sparse monitor data.
         epoch_cycles = config.epoch_cycles
-        next_epoch = max(core.time for core in cores) + epoch_cycles
+        next_epoch = (
+            max((core.time for core in initial), default=0) + epoch_cycles
+        )
+        if warmed_up and self._timeline is not None:
+            self._record_sample(0)
 
         l1_mask = self._l1_mask
         l1_shift = self._l1_shift
@@ -151,15 +292,35 @@ class CMPSimulator:
         policy_access = self._policy_access
         miss_latency = self._miss_latency
 
+        events = self._pending_events
+        event_index = 0
+        n_events = len(events)
+        next_event = events[0].at_cycle if events else _NEVER
+        # Monotone boundary clock: events take effect at the first
+        # scheduler step at or after their scheduled cycle, and no
+        # boundary is ever stamped earlier than one already applied
+        # (time never rewinds, keeping the energy integration and the
+        # timeline strictly ordered even for schedules whose cycles
+        # land inside the prewarm era).
+        clock = 0
+
         # Scheduler: two-way compare for the common 2-core geometry, a
         # heap keyed on (time, core_id) for 3+ cores (same tie-break
-        # as min() over the core list: earliest time, lowest id).
-        core_a = cores[0]
-        core_b = cores[1] if n == 2 else None
+        # as min() over the core list: earliest time, lowest id).  A
+        # dynamic schedule always uses the heap — membership changes
+        # whenever a core arrives or departs.
+        core_a = core_b = None
         heap = None
-        if n > 2:
-            heap = [(core.time, core.core_id) for core in cores]
+        if events:
+            heap = [(core.time, core.core_id) for core in initial]
             heapify(heap)
+        else:
+            n_scheduled = len(initial)
+            core_a = initial[0] if n_scheduled else None
+            core_b = initial[1] if n_scheduled == 2 else None
+            if n_scheduled > 2:
+                heap = [(core.time, core.core_id) for core in initial]
+                heapify(heap)
 
         while unfinished:
             if core_b is not None:
@@ -168,16 +329,63 @@ class CMPSimulator:
             elif heap is None:
                 core = core_a
                 now = core.time
-            else:
+            elif heap:
                 now, core_id = heap[0]
                 core = cores[core_id]
+            else:
+                # No core is executing; jump to the next boundary (an
+                # epoch or the arrival that will repopulate the heap).
+                core = None
+                now = next_event if next_event < next_epoch else next_epoch
 
-            if now >= next_epoch:
-                if self._run_epoch(next_epoch) and heap is not None:
-                    # The epoch stalled every core; re-key the heap.
-                    heap = [(core.time, core.core_id) for core in cores]
+            if now >= next_epoch or now >= next_event:
+                if next_epoch <= next_event:
+                    stamp = next_epoch if next_epoch >= clock else clock
+                    if self._run_epoch(stamp) and heap is not None:
+                        # The epoch stalled every core; re-key the heap.
+                        heap = [
+                            (c.time, c.core_id) for c in cores if c.active
+                        ]
+                        heapify(heap)
+                    clock = stamp
+                    next_epoch += epoch_cycles
+                else:
+                    when = next_event
+                    stamp = when if when >= now else now
+                    if stamp < clock:
+                        stamp = clock
+                    closed = 0
+                    labels: list[str] = []
+                    while (
+                        event_index < n_events
+                        and events[event_index].at_cycle == when
+                    ):
+                        event = events[event_index]
+                        closed += self._apply_event(event, stamp)
+                        labels.append(event.describe())
+                        event_index += 1
+                    next_event = (
+                        events[event_index].at_cycle
+                        if event_index < n_events
+                        else _NEVER
+                    )
+                    unfinished -= closed
+                    clock = stamp
+                    stall = getattr(self.policy, "pending_stall", 0)
+                    if stall:
+                        for c in cores:
+                            if c.active:
+                                c.time += stall
+                        self.policy.pending_stall = 0
+                    if self._timeline is not None and self._measuring:
+                        self._record_sample(stamp, labels)
+                    if not warmed_up and self._warm_gate_passed(warmup):
+                        self._end_warmup()
+                        warmed_up = True
+                        if self.energy.window_start > clock:
+                            clock = self.energy.window_start
+                    heap = [(c.time, c.core_id) for c in cores if c.active]
                     heapify(heap)
-                next_epoch += epoch_cycles
                 continue
 
             position = core.position
@@ -248,25 +456,108 @@ class CMPSimulator:
             if heap is not None:
                 heapreplace(heap, (core.time, core.core_id))
 
-            if not warmed_up and core.refs_done == warmup:
+            if core.refs_done == warmup and not core.window_open:
                 # Each core's IPC window opens at its own warmup point
                 # so every scheme measures exactly the same
                 # (target - warmup) references per core; the global
-                # statistics reset once the last core gets there.
+                # statistics reset once the last gating core gets there.
                 core.start_measurement()
-                if all(c.refs_done >= warmup for c in cores):
+                if not warmed_up and self._warm_gate_passed(warmup):
                     self._end_warmup()
                     warmed_up = True
+                    if self.energy.window_start > clock:
+                        clock = self.energy.window_start
             if core.refs_done == target and not core.window_closed:
                 core.freeze()
                 unfinished -= 1
 
         end_cycle = max(c.time for c in cores)
+        if event_index < n_events:
+            # Events scheduled past the last window close (only departs
+            # and phases can remain — a pending arrival holds the run
+            # open) are applied at the final instant rather than
+            # silently dropped, so the cached artifact and the timeline
+            # honestly reflect the full schedule.
+            stamp = end_cycle if end_cycle >= clock else clock
+            labels = []
+            while event_index < n_events:
+                event = events[event_index]
+                self._apply_event(event, stamp)
+                labels.append(event.describe())
+                event_index += 1
+            if getattr(self.policy, "pending_stall", 0):
+                # A flush burst at the final instant has no run left to
+                # slow down; its energy and flush stats are recorded.
+                self.policy.pending_stall = 0
+            if self._timeline is not None and self._measuring:
+                self._record_sample(stamp, labels)
+            if stamp > end_cycle:
+                end_cycle = stamp
         self.energy.finalize(end_cycle)
         note_pending = getattr(self.policy, "note_pending", None)
         if note_pending is not None:
             note_pending(end_cycle)
         return self._collect(end_cycle)
+
+    # ------------------------------------------------------------------
+    def _apply_event(self, event: ScenarioEvent, when: int) -> int:
+        """Apply one schedule event; returns windows closed (0 or 1)."""
+        core = self.cores[event.core]
+        kind = event.kind
+        if kind == ARRIVE:
+            # Grant the core cache capacity *before* its warming traffic
+            # reaches the LLC (an arriving core must be able to fill).
+            self.policy.on_core_active(event.core, when)
+            core.active = True
+            core.time = when
+            self._warm_core(core)
+            if self._warmup == 0:
+                core.start_measurement()
+            return 0
+        if kind == DEPART:
+            closed = 0
+            if not core.window_closed:
+                if core.window_open:
+                    core.freeze()
+                else:
+                    # Departed during warmup: no measured window, and
+                    # none of the core's work counts toward the
+                    # window_instructions energy denominator.
+                    core.instr_base = core.instructions
+                    core.window_closed = True
+                closed = 1
+            core.active = False
+            core.departed = True
+            self.policy.on_core_idle(event.core, when)
+            return closed
+        # PHASE: swap the reference stream in place; counters continue.
+        trace = self._phase_traces[event.benchmark]
+        core.load_trace(trace)
+        return 0
+
+    def _warm_gate_passed(self, warmup: int) -> bool:
+        """Whether every gating core finished (or left) its warmup."""
+        return all(
+            core.refs_done >= warmup or core.departed
+            for core in self._warm_gate
+        )
+
+    def _record_sample(self, cycle: int, labels: list[str] | tuple = ()) -> None:
+        """Append one timeline observation (never mutates sim state)."""
+        policy = self.policy
+        self._timeline.append(
+            TimelineSample(
+                cycle=cycle,
+                active_cores=tuple(
+                    core.core_id for core in self.cores if core.active
+                ),
+                allocations=tuple(policy.way_allocations()),
+                powered_ways=policy.active_ways(),
+                static_energy_nj=self.energy.static_nj_at(cycle),
+                dynamic_energy_nj=self.energy.dynamic_nj,
+                events=tuple(labels),
+            )
+        )
 
     # ------------------------------------------------------------------
     def _l1_miss(
@@ -335,7 +626,9 @@ class CMPSimulator:
         ring/hot line is accessed once through the real hierarchy,
         interleaved across cores, before the measured window.  The
         traffic ages normally and everything it touches is discarded
-        by the warmup statistics reset.
+        by the warmup statistics reset.  Only cores present at cycle 0
+        warm here; a late arrival warms at its arrival cycle
+        (:meth:`_warm_core`).
 
         Cores advance through per-core cursors and drained cores drop
         out of the sweep list, so each round only visits cores that
@@ -347,37 +640,72 @@ class CMPSimulator:
         l1_latency = self.hierarchy.l1_latency
         l1_hits = self.hierarchy.l1_hits
         miss = self._l1_miss
+        warm_one = self._warm_access
         # [core, cursor, lines, length] per core with warming to do.
         active = [
             [core, 0, core.warm_lines, len(core.warm_lines)]
             for core in self.cores
-            if len(core.warm_lines)
+            if core.active and len(core.warm_lines)
         ]
         while active:
             drained = False
             for entry in active:
-                core = entry[0]
                 cursor = entry[1]
-                address = entry[2][cursor]
-                now = core.time
-                cset = core.l1_sets[address & l1_mask]
-                way = cset.tag_map.get(address >> l1_shift, -1)
-                if way >= 0:
-                    cset.stamp[way] = cset.clock
-                    cset.clock += 1
-                    l1_hits[core.core_id] += 1
-                    core.time = now + l1_latency
-                else:
-                    core.time = now + miss(
-                        core.core_id, address, False, now,
-                        cset, address & l1_mask, address >> l1_shift,
-                    )
+                warm_one(
+                    entry[0], entry[2][cursor],
+                    l1_mask, l1_shift, l1_latency, l1_hits, miss,
+                )
                 cursor += 1
                 entry[1] = cursor
                 if cursor == entry[3]:
                     drained = True
             if drained:
                 active = [entry for entry in active if entry[1] < entry[3]]
+
+    @staticmethod
+    def _warm_access(
+        core: CoreState,
+        address: int,
+        l1_mask: int,
+        l1_shift: int,
+        l1_latency: int,
+        l1_hits: list[int],
+        miss,
+    ) -> None:
+        """One warm touch of ``address`` — the single shared copy of
+        the warming L1 access sequence (callers pass the bound loop
+        constants so per-line cost stays flat)."""
+        now = core.time
+        cset = core.l1_sets[address & l1_mask]
+        way = cset.tag_map.get(address >> l1_shift, -1)
+        if way >= 0:
+            cset.stamp[way] = cset.clock
+            cset.clock += 1
+            l1_hits[core.core_id] += 1
+            core.time = now + l1_latency
+        else:
+            core.time = now + miss(
+                core.core_id, address, False, now,
+                cset, address & l1_mask, address >> l1_shift,
+            )
+
+    def _warm_core(self, core: CoreState) -> None:
+        """Warm one late-arriving core's resident working set.
+
+        The same per-line traffic as :meth:`_prewarm`, but for a single
+        core starting at its arrival cycle.  The warming accesses are
+        real LLC traffic (the incoming application faults its working
+        set in), so they are charged to the measured window like any
+        other post-warmup work.
+        """
+        warm_one = self._warm_access
+        l1_mask = self._l1_mask
+        l1_shift = self._l1_shift
+        l1_latency = self.hierarchy.l1_latency
+        l1_hits = self.hierarchy.l1_hits
+        miss = self._l1_miss
+        for address in core.warm_lines:
+            warm_one(core, address, l1_mask, l1_shift, l1_latency, l1_hits, miss)
 
     def _run_epoch(self, now: int) -> bool:
         """Partitioning decision at a global epoch boundary.
@@ -388,10 +716,13 @@ class CMPSimulator:
         if self.collect_curves and self.monitors:
             self.epoch_curves.append(self.monitors[0].miss_curve())
         self.policy.epoch(now)
+        if self._timeline is not None and self._measuring:
+            self._record_sample(now)
         stall = getattr(self.policy, "pending_stall", 0)
         if stall:
             for core in self.cores:
-                core.time += stall
+                if core.active:
+                    core.time += stall
             self.policy.pending_stall = 0
             return True
         return False
@@ -403,7 +734,10 @@ class CMPSimulator:
         # The energy window restarts at the global minimum time: every
         # later policy event (epochs, transitions) happens at or after
         # it, keeping the static integration monotonic.
-        now = min(core.time for core in self.cores)
+        now = min(
+            (core.time for core in self.cores if core.active),
+            default=max(core.time for core in self.cores),
+        )
         self.energy.reset_window(now)
         # Zero the L1 counters in place: the run loop holds direct
         # references to these lists.
@@ -412,12 +746,17 @@ class CMPSimulator:
             hierarchy.l1_hits[core_id] = 0
             hierarchy.l1_misses[core_id] = 0
             hierarchy.l1_writebacks[core_id] = 0
+        self._measuring = True
+        if self._timeline is not None:
+            self._record_sample(now)
 
     def _collect(self, end_cycle: int) -> RunResult:
         if self.collect_curves and self.monitors:
             # Guarantee at least one curve even for sub-epoch runs, and
             # capture the tail epoch's behaviour.
             self.epoch_curves.append(self.monitors[0].miss_curve())
+        if self._timeline is not None and self._measuring:
+            self._record_sample(end_cycle)
         stats = self.stats
         core_results = [
             CoreResult(
@@ -447,4 +786,6 @@ class CMPSimulator:
             window_instructions=window_instructions,
             window_cycles=window_cycles,
             epoch_curves=self.epoch_curves,
+            scenario=self.scenario.name,
+            timeline=self._timeline if self._timeline is not None else [],
         )

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.partitioning.base import PolicyStats
+from repro.scenarios import timeline as timeline_helpers
+from repro.scenarios.timeline import TimelineSample
 
 
 @dataclass(frozen=True)
@@ -60,6 +62,12 @@ class RunResult:
     window_cycles: int = 0
     #: per-epoch miss curves of core 0 when curve collection was on
     epoch_curves: list[list[int]] = field(default_factory=list)
+    #: name of the scenario that produced this run ("static" for the
+    #: classic fixed-workload protocol)
+    scenario: str = "static"
+    #: per-epoch/per-event machine observations (scenario runs only;
+    #: empty for classic static runs unless explicitly requested)
+    timeline: list[TimelineSample] = field(default_factory=list)
 
     @property
     def total_energy_nj(self) -> float:
@@ -122,3 +130,19 @@ class RunResult:
         if total == 0:
             return {key: 0.0 for key in events}
         return {key: value / total for key, value in events.items()}
+
+    # ------------------------------------------------------------------
+    # Timeline views (scenario runs) — thin delegates over the series
+    # helpers in :mod:`repro.scenarios.timeline`
+    # ------------------------------------------------------------------
+    def powered_ways_series(self) -> list[tuple[int, int]]:
+        """``(cycle, powered_ways)`` pairs from the recorded timeline."""
+        return timeline_helpers.powered_ways_series(self.timeline)
+
+    def min_powered_ways(self) -> int:
+        """Smallest powered-way count the timeline observed."""
+        return timeline_helpers.min_powered_ways(self.timeline)
+
+    def timeline_events(self) -> list[TimelineSample]:
+        """Samples recorded because a schedule event fired."""
+        return timeline_helpers.samples_with_events(self.timeline)

@@ -105,6 +105,91 @@ class TestReport:
         assert code == 1
         assert "missing" in capsys.readouterr().err
 
+    def test_report_json_format_is_machine_readable(self, store_arguments, capsys):
+        main(["sweep", "--cores", "2", "--groups", "1", *FAST, *store_arguments])
+        capsys.readouterr()
+        code = main(["report", "--groups", "1", "--refs-per-core", "3000",
+                     "--format", "json", *store_arguments])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["n_cores"] == 2
+        assert set(document["metrics"]) == {"speedup", "dynamic", "static"}
+        speedup = document["metrics"]["speedup"]
+        assert "G2-1" in speedup["groups"]
+        assert speedup["groups"]["G2-1"]["fair_share"] == 1.0
+        assert set(speedup["average"]) == set(document["policies"])
+
+    def test_report_csv_format_is_flat_rows(self, store_arguments, capsys):
+        main(["sweep", "--cores", "2", "--groups", "1", *FAST, *store_arguments])
+        capsys.readouterr()
+        code = main(["report", "--groups", "1", "--refs-per-core", "3000",
+                     "--format", "csv", *store_arguments])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "metric,group,policy,value"
+        rows = [line.split(",") for line in lines[1:]]
+        # 3 metrics x (1 group + AVG) x 5 policies
+        assert len(rows) == 3 * 2 * 5
+        assert {row[0] for row in rows} == {"speedup", "dynamic", "static"}
+        for row in rows:
+            float(row[3])  # every value parses losslessly
+
+
+class TestScenario:
+    ARGS = ["scenario", "--cores", "2", "--refs-per-core", "8000",
+            "--group", "G2-8", "--policies", "cooperative"]
+
+    def test_consolidation_preset_prints_timeline(self, store_arguments, capsys):
+        code = main([*self.ARGS, *store_arguments])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "consolidation-G2-8" in out
+        assert "depart:core1" in out
+        assert "static baseline" in out
+
+    def test_json_format_reports_gating_summary(self, store_arguments, capsys):
+        code = main([*self.ARGS, "--format", "json", *store_arguments])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        run = document["runs"]["cooperative"]
+        summary = run["summary"]
+        assert summary["min_powered_ways"] < summary["initial_powered_ways"]
+        assert summary["static_energy_nj"] < summary["static_energy_nj_baseline"]
+        assert run["timeline"], "timeline must be serialised"
+        assert document["scenario"]["events"][-1]["kind"] == "depart"
+
+    def test_csv_format_emits_timeline_rows(self, store_arguments, capsys):
+        code = main([*self.ARGS, "--format", "csv", *store_arguments])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("policy,cycle,active_cores")
+        assert any("depart" in line for line in lines[1:])
+
+    def test_spec_file_overrides_preset(self, tmp_path, capsys):
+        spec = {
+            "name": "from-spec",
+            "events": [
+                {"kind": "arrive", "core": 0, "at_cycle": 0, "benchmark": "lbm"},
+                {"kind": "arrive", "core": 1, "at_cycle": 0,
+                 "benchmark": "soplex"},
+                {"kind": "depart", "core": 1, "at_cycle": 2_900_000,
+                 "benchmark": None},
+            ],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        code = main([*self.ARGS, "--spec", str(path),
+                     "--store", str(tmp_path / "store")])
+        assert code == 0
+        assert "from-spec" in capsys.readouterr().out
+
+    def test_rejects_bad_fraction_and_group(self, store_arguments):
+        with pytest.raises(SystemExit):
+            main([*self.ARGS, "--at-fraction", "1.5", *store_arguments])
+        with pytest.raises(SystemExit):
+            main(["scenario", "--cores", "2", "--group", "G4-1",
+                  *store_arguments])
+
 
 class TestClean:
     def test_clean_empties_the_store(self, store_arguments, capsys):
