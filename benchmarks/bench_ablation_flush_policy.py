@@ -7,6 +7,7 @@ reassigned ways at once.  Comparing the two on the phase-heavy
 workloads isolates the cost of immediate flushing.
 """
 
+from repro import Experiment
 from repro.metrics.speedup import geometric_mean
 
 PHASE_HEAVY = ("G2-4", "G2-6", "G2-7", "G2-12", "G2-13")
@@ -16,15 +17,15 @@ def test_ablation_lazy_vs_immediate_flush(benchmark, runner, two_core_config, tw
     groups = [g for g in two_core_groups if g in PHASE_HEAVY] or two_core_groups[:3]
 
     def sweep():
-        runner.prefetch(
-            (group, policy, two_core_config)
+        results = runner.sweep(
+            Experiment(group, policy, two_core_config)
             for group in groups
             for policy in ("cooperative", "cpe")
         )
         rows = {}
         for group in groups:
-            cp = runner.run_group(group, two_core_config, "cooperative")
-            cpe = runner.run_group(group, two_core_config, "cpe")
+            cp = results[Experiment(group, "cooperative", two_core_config)]
+            cpe = results[Experiment(group, "cpe", two_core_config)]
             rows[group] = {
                 "cp_ws": runner.weighted_speedup_of(cp, two_core_config),
                 "cpe_ws": runner.weighted_speedup_of(cpe, two_core_config),

@@ -8,6 +8,8 @@ Cooperative Partitioning with sampling intervals 1 (every set), 4 and
 
 from dataclasses import replace
 
+from repro import Experiment
+
 INTERVALS = (1, 4, 16)
 GROUPS = ("G2-2", "G2-6", "G2-8")
 
@@ -16,8 +18,10 @@ def test_ablation_umon_sampling_interval(benchmark, runner, two_core_config, two
     groups = [g for g in two_core_groups if g in GROUPS] or two_core_groups[:2]
 
     def sweep():
-        runner.prefetch(
-            (group, "cooperative", replace(two_core_config, umon_interval=interval))
+        runner.sweep(
+            Experiment(
+                group, "cooperative", replace(two_core_config, umon_interval=interval)
+            )
             for group in groups
             for interval in INTERVALS
         )
@@ -27,7 +31,7 @@ def test_ablation_umon_sampling_interval(benchmark, runner, two_core_config, two
             ws_values = []
             probes = []
             for group in groups:
-                run = runner.run_group(group, config, "cooperative")
+                run = runner.run(Experiment(group, "cooperative", config))
                 ws_values.append(runner.weighted_speedup_of(run, config))
                 probes.append(run.average_ways_probed)
             rows[interval] = (

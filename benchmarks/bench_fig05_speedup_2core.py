@@ -10,7 +10,7 @@ our synthetic traces compress the absolute speedups, so the check is
 on the CP:UCP ratio rather than the absolute level).
 """
 
-from conftest import print_series
+from conftest import print_series, sweep_grid
 
 from repro.metrics.speedup import geometric_mean
 from repro.sim.runner import ALL_POLICIES
@@ -18,7 +18,7 @@ from repro.sim.runner import ALL_POLICIES
 
 def test_fig05_weighted_speedup_two_core(benchmark, runner, two_core_config, two_core_groups):
     def sweep():
-        results = runner.sweep(two_core_config, groups=two_core_groups)
+        results = sweep_grid(runner, two_core_config, two_core_groups)
         return runner.normalized_weighted_speedup(results, two_core_config)
 
     table = benchmark.pedantic(sweep, rounds=1, iterations=1)

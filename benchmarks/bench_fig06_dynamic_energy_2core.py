@@ -7,7 +7,7 @@ way-aligned probes average 2.9 ways and land at ~68% (Dynamic CPE at
 those orderings.
 """
 
-from conftest import print_series
+from conftest import print_series, sweep_grid
 
 from repro.metrics.speedup import geometric_mean
 from repro.sim.runner import ALL_POLICIES
@@ -15,7 +15,7 @@ from repro.sim.runner import ALL_POLICIES
 
 def test_fig06_dynamic_energy_two_core(benchmark, runner, two_core_config, two_core_groups):
     def sweep():
-        results = runner.sweep(two_core_config, groups=two_core_groups)
+        results = sweep_grid(runner, two_core_config, two_core_groups)
         return runner.normalized_energy(results, "dynamic")
 
     table = benchmark.pedantic(sweep, rounds=1, iterations=1)

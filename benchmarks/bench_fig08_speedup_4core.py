@@ -6,7 +6,7 @@ applications ("Dynamic CPE is not scalable across a large number of
 cores"), while UCP and Cooperative Partitioning stay close together.
 """
 
-from conftest import print_series
+from conftest import print_series, sweep_grid
 
 from repro.metrics.speedup import geometric_mean
 from repro.sim.runner import ALL_POLICIES
@@ -14,7 +14,7 @@ from repro.sim.runner import ALL_POLICIES
 
 def test_fig08_weighted_speedup_four_core(benchmark, runner, four_core_config, four_core_groups):
     def sweep():
-        results = runner.sweep(four_core_config, groups=four_core_groups)
+        results = sweep_grid(runner, four_core_config, four_core_groups)
         return runner.normalized_weighted_speedup(results, four_core_config)
 
     table = benchmark.pedantic(sweep, rounds=1, iterations=1)

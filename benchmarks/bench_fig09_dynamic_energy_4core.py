@@ -4,7 +4,7 @@ Paper: Unmanaged/UCP at ~4x Fair Share (16 ways probed vs 4), CP at
 69% (3.2 ways probed on average vs 4), CPE at 82%.
 """
 
-from conftest import print_series
+from conftest import print_series, sweep_grid
 
 from repro.metrics.speedup import geometric_mean
 from repro.sim.runner import ALL_POLICIES
@@ -12,7 +12,7 @@ from repro.sim.runner import ALL_POLICIES
 
 def test_fig09_dynamic_energy_four_core(benchmark, runner, four_core_config, four_core_groups):
     def sweep():
-        results = runner.sweep(four_core_config, groups=four_core_groups)
+        results = sweep_grid(runner, four_core_config, four_core_groups)
         return runner.normalized_energy(results, "dynamic")
 
     table = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -5,7 +5,7 @@ whose applications need few ways (G4-3/8/11) and no savings in the
 five groups that use the whole cache.
 """
 
-from conftest import print_series
+from conftest import print_series, sweep_grid
 
 from repro.metrics.speedup import geometric_mean
 from repro.sim.runner import ALL_POLICIES
@@ -13,7 +13,7 @@ from repro.sim.runner import ALL_POLICIES
 
 def test_fig10_static_energy_four_core(benchmark, runner, four_core_config, four_core_groups):
     def sweep():
-        results = runner.sweep(four_core_config, groups=four_core_groups)
+        results = sweep_grid(runner, four_core_config, four_core_groups)
         return runner.normalized_energy(results, "static")
 
     table = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -6,23 +6,30 @@ T=0 run.  The paper finds no loss up to T=0.05 and growing losses
 beyond, which justifies its default of 0.05.
 """
 
+from repro import Experiment, PolicySpec
+
 THRESHOLDS = (0.0, 0.01, 0.05, 0.10, 0.20)
 
 
 def test_fig11_threshold_vs_performance(benchmark, runner, two_core_config, two_core_groups):
     def sweep():
-        runner.prefetch(
-            (group, "cooperative", two_core_config.with_threshold(threshold))
+        grid = {
+            (group, threshold): Experiment(
+                group,
+                PolicySpec("cooperative", threshold=threshold),
+                two_core_config,
+            )
             for group in two_core_groups
             for threshold in THRESHOLDS
-        )
+        }
+        results = runner.sweep(grid.values())
         table = {}
         for group in two_core_groups:
             row = {}
             for threshold in THRESHOLDS:
-                config = two_core_config.with_threshold(threshold)
-                run = runner.run_group(group, config, "cooperative")
-                row[threshold] = runner.weighted_speedup_of(run, config)
+                experiment = grid[(group, threshold)]
+                run = results[experiment]
+                row[threshold] = runner.weighted_speedup_of(run, experiment.system)
             table[group] = {t: row[t] / row[0.0] for t in THRESHOLDS}
         return table
 

@@ -5,22 +5,29 @@ nothing can be gated; raising T leaves weak-utility ways unallocated
 and powered off, so static energy falls with T.
 """
 
+from repro import Experiment, PolicySpec
+
 THRESHOLDS = (0.0, 0.01, 0.05, 0.10, 0.20)
 
 
 def test_fig13_threshold_vs_static_energy(benchmark, runner, two_core_config, two_core_groups):
     def sweep():
-        runner.prefetch(
-            (group, "cooperative", two_core_config.with_threshold(threshold))
+        grid = {
+            (group, threshold): Experiment(
+                group,
+                PolicySpec("cooperative", threshold=threshold),
+                two_core_config,
+            )
             for group in two_core_groups
             for threshold in THRESHOLDS
-        )
+        }
+        results = runner.sweep(grid.values())
         table = {}
         for group in two_core_groups:
             row = {}
             for threshold in THRESHOLDS:
-                config = two_core_config.with_threshold(threshold)
-                run = runner.run_group(group, config, "cooperative")
+                experiment = grid[(group, threshold)]
+                run = results[experiment]
                 row[threshold] = run.static_power_nw
             table[group] = {t: row[t] / row[0.0] for t in THRESHOLDS}
         return table

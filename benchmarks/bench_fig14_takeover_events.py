@@ -7,17 +7,18 @@ takeover bits set.  This benchmark aggregates the event mix across
 every two-core group that actually repartitions.
 """
 
-from repro.sim.runner import ALL_POLICIES  # noqa: F401  (documentation import)
+from repro import Experiment
 
 
 def test_fig14_takeover_event_mix(benchmark, runner, two_core_config, two_core_groups):
     def sweep():
-        runner.prefetch(
-            (group, "cooperative", two_core_config) for group in two_core_groups
+        results = runner.sweep(
+            Experiment(group, "cooperative", two_core_config)
+            for group in two_core_groups
         )
         table = {}
         for group in two_core_groups:
-            run = runner.run_group(group, two_core_config, "cooperative")
+            run = results[Experiment(group, "cooperative", two_core_config)]
             events = run.policy_stats.takeover_events
             if sum(events.values()):
                 table[group] = run.takeover_event_fractions()

@@ -7,20 +7,21 @@ moves when the recipient misses (the paper measures 10M vs 58M cycles
 geometry; the benchmark checks the *ratio*.
 """
 
+from repro import Experiment
 from repro.metrics.speedup import geometric_mean
 
 
 def test_fig15_way_transition_time(benchmark, runner, two_core_config, two_core_groups):
     def sweep():
-        runner.prefetch(
-            (group, policy, two_core_config)
+        results = runner.sweep(
+            Experiment(group, policy, two_core_config)
             for group in two_core_groups
             for policy in ("cooperative", "ucp")
         )
         table = {}
         for group in two_core_groups:
-            cp = runner.run_group(group, two_core_config, "cooperative")
-            ucp = runner.run_group(group, two_core_config, "ucp")
+            cp = results[Experiment(group, "cooperative", two_core_config)]
+            ucp = results[Experiment(group, "ucp", two_core_config)]
             # UCP migrations often outlive the run entirely, so compare
             # lower-bound means (completed + in-flight ages) for both.
             cp_cycles = cp.transition_cycles_lower_bound()

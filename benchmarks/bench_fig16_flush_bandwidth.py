@@ -9,12 +9,15 @@ total flushed lines.
 """
 
 
+from repro import Experiment
+
+
 def test_fig16_flush_bandwidth_timeline(benchmark, runner, two_core_config, two_core_groups):
     horizon = 24  # buckets of flush_bucket_cycles after a decision
 
     def sweep():
-        runner.prefetch(
-            (group, policy, two_core_config)
+        results = runner.sweep(
+            Experiment(group, policy, two_core_config)
             for group in two_core_groups
             for policy in ("cooperative", "ucp")
         )
@@ -23,7 +26,7 @@ def test_fig16_flush_bandwidth_timeline(benchmark, runner, two_core_config, two_
         contributing = 0
         for group in two_core_groups:
             runs = {
-                policy: runner.run_group(group, two_core_config, policy)
+                policy: results[Experiment(group, policy, two_core_config)]
                 for policy in ("cooperative", "ucp")
             }
             if not any(r.policy_stats.repartitions for r in runs.values()):

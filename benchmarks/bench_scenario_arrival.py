@@ -8,6 +8,7 @@ cache is fully lit.  Prints the allocation timeline around the arrival
 for each scheme that manages ways explicitly.
 """
 
+from repro import Experiment
 from repro.scenarios import Scenario, arrival_scenario, render_timeline
 
 GROUP_BENCHMARKS = ("lbm", "soplex")  # G2-8
@@ -19,7 +20,9 @@ def test_scenario_arrival_grants_ways(benchmark, runner, two_core_config):
 
     def sweep():
         static = Scenario.static(GROUP_BENCHMARKS, name="static-G2-8")
-        probe = runner.run_scenario(static, config, "cooperative")
+        probe = runner.run(
+            Experiment.for_scenario(static, system=config, policy="cooperative")
+        )
         window_start = probe.end_cycle - probe.window_cycles
         scenario = arrival_scenario(
             GROUP_BENCHMARKS,
@@ -28,7 +31,9 @@ def test_scenario_arrival_grants_ways(benchmark, runner, two_core_config):
             name="arrival-G2-8",
         )
         return {
-            policy: runner.run_scenario(scenario, config, policy)
+            policy: runner.run(
+                Experiment.for_scenario(scenario, system=config, policy=policy)
+            )
             for policy in SCHEMES
         }
 

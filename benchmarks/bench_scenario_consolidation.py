@@ -8,6 +8,7 @@ own no-departure baseline and the cooperative powered-ways timeline —
 the shape Figures 14-16 reason about.
 """
 
+from repro import Experiment
 from repro.scenarios import Scenario, consolidation_scenario, render_timeline
 from repro.sim.runner import ALL_POLICIES
 
@@ -19,7 +20,9 @@ def test_scenario_consolidation_static_energy(benchmark, runner, four_core_confi
 
     def sweep():
         static = Scenario.static(GROUP_BENCHMARKS, name="static-G4-5")
-        probe = runner.run_scenario(static, config, "cooperative")
+        probe = runner.run(
+            Experiment.for_scenario(static, system=config, policy="cooperative")
+        )
         window_start = probe.end_cycle - probe.window_cycles
         scenario = consolidation_scenario(
             GROUP_BENCHMARKS,
@@ -29,8 +32,12 @@ def test_scenario_consolidation_static_energy(benchmark, runner, four_core_confi
         )
         table = {}
         for policy in ALL_POLICIES:
-            run = runner.run_scenario(scenario, config, policy)
-            baseline = runner.run_scenario(static, config, policy)
+            run = runner.run(
+                Experiment.for_scenario(scenario, system=config, policy=policy)
+            )
+            baseline = runner.run(
+                Experiment.for_scenario(static, system=config, policy=policy)
+            )
             table[policy] = (run, baseline)
         return table
 

@@ -5,15 +5,19 @@ misses per kilo-instruction, and checks that each lands in the
 High / Medium / Low class the paper reports.
 """
 
+from repro import Experiment
 from repro.workloads.profiles import BENCHMARK_PROFILES, classify_mpki
 
 
 def test_table3_mpki_classification(benchmark, runner, two_core_config):
     def measure():
-        runner.prefetch_alone(two_core_config, sorted(BENCHMARK_PROFILES))
-        return {
-            name: runner.alone(name, two_core_config).mpki
+        results = runner.sweep(
+            Experiment.alone_run(name, system=two_core_config)
             for name in sorted(BENCHMARK_PROFILES)
+        )
+        return {
+            experiment.workload.name: result.mpki
+            for experiment, result in results.items()
         }
 
     measured = benchmark.pedantic(measure, rounds=1, iterations=1)

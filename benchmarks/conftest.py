@@ -25,11 +25,21 @@ import os
 
 import pytest
 
+from repro.experiment import Experiment, by_group_policy
 from repro.orchestration import orchestrated_runner
 from repro.sim.config import scaled_four_core, scaled_two_core
+from repro.sim.runner import ALL_POLICIES
 from repro.workloads.groups import group_names
 
 BENCH_REFS = int(os.environ.get("REPRO_BENCH_REFS", "60000"))
+
+
+def sweep_grid(runner, config, groups, policies=ALL_POLICIES):
+    """Run the (group × policy) spec grid — in parallel through the
+    store — and pivot the results into the figures' nested
+    ``{group: {policy: RunResult}}`` table shape."""
+    results = runner.sweep(Experiment.grid(config, groups, list(policies)))
+    return by_group_policy(results)
 
 
 def _selected_groups(n_cores: int) -> list[str]:

@@ -7,14 +7,31 @@ example implements *Static Priority Partitioning* — a QoS-style scheme
 that pins 6 of 8 ways to a designated high-priority core — and races
 it against the built-in schemes on a two-application mix.
 
+Third-party policies are first-class citizens: the
+``@register_policy`` decorator plugs the class into the policy
+registry with a typed parameter dataclass, after which it is
+addressable by a ``PolicySpec`` and runs through exactly the same
+``ExperimentRunner.run(experiment)`` path (and on-disk result store)
+as the built-ins — no hand-driven simulator plumbing.
+
 Run:  python examples/custom_policy.py
 """
 
-from repro import orchestrated_runner, scaled_two_core
+from dataclasses import dataclass
+
+from repro import Experiment, PolicySpec, orchestrated_runner, register_policy, scaled_two_core
 from repro.partitioning.base import BaseSharedCachePolicy
-from repro.sim.simulator import CMPSimulator
 
 
+@dataclass(frozen=True)
+class StaticPriorityParams:
+    """Which core gets pinned capacity, and how much of it."""
+
+    priority_core: int = 0
+    priority_ways: int = 6
+
+
+@register_policy("static_priority", params=StaticPriorityParams)
 class StaticPriorityPolicy(BaseSharedCachePolicy):
     """Way-aligned static partition favouring one core (QoS pinning)."""
 
@@ -47,23 +64,20 @@ def main() -> None:
     print(f"Group {group}: {', '.join(benchmarks)} — gcc is the priority app")
     print()
 
-    # The built-in baselines come from the orchestrated store; only
-    # the custom policy below needs a hand-driven simulator.
-    builtin = ("fair_share", "ucp", "cooperative")
-    runner.prefetch((group, policy, config) for policy in builtin)
-    results = {}
-    for policy in builtin:
-        results[policy] = runner.run_group(group, config, policy)
-
-    # Wire the custom policy through the same simulator plumbing.
-    traces = [runner.trace_for(b, config) for b in benchmarks]
-    simulator = CMPSimulator(config, traces, "unmanaged")
-    simulator.policy = StaticPriorityPolicy(
-        simulator.cache, simulator.memory, simulator.energy, simulator.stats,
-        priority_core=1,  # gcc
+    # One spec per contender; the custom policy rides the identical
+    # run path (and result store) as the built-ins.
+    experiments = [
+        Experiment(group, policy, config)
+        for policy in ("fair_share", "ucp", "cooperative")
+    ]
+    experiments.append(
+        Experiment(
+            group,
+            PolicySpec("static_priority", priority_core=1),  # gcc
+            config,
+        )
     )
-    simulator.hierarchy.llc_policy = simulator.policy
-    results["custom"] = simulator.run()
+    results = runner.sweep(experiments)
 
     print(f"{'scheme':<26}{'weighted speedup':>17}{'gcc IPC':>9}{'ways probed':>13}")
     for run in results.values():

@@ -17,7 +17,13 @@ the headline comparison against the no-departure baseline.
 Run:  python examples/four_core_consolidation.py
 """
 
-from repro import ALL_POLICIES, Scenario, consolidation_scenario, scaled_four_core
+from repro import (
+    ALL_POLICIES,
+    Experiment,
+    Scenario,
+    consolidation_scenario,
+    scaled_four_core,
+)
 from repro.orchestration import orchestrated_runner
 from repro.scenarios import render_timeline
 
@@ -30,7 +36,9 @@ def main() -> None:
     # Calibrate the departure to ~1/3 into the measured window using
     # the static baseline (cached in the store for later comparison).
     static = Scenario.static(group_benchmarks, name="static-G4-5")
-    baseline = runner.run_scenario(static, config, "cooperative")
+    baseline = runner.run(
+        Experiment.for_scenario(static, system=config, policy="cooperative")
+    )
     window_start = baseline.end_cycle - baseline.window_cycles
     depart_cycle = window_start + baseline.window_cycles // 3
     scenario = consolidation_scenario(
@@ -47,8 +55,12 @@ def main() -> None:
     )
     runs = {}
     for policy in ALL_POLICIES:
-        run = runner.run_scenario(scenario, config, policy)
-        static_run = runner.run_scenario(static, config, policy)
+        run = runner.run(
+            Experiment.for_scenario(scenario, system=config, policy=policy)
+        )
+        static_run = runner.run(
+            Experiment.for_scenario(static, system=config, policy=policy)
+        )
         runs[policy] = run
         print(
             f"{run.policy:<26}"

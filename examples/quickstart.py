@@ -11,21 +11,22 @@ partitioning activity.
 Run:  python examples/quickstart.py
 """
 
-from repro import orchestrated_runner, scaled_two_core
+from repro import Experiment, orchestrated_runner
 
 
 def main() -> None:
     # Disk-backed runner: results land in .repro/store (see
     # `repro report`), so re-running this script is a cache hit.
     runner = orchestrated_runner()
-    config = scaled_two_core(refs_per_core=60_000)
-    group = "G2-8"
+    experiment = Experiment.two_core("G2-8", refs_per_core=60_000)
+    config = experiment.system
+    group = experiment.workload.name
 
     print(f"Simulating workload group {group} on: {config.l2.describe()}")
     print()
 
-    fair = runner.run_group(group, config, "fair_share")
-    cooperative = runner.run_group(group, config, "cooperative")
+    fair = runner.run(experiment.with_policy("fair_share"))
+    cooperative = runner.run(experiment.with_policy("cooperative"))
 
     for run in (fair, cooperative):
         speedup = runner.weighted_speedup_of(run, config)

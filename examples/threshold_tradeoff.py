@@ -10,7 +10,7 @@ performance loss stays under 2%.
 Run:  python examples/threshold_tradeoff.py
 """
 
-from repro import orchestrated_runner, scaled_two_core
+from repro import Experiment, PolicySpec, orchestrated_runner, scaled_two_core
 
 GROUPS = ("G2-2", "G2-3", "G2-9")  # mixes with energy headroom
 THRESHOLDS = (0.0, 0.01, 0.05, 0.10, 0.20)
@@ -21,20 +21,25 @@ def main() -> None:
     runner = orchestrated_runner()
     base = scaled_two_core(refs_per_core=50_000)
 
-    # One parallel, cached fan-out over the whole (group x T) grid;
-    # the loop below then only reads results back.
-    runner.prefetch(
-        (group, "cooperative", base.with_threshold(threshold))
+    # One spec per (group, T) cell — the threshold is a policy
+    # parameter that folds into the system config — and one parallel,
+    # cached fan-out over the whole grid; the loop below then only
+    # reads results back.
+    grid = {
+        (group, threshold): Experiment(
+            group, PolicySpec("cooperative", threshold=threshold), base
+        )
         for group in GROUPS
         for threshold in THRESHOLDS
-    )
+    }
+    results = runner.sweep(grid.values())
     frontier = {}
     for threshold in THRESHOLDS:
-        config = base.with_threshold(threshold)
         ws, dyn, stat = 0.0, 0.0, 0.0
         for group in GROUPS:
-            run = runner.run_group(group, config, "cooperative")
-            ws += runner.weighted_speedup_of(run, config)
+            experiment = grid[(group, threshold)]
+            run = results[experiment]
+            ws += runner.weighted_speedup_of(run, experiment.system)
             dyn += run.dynamic_energy_per_kiloinstruction
             stat += run.static_power_nw
         frontier[threshold] = (ws / len(GROUPS), dyn / len(GROUPS), stat / len(GROUPS))

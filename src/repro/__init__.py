@@ -9,14 +9,18 @@ CPU2006 workloads and the four comparison schemes.
 
 Quickstart::
 
-    from repro import orchestrated_runner, scaled_two_core
+    from repro import Experiment, PolicySpec, orchestrated_runner
 
     runner = orchestrated_runner()  # disk-backed, parallel sweeps
-    config = scaled_two_core()
-    run = runner.run_group("G2-8", config, "cooperative")
+    experiment = Experiment.two_core("G2-8").with_policy(
+        PolicySpec("cooperative", threshold=0.1)
+    )
+    run = runner.run(experiment)
     print(run.average_ways_probed, run.dynamic_energy_nj)
 
-(`ExperimentRunner()` gives the same API without the on-disk store.)
+(`ExperimentRunner()` gives the same API without the on-disk store;
+see ``docs/api.md`` for the spec model and the policy plugin
+registry.)
 The ``repro`` console script — ``python -m repro`` from a source
 checkout — drives full figure sweeps from the shell::
 
@@ -27,9 +31,10 @@ and ``benchmarks/`` for the per-figure reproduction harness.
 """
 
 from repro.cache.geometry import CacheGeometry
-from repro.core.policy import CooperativePartitioningPolicy
+from repro.core.policy import CooperativeParams, CooperativePartitioningPolicy
 from repro.core.transfer import TransferPlan, plan_transfers
 from repro.energy.cacti import CactiEnergyModel, OverheadBits
+from repro.experiment import Experiment, WorkloadSpec, by_group_policy
 from repro.metrics.speedup import geometric_mean, normalize, weighted_speedup
 from repro.orchestration import (
     ResultStore,
@@ -39,7 +44,16 @@ from repro.orchestration import (
     task_key,
 )
 from repro.partitioning.lookahead import AllocationResult, lookahead_partition
-from repro.partitioning.registry import POLICY_NAMES, create_policy
+from repro.partitioning.registry import (
+    POLICY_NAMES,
+    PolicySpec,
+    build_policy,
+    create_policy,
+    policy_info,
+    register_policy,
+    registered_policies,
+    unregister_policy,
+)
 from repro.scenarios import (
     Scenario,
     ScenarioEvent,
@@ -75,13 +89,16 @@ __all__ = [
     "CMPSimulator",
     "CacheGeometry",
     "CactiEnergyModel",
+    "CooperativeParams",
     "CooperativePartitioningPolicy",
     "CoreResult",
+    "Experiment",
     "ExperimentRunner",
     "FOUR_CORE_GROUPS",
     "MPKIClass",
     "OverheadBits",
     "POLICY_NAMES",
+    "PolicySpec",
     "ResultStore",
     "RunResult",
     "Scenario",
@@ -92,7 +109,10 @@ __all__ = [
     "TimelineSample",
     "Trace",
     "TransferPlan",
+    "WorkloadSpec",
     "arrival_scenario",
+    "build_policy",
+    "by_group_policy",
     "consolidation_scenario",
     "core_arrive",
     "core_depart",
@@ -111,9 +131,13 @@ __all__ = [
     "phase_change",
     "phased_scenario",
     "plan_transfers",
+    "policy_info",
     "profile_for",
+    "register_policy",
+    "registered_policies",
     "scaled_four_core",
     "scaled_two_core",
     "task_key",
+    "unregister_policy",
     "weighted_speedup",
 ]

@@ -1,0 +1,177 @@
+"""Public-API surface snapshot: a committed contract against drift.
+
+The redesign around :class:`~repro.experiment.Experiment` made the
+public surface small and deliberate; this module keeps it that way.
+:func:`compute_surface` flattens the API into a plain JSON document —
+``repro.__all__``, the spec/builder/runner signatures and the policy
+registry (names, display names, typed parameters) — and the committed
+snapshot at ``tests/api_surface.json`` is compared against it by the
+test suite and the CI ``api-surface`` job, so any *accidental* change
+to the surface fails loudly.
+
+Deliberate changes regenerate the snapshot::
+
+    PYTHONPATH=src python -m repro.bench.api_surface
+
+and ``--check`` compares without writing (the CI mode)::
+
+    PYTHONPATH=src python -m repro.bench.api_surface --check
+
+Only names, parameter lists, defaults and declared param types are
+recorded — not docstrings or behaviour — so the snapshot is stable
+across Python versions while still catching signature drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+from pathlib import Path
+from typing import Any
+
+#: default snapshot location, relative to the repository root
+SURFACE_PATH = Path("tests") / "api_surface.json"
+
+#: snapshot layout version; bump on incompatible format changes
+SURFACE_SCHEMA = 1
+
+
+def _signature_of(function: Any) -> list[dict[str, Any]]:
+    """Flatten a callable's parameters into JSON-stable records."""
+    parameters = []
+    for parameter in inspect.signature(function).parameters.values():
+        record: dict[str, Any] = {"name": parameter.name}
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            record["variadic"] = True
+        if parameter.kind is inspect.Parameter.KEYWORD_ONLY:
+            record["keyword_only"] = True
+        if parameter.default is not inspect.Parameter.empty:
+            record["default"] = repr(parameter.default)
+        parameters.append(record)
+    return parameters
+
+
+def _public_methods(cls: type) -> dict[str, list[dict[str, Any]]]:
+    """Signatures of a class's public methods (dunders excluded)."""
+    methods: dict[str, list[dict[str, Any]]] = {}
+    for name, member in sorted(vars(cls).items()):
+        if name.startswith("_"):
+            continue
+        if isinstance(member, (classmethod, staticmethod)):
+            member = member.__func__
+        elif isinstance(member, property):
+            methods[name] = [{"name": "property"}]
+            continue
+        if callable(member):
+            methods[name] = _signature_of(member)
+    return methods
+
+
+def _registry_surface() -> dict[str, Any]:
+    from repro.partitioning.registry import policy_info, registered_policies
+
+    policies: dict[str, Any] = {}
+    for name in sorted(registered_policies()):
+        info = policy_info(name)
+        policies[name] = {
+            "display_name": info.display_name,
+            "needs_monitors": info.needs_monitors,
+            "profile_kwarg": info.profile_kwarg,
+            "params": {
+                field.name: {
+                    "type": str(field.type),
+                    "default": repr(info.param_defaults().get(field.name)),
+                }
+                for field in dataclasses.fields(info.params_type)
+            },
+        }
+    return policies
+
+
+def compute_surface() -> dict[str, Any]:
+    """The current public-API surface as a JSON-stable document."""
+    import repro
+    from repro.experiment import Experiment, WorkloadSpec
+    from repro.partitioning.registry import PolicySpec, register_policy
+    from repro.sim.runner import ExperimentRunner
+
+    return {
+        "schema": SURFACE_SCHEMA,
+        "all": sorted(repro.__all__),
+        "experiment": {
+            "fields": [field.name for field in dataclasses.fields(Experiment)],
+            "methods": _public_methods(Experiment),
+        },
+        "workload_spec": {
+            "fields": [field.name for field in dataclasses.fields(WorkloadSpec)],
+            "methods": _public_methods(WorkloadSpec),
+        },
+        "policy_spec": {
+            "fields": [field.name for field in dataclasses.fields(PolicySpec)],
+            "methods": _public_methods(PolicySpec),
+        },
+        "runner": _public_methods(ExperimentRunner),
+        "register_policy": _signature_of(register_policy),
+        "policies": _registry_surface(),
+    }
+
+
+def render_surface() -> str:
+    """The snapshot file contents for the current surface."""
+    return json.dumps(compute_surface(), indent=2, sort_keys=True) + "\n"
+
+
+def diff_surface(committed: dict[str, Any], current: dict[str, Any]) -> list[str]:
+    """Human-readable drift between snapshots (empty = no drift)."""
+    from repro.bench.golden import diff_payloads
+
+    return diff_payloads(committed, current)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate (default) or ``--check`` the committed snapshot."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.api_surface",
+        description="Regenerate or verify the committed public-API snapshot.",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed snapshot and exit non-zero "
+             "on drift instead of rewriting it",
+    )
+    parser.add_argument(
+        "--path", default=str(SURFACE_PATH), metavar="FILE",
+        help=f"snapshot location (default: {SURFACE_PATH})",
+    )
+    options = parser.parse_args(argv)
+    path = Path(options.path)
+    if options.check:
+        if not path.exists():
+            print(f"missing snapshot {path}; regenerate it first")
+            return 1
+        committed = json.loads(path.read_text())
+        drift = diff_surface(committed, compute_surface())
+        if drift:
+            print(f"public-API surface drifted from {path}:")
+            for line in drift:
+                print(f"  {line}")
+            print(
+                "intentional? regenerate with: "
+                "PYTHONPATH=src python -m repro.bench.api_surface"
+            )
+            return 1
+        print(f"public-API surface matches {path}")
+        return 0
+    path.write_text(render_surface())
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - entry point
+    raise SystemExit(main())

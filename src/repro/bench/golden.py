@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cache.geometry import CacheGeometry
+from repro.experiment import Experiment
 from repro.orchestration.serialize import run_result_to_dict
 from repro.scenarios.model import (
     Scenario,
@@ -94,7 +95,7 @@ def golden_matrix() -> list[GoldenCase]:
 
 def run_golden_case(case: GoldenCase, runner: ExperimentRunner) -> RunResult:
     """Simulate one case (the runner caches traces and CPE profiles)."""
-    return runner.run_group(case.group, case.config(), case.policy)
+    return runner.run(Experiment(case.group, case.policy, case.config()))
 
 
 # ----------------------------------------------------------------------
@@ -175,7 +176,11 @@ def run_scenario_golden_case(
     case: ScenarioGoldenCase, runner: ExperimentRunner
 ) -> RunResult:
     """Simulate one pinned schedule (trace cache shared via the runner)."""
-    return runner.run_scenario(case.scenario(), case.config(), case.policy)
+    return runner.run(
+        Experiment.for_scenario(
+            case.scenario(), system=case.config(), policy=case.policy
+        )
+    )
 
 
 def case_payload(case: GoldenCase, result: RunResult) -> dict:

@@ -23,17 +23,35 @@ is preserved.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
 from repro.core.permissions import WayPermissionFile
 from repro.core.takeover import TO_OFF, TakeoverEngine, WayTransition
 from repro.core.transfer import OFF, InsufficientSettledWays, plan_transfers
 from repro.partitioning.base import BaseSharedCachePolicy
 from repro.partitioning.lookahead import AllocationResult, lookahead_partition
+from repro.partitioning.registry import register_policy
 
 #: the paper's default takeover threshold (Section 5.1 justifies 0.05)
 DEFAULT_THRESHOLD = 0.05
 
 
+@dataclass(frozen=True)
+class CooperativeParams:
+    """Spec-addressable parameters of Cooperative Partitioning.
+
+    Both are config-linked: ``None`` resolves to the matching
+    :class:`~repro.sim.config.SystemConfig` field (``threshold`` /
+    ``seed``) at construction, which keeps a plain
+    ``PolicySpec("cooperative")`` bit-identical to the historical
+    string-based wiring.
+    """
+
+    threshold: float | None = None
+    seed: int | None = None
+
+
+@register_policy("cooperative", params=CooperativeParams)
 class CooperativePartitioningPolicy(BaseSharedCachePolicy):
     """Way-aligned, energy-saving dynamic cache partitioning."""
 

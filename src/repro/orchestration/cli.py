@@ -4,6 +4,10 @@ Six subcommands drive the whole evaluation through the orchestrator:
 
 * ``repro sweep``    — run a (group × scheme) cross-product in
   parallel, persisting every result; re-running is a cache-hit no-op.
+  ``--spec experiments.json`` instead runs an explicit JSON list of
+  serialised :class:`~repro.experiment.Experiment` specs (mixed
+  alone/group/scenario runs welcome) through the store-backed
+  executor.
 * ``repro alone``    — profile benchmarks in isolation (Table 3).
 * ``repro report``   — render the figure tables from stored artifacts
   only (never simulates; tells you what to sweep if results are
@@ -35,12 +39,12 @@ import time
 from typing import Sequence
 
 from repro.bench.harness import BENCH_FILENAME
+from repro.experiment import Experiment
 from repro.metrics.speedup import geometric_mean
 from repro.orchestration.executor import SweepExecutor, resolve_jobs
-from repro.orchestration.serialize import alone_task_key, group_task_key
 from repro.orchestration.store import ResultStore, default_store_path
 from repro.sim.config import SystemConfig, scaled_four_core, scaled_two_core
-from repro.sim.runner import ALL_POLICIES, ExperimentRunner
+from repro.sim.runner import ALL_POLICIES, AloneResult, ExperimentRunner
 from repro.workloads.groups import group_benchmarks, group_names
 from repro.workloads.profiles import BENCHMARK_PROFILES, classify_mpki
 
@@ -114,6 +118,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--metric", choices=(*_METRICS, "all"), default="speedup",
         help="which normalised table(s) to print (default: speedup)",
+    )
+    sweep.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="run a JSON list of serialised Experiment specs (the "
+             "Experiment.to_dict format; see docs/api.md) instead of the "
+             "--cores/--groups/--policies grid, printing one summary row "
+             "per spec",
     )
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -368,6 +379,8 @@ def _render_tables(
 # Subcommands
 # ----------------------------------------------------------------------
 def _cmd_sweep(options: argparse.Namespace) -> int:
+    if options.spec:
+        return _cmd_sweep_spec(options)
     config = _config_from(options)
     groups = _groups_from(options)
     policies = _policies_from(options)
@@ -376,14 +389,14 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
         store, resolve_jobs(options.jobs), progress=_progress
     )
     started = time.perf_counter()
-    tasks = [(group, policy, config) for group in groups for policy in policies]
-    computed, cached = executor.prefetch(tasks)
+    experiments = Experiment.grid(config, groups, policies)
+    computed, cached = executor.prefetch(experiments)
     # Assemble directly through the runner: the prefetch above already
-    # materialised every artifact, so executor.sweep()'s own prefetch
-    # pass would only re-probe the store.
+    # materialised every artifact, so re-running each spec is a pure
+    # cache hit.
     results = {
         group: {
-            policy: executor.runner.run_group(group, config, policy)
+            policy: executor.runner.run(Experiment(group, policy, config))
             for policy in policies
         }
         for group in groups
@@ -392,10 +405,55 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
     metrics = _METRICS if options.metric == "all" else (options.metric,)
     _render_tables(executor.runner, results, config, policies, metrics)
     print(
-        f"\n{len(tasks)} group runs over {len(groups)} groups x "
+        f"\n{len(experiments)} group runs over {len(groups)} groups x "
         f"{len(policies)} schemes; {computed} tasks computed, {cached} "
         f"cached in {store.root} (alone-run dependencies included; "
         f"{elapsed:.1f}s, {executor.max_workers} workers)"
+    )
+    return 0
+
+
+def _cmd_sweep_spec(options: argparse.Namespace) -> int:
+    """``repro sweep --spec FILE``: run serialised Experiment specs."""
+    import json
+
+    with open(options.spec, "r", encoding="utf-8") as handle:
+        documents = json.load(handle)
+    if not isinstance(documents, list):
+        raise SystemExit(
+            f"{options.spec} must hold a JSON *list* of Experiment specs "
+            f"(got {type(documents).__name__})"
+        )
+    try:
+        experiments = [Experiment.from_dict(document) for document in documents]
+    except (KeyError, TypeError, ValueError) as error:
+        raise SystemExit(f"bad experiment spec in {options.spec}: {error}")
+    store = _store_from(options)
+    executor = SweepExecutor(
+        store, resolve_jobs(options.jobs), progress=_progress
+    )
+    started = time.perf_counter()
+    computed, cached = executor.prefetch(experiments)
+    print(f"{'kind':<10}{'experiment':<38}{'key':<14}{'headline':<40}")
+    for experiment in experiments:
+        result = executor.runner.run(experiment)
+        if isinstance(result, AloneResult):
+            headline = f"ipc={result.ipc:.3f} mpki={result.mpki:.2f}"
+        else:
+            headline = (
+                f"dyn={result.dynamic_energy_nj:,.0f}nJ "
+                f"static={result.static_energy_nj:,.0f}nJ "
+                f"ways={result.average_active_ways:.1f}"
+            )
+        print(
+            f"{experiment.kind:<10}{experiment.label:<38}"
+            f"{experiment.task_key()[:12]:<14}{headline:<40}"
+        )
+    elapsed = time.perf_counter() - started
+    print(
+        f"\n{len(experiments)} spec(s); {computed} tasks computed, "
+        f"{cached} cached in {store.root} ({elapsed:.1f}s, "
+        f"{executor.max_workers} workers)"
     )
     return 0
 
@@ -437,10 +495,12 @@ def _cmd_report(options: argparse.Namespace) -> int:
     missing: list[str] = []
     for group in groups:
         for policy in policies:
-            if store.get(group_task_key(config, group, policy)) is None:
+            experiment = Experiment(group, policy, config)
+            if store.get(experiment.task_key()) is None:
                 missing.append(f"{group}/{policy}")
         for benchmark in group_benchmarks(group):
-            if store.get(alone_task_key(config, benchmark)) is None:
+            alone = Experiment.alone_run(benchmark, system=config)
+            if store.get(alone.task_key()) is None:
                 missing.append(f"alone/{benchmark}")
     if missing:
         shown = ", ".join(sorted(set(missing))[:10])
@@ -453,7 +513,10 @@ def _cmd_report(options: argparse.Namespace) -> int:
         return 1
     runner = ExperimentRunner(store=store)
     results = {
-        group: {policy: runner.run_group(group, config, policy) for policy in policies}
+        group: {
+            policy: runner.run(Experiment(group, policy, config))
+            for policy in policies
+        }
         for group in groups
     }
     _render_tables(runner, results, config, policies, _METRICS, options.format)
@@ -509,7 +572,9 @@ def _cmd_scenario(options: argparse.Namespace) -> int:
         # Calibrate the preset's event cycle from the static baseline's
         # measured window (the baseline is cached, so this is cheap on
         # re-runs and doubles as the comparison point below).
-        probe = runner.run_scenario(static, config, policies[0])
+        probe = runner.run(
+            Experiment.for_scenario(static, system=config, policy=policies[0])
+        )
         window_start = probe.end_cycle - probe.window_cycles
         event_cycle = window_start + int(
             probe.window_cycles * options.at_fraction
@@ -537,8 +602,12 @@ def _cmd_scenario(options: argparse.Namespace) -> int:
         "runs": {},
     }
     for policy in policies:
-        run = runner.run_scenario(scenario, config, policy)
-        baseline = runner.run_scenario(static, config, policy)
+        run = runner.run(
+            Experiment.for_scenario(scenario, system=config, policy=policy)
+        )
+        baseline = runner.run(
+            Experiment.for_scenario(static, system=config, policy=policy)
+        )
         takeovers = sum(run.policy_stats.takeover_events.values())
         summary = {
             "static_energy_nj": run.static_energy_nj,

@@ -1,22 +1,32 @@
 """Process-pool sweep execution over the result store.
 
-A sweep is a cross-product of independent simulation tasks — each
-(group, scheme, config) cell and each benchmark's alone run touches
-no shared mutable state — so the executor shards them across worker
-processes and lets the store mediate all communication: a worker
-simulates its task with a private store-backed
-:class:`~repro.sim.runner.ExperimentRunner`, persists the artifact,
-and returns only the task label.  The parent then assembles the
-figure tables entirely from cache hits, which guarantees the
-numbers are bit-identical to a serial in-process run.
+A sweep is a set of independent :class:`~repro.experiment.Experiment`
+specs — each spec touches no shared mutable state — so the executor
+shards them across worker processes and lets the store mediate all
+communication: a worker simulates its spec with a private
+store-backed :class:`~repro.sim.runner.ExperimentRunner`, persists
+the artifact under :meth:`Experiment.task_key`, and returns only the
+spec's label.  The parent then assembles the figure tables entirely
+from cache hits, which guarantees the numbers are bit-identical to a
+serial in-process run.
 
 Scheduling is two-phase:
 
-1. **alone runs** for every benchmark appearing in the sweep — they
-   feed weighted speedup for every scheme and Dynamic CPE's profiled
-   miss curves, so computing them first means no group task ever
-   duplicates one;
-2. **group runs**, one task per (group, scheme, config) cell.
+1. **alone runs** — every spec's :meth:`Experiment.
+   alone_dependencies` (group members for weighted speedup, arrival
+   benchmarks for profile-driven schemes) plus any alone specs passed
+   directly — computing them first means no main task ever duplicates
+   one;
+2. **main runs** — the group and scenario specs themselves.
+
+Third-party policies keep working under sharding: each task carries
+the module that registered its policy class, and the worker imports
+that module first (re-running the ``@register_policy`` decorator in
+the child, which matters under the ``spawn`` start method).  Specs
+whose policy class was registered in ``__main__`` — a script or
+notebook that never packaged the module — cannot be rebuilt in a
+worker at all, so those run inline in the parent instead of in the
+pool.
 
 Determinism: every task's randomness flows from
 ``SystemConfig.seed`` through the trace generator and policies, never
@@ -31,18 +41,15 @@ import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable
 
-from repro.orchestration.serialize import alone_task_key, group_task_key
+from repro.experiment import Experiment
 from repro.orchestration.store import ResultStore, default_store_path
 from repro.sim.config import SystemConfig
 from repro.sim.runner import ALL_POLICIES, ExperimentRunner
 from repro.sim.stats import RunResult
-from repro.workloads.groups import group_benchmarks, group_names
+from repro.workloads.groups import group_names
 
 #: environment variable bounding worker-process count
 JOBS_ENV = "REPRO_JOBS"
-
-#: one sweep task: (group, policy, config)
-GroupTask = tuple[str, str, SystemConfig]
 
 
 def resolve_jobs(max_workers: int | None = None) -> int:
@@ -73,25 +80,44 @@ def orchestrated_runner(
     return ExperimentRunner(store=store, max_workers=resolve_jobs(max_workers))
 
 
-# ----------------------------------------------------------------------
-# Worker entry points (top-level so they pickle under spawn too)
-# ----------------------------------------------------------------------
-def _worker_alone(store_root: str, config: SystemConfig, benchmark: str) -> str:
-    runner = ExperimentRunner(store=ResultStore(store_root))
-    runner.alone(benchmark, config)
-    return benchmark
+def normalize_task(task: "Experiment | tuple") -> Experiment:
+    """Coerce a sweep task — a spec or a legacy ``(group, policy,
+    config)`` tuple — into an :class:`Experiment`."""
+    if isinstance(task, Experiment):
+        return task
+    group, policy, config = task
+    return Experiment(group, policy, config)
 
 
-def _worker_group(
-    store_root: str, config: SystemConfig, group: str, policy: str
-) -> tuple[str, str]:
+# ----------------------------------------------------------------------
+# Worker entry point (top-level so it pickles under spawn too)
+# ----------------------------------------------------------------------
+def _worker_run(store_root: str, experiment: Experiment, policy_module: str) -> str:
+    # Importing the registering module re-runs its @register_policy
+    # decorator in this process — a no-op for built-ins (the registry
+    # auto-imports those) but required for third-party policies when
+    # workers start via spawn and inherit nothing.
+    import importlib
+
+    importlib.import_module(policy_module)
     runner = ExperimentRunner(store=ResultStore(store_root))
-    runner.run_group(group, config, policy)
-    return group, policy
+    runner.run(experiment)
+    return experiment.label
+
+
+def _policy_module(experiment: Experiment) -> str:
+    """The module whose import registers this spec's policy class."""
+    return experiment.policy.info.cls.__module__
+
+
+def _pool_safe(experiment: Experiment) -> bool:
+    """Whether a worker process can rebuild this spec's policy class
+    (``__main__`` registrations exist only in the parent)."""
+    return _policy_module(experiment) != "__main__"
 
 
 class SweepExecutor:
-    """Shards (group × scheme × geometry) tasks across worker processes.
+    """Shards experiment specs across worker processes.
 
     ``progress`` (optional) receives one human-readable line per
     completed task — the CLI points it at stderr.
@@ -114,70 +140,52 @@ class SweepExecutor:
     # ------------------------------------------------------------------
     # Task planning
     # ------------------------------------------------------------------
-    def pending_alone_tasks(
-        self, tasks: Iterable[GroupTask]
-    ) -> list[tuple[SystemConfig, str]]:
-        """Alone runs the given group tasks depend on, minus cache hits."""
-        wanted: dict[str, tuple[SystemConfig, str]] = {}
-        for group, _policy, config in tasks:
-            for benchmark in group_benchmarks(group):
-                key = alone_task_key(config, benchmark)
-                # cached_alone() both validates the artifact (a
-                # corrupt one reads as a miss and gets healed by a
-                # worker now, not re-simulated serially during
-                # assembly) and warms the runner's in-memory cache,
-                # so each artifact is parsed once per sweep.
-                if key not in wanted and self.runner.cached_alone(
-                    benchmark, config
-                ) is None:
-                    wanted[key] = (config, benchmark)
-        return list(wanted.values())
+    def plan(
+        self, tasks: Iterable["Experiment | tuple"]
+    ) -> tuple[list[Experiment], list[Experiment], int]:
+        """Split ``tasks`` into pending (alone-phase, main-phase) specs
+        plus the total number of distinct task keys involved.
 
-    def pending_group_tasks(self, tasks: Iterable[GroupTask]) -> list[GroupTask]:
-        """The subset of ``tasks`` with no stored artifact yet."""
-        pending: dict[str, GroupTask] = {}
-        for group, policy, config in tasks:
-            key = group_task_key(config, group, policy)
-            if key not in pending and self.runner.cached_group(
-                group, config, policy
-            ) is None:
-                pending[key] = (group, policy, config)
-        return list(pending.values())
+        ``runner.cached()`` both validates each artifact (a corrupt
+        one reads as a miss and gets healed by a worker now, not
+        re-simulated serially during assembly) and warms the runner's
+        in-memory cache, so each artifact is parsed once per sweep.
+        """
+        alone: dict[str, Experiment] = {}
+        main: dict[str, Experiment] = {}
+        for task in tasks:
+            experiment = normalize_task(task)
+            bucket = alone if experiment.kind == "alone" else main
+            bucket.setdefault(experiment.task_key(), experiment)
+            for dependency in experiment.alone_dependencies():
+                alone.setdefault(dependency.task_key(), dependency)
+        total = len(alone) + len(main)
+        alone_pending = [
+            experiment
+            for experiment in alone.values()
+            if self.runner.cached(experiment) is None
+        ]
+        main_pending = [
+            experiment
+            for experiment in main.values()
+            if self.runner.cached(experiment) is None
+        ]
+        return alone_pending, main_pending, total
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def prefetch(self, tasks: Iterable[GroupTask]) -> tuple[int, int]:
+    def prefetch(self, tasks: Iterable["Experiment | tuple"]) -> tuple[int, int]:
         """Materialise artifacts for ``tasks`` (and their alone deps).
 
         Returns ``(computed, cached)`` task counts, alone runs
         included.  Safe to call with everything already cached — a
         resumed sweep costs one key probe per task.
         """
-        tasks = list(tasks)
-        alone_pending = self.pending_alone_tasks(tasks)
-        group_pending = self.pending_group_tasks(tasks)
-        total_alone = len({
-            alone_task_key(config, benchmark)
-            for group, _policy, config in tasks
-            for benchmark in group_benchmarks(group)
-        })
-        total = total_alone + len(
-            {group_task_key(c, g, p) for g, p, c in tasks}
-        )
-        computed = len(alone_pending) + len(group_pending)
-        self._run_phase(
-            [
-                (_worker_alone, (str(self.store.root), config, benchmark), f"alone {benchmark}")
-                for config, benchmark in alone_pending
-            ]
-        )
-        self._run_phase(
-            [
-                (_worker_group, (str(self.store.root), config, group, policy), f"group {group} {policy}")
-                for group, policy, config in group_pending
-            ]
-        )
+        alone_pending, main_pending, total = self.plan(tasks)
+        computed = len(alone_pending) + len(main_pending)
+        self._run_phase(alone_pending)
+        self._run_phase(main_pending)
         return computed, total - computed
 
     def sweep(
@@ -188,10 +196,10 @@ class SweepExecutor:
     ) -> dict[str, dict[str, RunResult]]:
         """Parallel, cache-aware equivalent of ``ExperimentRunner.sweep``."""
         groups = groups if groups is not None else group_names(config.n_cores)
-        self.prefetch([(group, policy, config) for group in groups for policy in policies])
+        self.prefetch(Experiment.grid(config, groups, list(policies)))
         return {
             group: {
-                policy: self.runner.run_group(group, config, policy)
+                policy: self.runner.run(Experiment(group, policy, config))
                 for policy in policies
             }
             for group in groups
@@ -201,19 +209,10 @@ class SweepExecutor:
         self, config: SystemConfig, benchmarks: Iterable[str]
     ) -> tuple[int, int]:
         """Materialise alone runs for ``benchmarks``; ``(computed, cached)``."""
-        benchmarks = list(dict.fromkeys(benchmarks))
-        pending = [
-            (config, benchmark)
-            for benchmark in benchmarks
-            if self.runner.cached_alone(benchmark, config) is None
-        ]
-        self._run_phase(
-            [
-                (_worker_alone, (str(self.store.root), config, benchmark), f"alone {benchmark}")
-                for config, benchmark in pending
-            ]
+        return self.prefetch(
+            Experiment.alone_run(benchmark, system=config)
+            for benchmark in dict.fromkeys(benchmarks)
         )
-        return len(pending), len(benchmarks) - len(pending)
 
     def alone_many(self, config: SystemConfig, benchmarks: Iterable[str]) -> dict:
         """Alone runs for ``benchmarks`` in parallel, keyed by name."""
@@ -222,24 +221,42 @@ class SweepExecutor:
         return {b: self.runner.alone(b, config) for b in benchmarks}
 
     # ------------------------------------------------------------------
-    def _run_phase(self, calls: list[tuple[Callable, tuple, str]]) -> None:
-        """Run one phase's tasks, in the pool or inline when tiny."""
-        if not calls:
+    def _run_phase(self, experiments: list[Experiment]) -> None:
+        """Run one phase's specs, in the pool or inline when tiny.
+
+        Specs whose policy class lives in ``__main__`` cannot be
+        rebuilt by a spawned worker and run inline in the parent.
+        """
+        if not experiments:
             return
-        workers = min(self.max_workers, len(calls))
+        pooled = [e for e in experiments if _pool_safe(e)]
+        inline = [e for e in experiments if not _pool_safe(e)]
+        total = len(experiments)
+        done = 0
+        workers = min(self.max_workers, len(pooled))
         if workers <= 1:
-            for index, (function, arguments, label) in enumerate(calls, 1):
-                function(*arguments)
-                self._report(index, len(calls), label)
-            return
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(function, *arguments): label
-                for function, arguments, label in calls
-            }
-            for index, future in enumerate(as_completed(futures), 1):
-                future.result()  # surface worker exceptions immediately
-                self._report(index, len(calls), futures[future])
+            inline = pooled + inline
+            pooled = []
+        if pooled:
+            store_root = str(self.store.root)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        _worker_run,
+                        store_root,
+                        experiment,
+                        _policy_module(experiment),
+                    ): experiment
+                    for experiment in pooled
+                }
+                for future in as_completed(futures):
+                    future.result()  # surface worker exceptions immediately
+                    done += 1
+                    self._report(done, total, futures[future].label)
+        for experiment in inline:
+            self.runner.run(experiment)
+            done += 1
+            self._report(done, total, experiment.label)
 
     def _report(self, done: int, total: int, label: str) -> None:
         if self.progress is not None:

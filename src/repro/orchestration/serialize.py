@@ -1,13 +1,15 @@
 """JSON serialisation of simulation artifacts and stable task keys.
 
-The on-disk result store persists two kinds of artifacts:
+The on-disk result store persists three kinds of artifacts:
 
 * **alone runs** (:class:`~repro.sim.runner.AloneResult`) — one
   benchmark profiled by itself on the full LLC;
 * **group runs** (:class:`~repro.sim.stats.RunResult`) — one Table 4
-  group simulated under one scheme.
+  group simulated under one scheme;
+* **scenario runs** — one time-varying schedule under one scheme
+  (a :class:`RunResult` with a recorded timeline).
 
-Both round-trip losslessly: every counter is an integer and every
+All round-trip losslessly: every counter is an integer and every
 float survives ``json`` encoding bit-exactly (Python emits the
 shortest repr that parses back to the same double), so numbers read
 back from the store are *identical* to freshly simulated ones — the
@@ -15,11 +17,13 @@ figures do not change depending on whether a result was cached.
 
 Task keys are SHA-256 digests of a canonical JSON document covering
 the full :class:`~repro.sim.config.SystemConfig` (geometries included),
-the task parameters (benchmark or group + policy) and the
-code-relevant versions (:data:`SCHEMA_VERSION` and the library
-version).  They are stable across processes and interpreter restarts
-— hash randomisation does not affect them — which is what makes
-sweeps resumable and shardable across workers.
+the task parameters (benchmark or group/scenario + policy, plus any
+non-default policy parameters) and the code-relevant versions
+(:data:`SCHEMA_VERSION` and the library version).  They are stable
+across processes and interpreter restarts — hash randomisation does
+not affect them — which is what makes sweeps resumable and shardable
+across workers.  :meth:`repro.experiment.Experiment.task_key` derives
+these same keys directly from a spec, bit-for-bit.
 """
 
 from __future__ import annotations

@@ -19,13 +19,28 @@ touch only the core's own ways and unallocated ways are power-gated.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.partitioning.base import BaseSharedCachePolicy
 from repro.partitioning.lookahead import lookahead_partition
+from repro.partitioning.registry import register_policy
 
 #: assignment value for a powered-off way
 _OFF = -1
 
 
+@dataclass(frozen=True)
+class CPEParams:
+    """Spec-addressable parameters of Dynamic CPE.
+
+    ``threshold`` is config-linked: ``None`` resolves to
+    ``SystemConfig.threshold`` at construction.
+    """
+
+    threshold: float | None = None
+
+
+@register_policy("cpe", params=CPEParams, profile_kwarg="profiles")
 class DynamicCPEPolicy(BaseSharedCachePolicy):
     """Profile-driven partitioning with immediate flush-and-invalidate."""
 

@@ -19,8 +19,10 @@ static energy when the machine is under-committed.
 from __future__ import annotations
 
 from repro.partitioning.base import BaseSharedCachePolicy
+from repro.partitioning.registry import register_policy
 
 
+@register_policy("fair_share")
 class FairSharePolicy(BaseSharedCachePolicy):
     """Statically partitioned cache with equal per-core way blocks."""
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.cache.replacement import PartitionAwareVictimSelector
 from repro.partitioning.base import BaseSharedCachePolicy
 from repro.partitioning.lookahead import lookahead_partition
+from repro.partitioning.registry import register_policy
 
 
 @dataclass
@@ -61,6 +62,7 @@ class _Transition:
         return self.ways_done >= self.ways_gained
 
 
+@register_policy("ucp")
 class UCPPolicy(BaseSharedCachePolicy):
     """Dynamic utility-based partitioning with lazy block migration."""
 

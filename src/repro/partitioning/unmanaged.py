@@ -9,8 +9,10 @@ paper's normalisation anchor for "no partitioning at all".
 from __future__ import annotations
 
 from repro.partitioning.base import BaseSharedCachePolicy
+from repro.partitioning.registry import register_policy
 
 
+@register_policy("unmanaged")
 class UnmanagedPolicy(BaseSharedCachePolicy):
     """Fully shared LRU last-level cache."""
 

@@ -1,23 +1,35 @@
-"""Experiment driver: alone runs, group sweeps and normalisation.
+"""Experiment driver: one run path for alone/group/scenario specs.
 
-The paper's protocol needs three kinds of runs, all cached here:
+The paper's protocol needs three kinds of runs, all served by
+:meth:`ExperimentRunner.run` over a declarative
+:class:`~repro.experiment.Experiment` spec:
 
 * **alone runs** (one benchmark, full LLC, Unmanaged) provide
   IPC_alone for weighted speedup, Table 3's MPKI classification and
   the per-epoch profiled miss curves Dynamic CPE consumes;
 * **group runs** (a Table 4 group under one scheme) produce the
   figures' raw data;
-* **sweeps** run every group under every scheme and normalise to the
-  Fair Share baseline exactly as the paper's figures do.
+* **scenario runs** execute a time-varying schedule of core
+  arrivals/departures/phase changes.
 
-Caching is two-level.  The in-process dictionaries are the L1: hits
+:meth:`ExperimentRunner.sweep` takes any iterable of specs, fans the
+missing ones out across worker processes (when a store and
+``max_workers`` are attached) and returns results keyed by spec.
+
+Caching is two-level.  The in-process dictionary is the L1: hits
 return the very same objects, so repeated reads within a session are
 free.  When a :class:`~repro.orchestration.store.ResultStore` is
 attached it acts as the L2: results are looked up on disk before
 simulating and written through after, so sweeps survive process
 restarts and can be sharded across worker processes (see
-:mod:`repro.orchestration.executor`).  Stored artifacts round-trip
-bit-exactly, so cached and fresh results are indistinguishable.
+:mod:`repro.orchestration.executor`).  Store task keys come from
+:meth:`Experiment.task_key`, which reproduces the historical
+string-API keys exactly — artifacts written before the spec redesign
+stay resolvable, bit-identically.
+
+The historical string-based entry points (``run_group``,
+``run_scenario``) survive as deprecation shims over specs; ``alone``
+and the ``cached_*`` probes remain as thin documented conveniences.
 
 Traces are generated once per (benchmark, geometry) and shared across
 schemes, so every comparison is paired.
@@ -26,14 +38,16 @@ schemes, so every comparison is paired.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.experiment import Experiment
 from repro.metrics.speedup import weighted_speedup
 from repro.sim.config import SystemConfig
 from repro.sim.simulator import CMPSimulator
 from repro.sim.stats import RunResult
-from repro.workloads.groups import group_benchmarks, group_names
+from repro.workloads.groups import group_names
 from repro.workloads.profiles import profile_for
 from repro.workloads.trace import Trace, generate_trace
 
@@ -56,8 +70,16 @@ class AloneResult:
     curves: tuple[tuple[int, ...], ...]
 
 
+def _deprecated(old: str, replacement: str) -> None:
+    warnings.warn(
+        f"ExperimentRunner.{old}() is deprecated; {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class ExperimentRunner:
-    """Caches traces, alone runs and group runs; optionally disk-backed.
+    """Caches and runs :class:`Experiment` specs; optionally disk-backed.
 
     ``store`` attaches an on-disk L2 cache of results; ``max_workers``
     > 1 additionally fans :meth:`sweep` and :meth:`prefetch` out
@@ -71,9 +93,7 @@ class ExperimentRunner:
         max_workers: int | None = None,
     ) -> None:
         self._traces: dict[tuple, Trace] = {}
-        self._alone: dict[tuple, AloneResult] = {}
-        self._runs: dict[tuple, RunResult] = {}
-        self._scenario_runs: dict[tuple, RunResult] = {}
+        self._results: dict[Experiment, RunResult | AloneResult] = {}
         self.store = store
         self.max_workers = max_workers
 
@@ -99,91 +119,198 @@ class ExperimentRunner:
         return trace
 
     # ------------------------------------------------------------------
-    # Alone runs
+    # The one run path
     # ------------------------------------------------------------------
-    def cached_alone(
-        self, benchmark: str, config: SystemConfig
-    ) -> AloneResult | None:
-        """L1/L2 lookup of an alone run without simulating.
+    def run(self, experiment: Experiment) -> RunResult | AloneResult:
+        """Run one spec (L1/L2 cached): the single entry point for
+        alone, group and scenario simulations alike."""
+        result = self.cached(experiment)
+        if result is not None:
+            return result
+        kind = experiment.kind
+        if kind == "alone":
+            result = self._simulate_alone(experiment)
+        elif kind == "group":
+            result = self._simulate_group(experiment)
+        else:
+            result = self._simulate_scenario(experiment)
+        self._to_store(experiment, result)
+        self._results[experiment] = result
+        return result
+
+    def cached(self, experiment: Experiment) -> RunResult | AloneResult | None:
+        """L1/L2 lookup of a spec without simulating.
 
         A disk hit is promoted into the in-memory cache, so callers
         that probe and then read (the sweep executor's planning pass)
         parse each artifact once.
         """
-        alone_config = config.alone()
-        key = (benchmark, alone_config)
-        result = self._alone.get(key)
+        result = self._results.get(experiment)
         if result is None:
-            result = self._alone_from_store(benchmark, alone_config)
+            result = self._from_store(experiment)
             if result is not None:
-                self._alone[key] = result
+                self._results[experiment] = result
         return result
 
-    def alone(self, benchmark: str, config: SystemConfig) -> AloneResult:
-        """Run ``benchmark`` by itself on the full LLC (cached)."""
-        alone_config = config.alone()
-        result = self.cached_alone(benchmark, config)
-        if result is None:
-            trace = self.trace_for(benchmark, config)
-            simulator = CMPSimulator(
-                alone_config, [trace], "unmanaged", collect_curves=True
-            )
-            run = simulator.run()
-            core = run.cores[0]
-            result = AloneResult(
-                benchmark=benchmark,
-                ipc=core.ipc,
-                mpki=core.mpki,
-                curves=tuple(tuple(curve) for curve in run.epoch_curves),
-            )
-            self._alone_to_store(benchmark, alone_config, result)
-            self._alone[(benchmark, alone_config)] = result
-        return result
+    def sweep(
+        self,
+        experiments: "Iterable[Experiment] | SystemConfig",
+        policies: Sequence[str] = ALL_POLICIES,
+        groups: list[str] | None = None,
+    ) -> dict:
+        """Run many specs (in parallel if wired), keyed by spec.
 
-    def _alone_from_store(
-        self, benchmark: str, alone_config: SystemConfig
-    ) -> AloneResult | None:
+        Legacy form: ``sweep(config, policies=..., groups=...)`` runs
+        the (group × scheme) cross-product on one system and returns
+        the historical ``{group: {policy: RunResult}}`` table.
+        """
+        if isinstance(experiments, SystemConfig):
+            config = experiments
+            groups = groups if groups is not None else group_names(config.n_cores)
+            grid = Experiment.grid(config, groups, list(policies))
+            self.prefetch(grid)
+            return {
+                group: {
+                    policy: self.run(Experiment(group, policy, config))
+                    for policy in policies
+                }
+                for group in groups
+            }
+        experiments = list(experiments)
+        self.prefetch(experiments)
+        return {experiment: self.run(experiment) for experiment in experiments}
+
+    # ------------------------------------------------------------------
+    # Simulation bodies (cache misses only)
+    # ------------------------------------------------------------------
+    def _simulate_alone(self, experiment: Experiment) -> AloneResult:
+        benchmark = experiment.workload.name
+        config = experiment.system  # already the one-core alone() variant
+        trace = self.trace_for(benchmark, config)
+        simulator = CMPSimulator(
+            config, [trace], experiment.policy, collect_curves=True
+        )
+        run = simulator.run()
+        core = run.cores[0]
+        return AloneResult(
+            benchmark=benchmark,
+            ipc=core.ipc,
+            mpki=core.mpki,
+            curves=tuple(tuple(curve) for curve in run.epoch_curves),
+        )
+
+    def _profiles_for(
+        self, experiment: Experiment, benchmarks: Iterable[str | None]
+    ) -> list[list]:
+        """Per-slot profiled miss curves for profile-driven policies
+        (absent slots get a flat zero curve the lookahead never
+        rewards)."""
+        config = experiment.system
+        profiles: list[list] = []
+        for benchmark in benchmarks:
+            if benchmark is None:
+                profiles.append([0] * (config.l2.ways + 1))
+            else:
+                profiles.append(
+                    [
+                        list(curve)
+                        for curve in self.alone(benchmark, config).curves
+                    ]
+                )
+        return profiles
+
+    def _simulate_group(self, experiment: Experiment) -> RunResult:
+        config = experiment.system
+        benchmarks = experiment.workload.benchmarks
+        traces = [self.trace_for(benchmark, config) for benchmark in benchmarks]
+        profiles = None
+        if experiment.policy.info.profile_kwarg is not None:
+            profiles = self._profiles_for(experiment, benchmarks)
+        simulator = CMPSimulator(
+            config, traces, experiment.policy, cpe_profiles=profiles
+        )
+        return simulator.run()
+
+    def _simulate_scenario(self, experiment: Experiment) -> RunResult:
+        config = experiment.system
+        scenario = experiment.scenario
+        profiles = None
+        if experiment.policy.info.profile_kwarg is not None:
+            profiles = self._profiles_for(
+                experiment, scenario.arrival_benchmarks(config.n_cores)
+            )
+        simulator = CMPSimulator.for_scenario(
+            config,
+            scenario,
+            experiment.policy,
+            lambda benchmark: self.trace_for(benchmark, config),
+            cpe_profiles=profiles,
+            collect_timeline=True,
+        )
+        return simulator.run()
+
+    # ------------------------------------------------------------------
+    # Store plumbing
+    # ------------------------------------------------------------------
+    def _from_store(
+        self, experiment: Experiment
+    ) -> RunResult | AloneResult | None:
         if self.store is None:
             return None
         from repro.orchestration import serialize
 
-        payload = self.store.get(serialize.alone_task_key(alone_config, benchmark))
+        payload = self.store.get(experiment.task_key())
         if payload is None:
             return None
-        return serialize.alone_result_from_dict(payload)
+        if experiment.kind == "alone":
+            return serialize.alone_result_from_dict(payload)
+        return serialize.run_result_from_dict(payload)
 
-    def _alone_to_store(
-        self, benchmark: str, alone_config: SystemConfig, result: AloneResult
+    def _to_store(
+        self, experiment: Experiment, result: RunResult | AloneResult
     ) -> None:
         if self.store is None:
             return
         from repro.orchestration import serialize
 
+        payload = (
+            serialize.alone_result_to_dict(result)
+            if isinstance(result, AloneResult)
+            else serialize.run_result_to_dict(result)
+        )
         self.store.put(
-            serialize.alone_task_key(alone_config, benchmark),
-            serialize.alone_result_to_dict(result),
-            kind="alone",
-            meta={"benchmark": benchmark, "l2": alone_config.l2.describe()},
+            experiment.task_key(),
+            payload,
+            kind=experiment.kind,
+            meta=experiment.store_meta(),
         )
 
     # ------------------------------------------------------------------
-    # Group runs
+    # Convenience wrappers (thin, spec-backed)
     # ------------------------------------------------------------------
+    def alone(self, benchmark: str, config: SystemConfig) -> AloneResult:
+        """Run ``benchmark`` by itself on the full LLC (cached)."""
+        return self.run(Experiment.alone_run(benchmark, system=config))
+
+    def cached_alone(
+        self, benchmark: str, config: SystemConfig
+    ) -> AloneResult | None:
+        """L1/L2 probe of an alone run without simulating."""
+        return self.cached(Experiment.alone_run(benchmark, system=config))
+
     def cached_group(
         self, group: str, config: SystemConfig, policy: str
     ) -> RunResult | None:
-        """L1/L2 lookup of a group run without simulating.
+        """L1/L2 probe of a group run without simulating."""
+        return self.cached(Experiment(group, policy, config))
 
-        Disk hits are promoted into the in-memory cache (see
-        :meth:`cached_alone`).
-        """
-        key = (group, policy, config)
-        result = self._runs.get(key)
-        if result is None:
-            result = self._group_from_store(group, config, policy)
-            if result is not None:
-                self._runs[key] = result
-        return result
+    def cached_scenario(
+        self, scenario: "Scenario", config: SystemConfig, policy: str
+    ) -> RunResult | None:
+        """L1/L2 probe of a scenario run without simulating."""
+        return self.cached(
+            Experiment.for_scenario(scenario, system=config, policy=policy)
+        )
 
     def run_group(
         self,
@@ -191,58 +318,26 @@ class ExperimentRunner:
         config: SystemConfig,
         policy: str,
     ) -> RunResult:
-        """Run one Table 4 group under one scheme (cached)."""
-        benchmarks = group_benchmarks(group)
-        if len(benchmarks) != config.n_cores:
-            raise ValueError(
-                f"group {group} has {len(benchmarks)} applications but the "
-                f"config has {config.n_cores} cores"
-            )
-        result = self.cached_group(group, config, policy)
-        if result is not None:
-            return result
-        traces = [self.trace_for(benchmark, config) for benchmark in benchmarks]
-        cpe_profiles = None
-        if policy == "cpe":
-            cpe_profiles = [
-                [list(curve) for curve in self.alone(benchmark, config).curves]
-                for benchmark in benchmarks
-            ]
-        simulator = CMPSimulator(config, traces, policy, cpe_profiles=cpe_profiles)
-        result = simulator.run()
-        self._group_to_store(group, config, policy, result)
-        self._runs[(group, policy, config)] = result
-        return result
+        """Deprecated: ``run(Experiment(group, policy, config))``."""
+        _deprecated(
+            "run_group", "use run(Experiment(group, policy, system)) instead"
+        )
+        return self.run(Experiment(group, policy, config))
 
-    def _group_from_store(
-        self, group: str, config: SystemConfig, policy: str
-    ) -> RunResult | None:
-        if self.store is None:
-            return None
-        from repro.orchestration import serialize
-
-        payload = self.store.get(serialize.group_task_key(config, group, policy))
-        if payload is None:
-            return None
-        return serialize.run_result_from_dict(payload)
-
-    def _group_to_store(
-        self, group: str, config: SystemConfig, policy: str, result: RunResult
-    ) -> None:
-        if self.store is None:
-            return
-        from repro.orchestration import serialize
-
-        self.store.put(
-            serialize.group_task_key(config, group, policy),
-            serialize.run_result_to_dict(result),
-            kind="group",
-            meta={
-                "group": group,
-                "policy": policy,
-                "n_cores": config.n_cores,
-                "l2": config.l2.describe(),
-            },
+    def run_scenario(
+        self,
+        scenario: "Scenario",
+        config: SystemConfig,
+        policy: str,
+    ) -> RunResult:
+        """Deprecated: ``run(Experiment.for_scenario(...))``."""
+        _deprecated(
+            "run_scenario",
+            "use run(Experiment.for_scenario(scenario, system=system, "
+            "policy=policy)) instead",
+        )
+        return self.run(
+            Experiment.for_scenario(scenario, system=config, policy=policy)
         )
 
     def weighted_speedup_of(self, run: RunResult, config: SystemConfig) -> float:
@@ -251,119 +346,19 @@ class ExperimentRunner:
         return weighted_speedup(run.ipcs(), alone_ipcs)
 
     # ------------------------------------------------------------------
-    # Scenario runs (time-varying schedules)
-    # ------------------------------------------------------------------
-    def cached_scenario(
-        self, scenario: "Scenario", config: SystemConfig, policy: str
-    ) -> RunResult | None:
-        """L1/L2 lookup of a scenario run without simulating."""
-        key = (scenario, policy, config)
-        result = self._scenario_runs.get(key)
-        if result is None:
-            result = self._scenario_from_store(scenario, config, policy)
-            if result is not None:
-                self._scenario_runs[key] = result
-        return result
-
-    def run_scenario(
-        self,
-        scenario: "Scenario",
-        config: SystemConfig,
-        policy: str,
-    ) -> RunResult:
-        """Run one time-varying schedule under one scheme (cached).
-
-        The degenerate static scenario routes through the same engine
-        path as :meth:`run_group` and produces identical numbers; it is
-        cached under its own scenario key, so the two never collide.
-        """
-        from repro.sim.simulator import CMPSimulator
-
-        scenario.validate(config.n_cores)
-        result = self.cached_scenario(scenario, config, policy)
-        if result is not None:
-            return result
-        cpe_profiles = None
-        if policy == "cpe":
-            cpe_profiles = self._scenario_cpe_profiles(scenario, config)
-        simulator = CMPSimulator.for_scenario(
-            config,
-            scenario,
-            policy,
-            lambda benchmark: self.trace_for(benchmark, config),
-            cpe_profiles=cpe_profiles,
-            collect_timeline=True,
-        )
-        result = simulator.run()
-        self._scenario_to_store(scenario, config, policy, result)
-        self._scenario_runs[(scenario, policy, config)] = result
-        return result
-
-    def _scenario_cpe_profiles(
-        self, scenario: "Scenario", config: SystemConfig
-    ) -> list[list]:
-        """Per-slot profiled miss curves (arrival benchmark; absent
-        slots get a flat zero curve the lookahead never rewards)."""
-        profiles: list[list] = []
-        for benchmark in scenario.arrival_benchmarks(config.n_cores):
-            if benchmark is None:
-                profiles.append([0] * (config.l2.ways + 1))
-            else:
-                profiles.append(
-                    [list(curve) for curve in self.alone(benchmark, config).curves]
-                )
-        return profiles
-
-    def _scenario_from_store(
-        self, scenario: "Scenario", config: SystemConfig, policy: str
-    ) -> RunResult | None:
-        if self.store is None:
-            return None
-        from repro.orchestration import serialize
-
-        payload = self.store.get(
-            serialize.scenario_task_key(config, scenario, policy)
-        )
-        if payload is None:
-            return None
-        return serialize.run_result_from_dict(payload)
-
-    def _scenario_to_store(
-        self,
-        scenario: "Scenario",
-        config: SystemConfig,
-        policy: str,
-        result: RunResult,
-    ) -> None:
-        if self.store is None:
-            return
-        from repro.orchestration import serialize
-
-        self.store.put(
-            serialize.scenario_task_key(config, scenario, policy),
-            serialize.run_result_to_dict(result),
-            kind="scenario",
-            meta={
-                "scenario": scenario.name,
-                "policy": policy,
-                "n_cores": config.n_cores,
-                "l2": config.l2.describe(),
-                "events": len(scenario.events),
-            },
-        )
-
-    # ------------------------------------------------------------------
-    # Sweeps and normalisation
+    # Parallel materialisation
     # ------------------------------------------------------------------
     def prefetch(
-        self, tasks: Iterable[tuple[str, str, SystemConfig]]
+        self, tasks: "Iterable[Experiment | tuple[str, str, SystemConfig]]"
     ) -> tuple[int, int]:
-        """Materialise (group, policy, config) tasks into the store.
+        """Materialise specs into the store ahead of reads.
 
-        With a store and ``max_workers`` > 1 the tasks (plus the alone
-        runs they depend on) are sharded across worker processes;
-        otherwise this is a no-op and the tasks run lazily in-process.
-        Returns ``(computed, cached)`` counts.
+        Accepts :class:`Experiment` specs (legacy ``(group, policy,
+        config)`` tuples are coerced).  With a store and
+        ``max_workers`` > 1 the specs (plus the alone runs they depend
+        on) are sharded across worker processes; otherwise this is a
+        no-op and the tasks run lazily in-process.  Returns
+        ``(computed, cached)`` counts.
         """
         if not self._parallel():
             return (0, 0)
@@ -387,22 +382,9 @@ class ExperimentRunner:
         executor = SweepExecutor(self.store, self.max_workers, runner=self)
         return executor.prefetch_alone(config.alone(), benchmarks)
 
-    def sweep(
-        self,
-        config: SystemConfig,
-        policies: tuple[str, ...] = ALL_POLICIES,
-        groups: list[str] | None = None,
-    ) -> dict[str, dict[str, RunResult]]:
-        """Run every group under every scheme (in parallel if wired)."""
-        groups = groups if groups is not None else group_names(config.n_cores)
-        self.prefetch(
-            (group, policy, config) for group in groups for policy in policies
-        )
-        return {
-            group: {policy: self.run_group(group, config, policy) for policy in policies}
-            for group in groups
-        }
-
+    # ------------------------------------------------------------------
+    # Normalisation
+    # ------------------------------------------------------------------
     def normalized_weighted_speedup(
         self,
         results: dict[str, dict[str, RunResult]],

@@ -56,7 +56,7 @@ from repro.energy.cacti import CactiEnergyModel
 from repro.monitor.sampling import SetSampler
 from repro.monitor.umon import UtilityMonitor
 from repro.partitioning.base import PolicyStats
-from repro.partitioning.registry import create_policy
+from repro.partitioning.registry import PolicySpec, build_policy
 from repro.scenarios.model import ARRIVE, DEPART, PHASE, Scenario, ScenarioEvent
 from repro.scenarios.timeline import TimelineSample
 from repro.sim.config import SystemConfig
@@ -75,7 +75,7 @@ class CMPSimulator:
         self,
         config: SystemConfig,
         traces: list[Trace | None],
-        policy_name: str,
+        policy_name: str | PolicySpec,
         cpe_profiles: list[list] | None = None,
         collect_curves: bool = False,
         scenario: Scenario | None = None,
@@ -126,9 +126,14 @@ class CMPSimulator:
         self.energy = EnergyAccounting(model)
         self.stats = PolicyStats(config.n_cores, config.flush_bucket_cycles)
 
-        policy_cls_needs_monitors = policy_name in ("ucp", "cooperative")
+        spec = (
+            policy_name
+            if isinstance(policy_name, PolicySpec)
+            else PolicySpec(policy_name)
+        )
+        self.policy_spec = spec
         monitors: list[UtilityMonitor] = []
-        if policy_cls_needs_monitors or collect_curves:
+        if spec.info.needs_monitors or collect_curves:
             monitors = [
                 UtilityMonitor(
                     config.l2.ways,
@@ -138,16 +143,15 @@ class CMPSimulator:
                 for _ in range(config.n_cores)
             ]
         self.monitors = monitors
-        self.policy = create_policy(
-            policy_name,
+        self.policy = build_policy(
+            spec,
             self.cache,
             self.memory,
             self.energy,
             self.stats,
             monitors,
-            threshold=config.threshold,
-            cpe_profiles=cpe_profiles,
-            seed=config.seed,
+            config=config,
+            profiles=cpe_profiles,
         )
         self.hierarchy = CacheHierarchy(
             config.n_cores,
@@ -217,7 +221,7 @@ class CMPSimulator:
         cls,
         config: SystemConfig,
         scenario: Scenario,
-        policy_name: str,
+        policy_name: str | PolicySpec,
         trace_for: Callable[[str], Trace],
         cpe_profiles: list[list] | None = None,
         collect_curves: bool = False,

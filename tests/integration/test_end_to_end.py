@@ -8,6 +8,7 @@ together.
 
 import pytest
 
+from repro.experiment import Experiment
 from repro.sim.runner import ExperimentRunner
 
 
@@ -43,8 +44,8 @@ class TestEnergyOrdering:
     """The qualitative energy claims of Figures 6/7."""
 
     def test_unmanaged_dynamic_is_about_twice_fair_share(self, runner, two_core):
-        unmanaged = runner.run_group("G2-8", two_core, "unmanaged")
-        fair = runner.run_group("G2-8", two_core, "fair_share")
+        unmanaged = runner.run(Experiment("G2-8", "unmanaged", two_core))
+        fair = runner.run(Experiment("G2-8", "fair_share", two_core))
         ratio = (
             unmanaged.dynamic_energy_per_kiloinstruction
             / fair.dynamic_energy_per_kiloinstruction
@@ -52,27 +53,27 @@ class TestEnergyOrdering:
         assert 1.6 < ratio < 2.3
 
     def test_cooperative_probes_fewer_ways_than_fair_share(self, runner, two_core):
-        cooperative = runner.run_group("G2-2", two_core, "cooperative")
+        cooperative = runner.run(Experiment("G2-2", "cooperative", two_core))
         assert cooperative.average_ways_probed < 4.6
 
     def test_ucp_probes_all_ways(self, runner, two_core):
-        ucp = runner.run_group("G2-8", two_core, "ucp")
+        ucp = runner.run(Experiment("G2-8", "ucp", two_core))
         assert ucp.average_ways_probed == pytest.approx(8.0)
 
     def test_non_gating_schemes_keep_all_ways_on(self, runner, two_core):
         for policy in ("unmanaged", "fair_share", "ucp"):
-            run = runner.run_group("G2-8", two_core, policy)
+            run = runner.run(Experiment("G2-8", policy, two_core))
             assert run.average_active_ways == pytest.approx(8.0)
 
     def test_cooperative_can_gate_ways(self, runner, two_core):
-        run = runner.run_group("G2-2", two_core, "cooperative")
+        run = runner.run(Experiment("G2-2", "cooperative", two_core))
         assert run.average_active_ways <= 8.0
 
 
 class TestPerformanceSanity:
     def test_weighted_speedups_in_reasonable_band(self, runner, two_core):
         for policy in ("unmanaged", "fair_share", "ucp", "cooperative"):
-            run = runner.run_group("G2-6", two_core, policy)
+            run = runner.run(Experiment("G2-6", policy, two_core))
             ws = runner.weighted_speedup_of(run, two_core)
             assert 0.5 < ws < 2.5, policy
 
@@ -80,17 +81,17 @@ class TestPerformanceSanity:
         """Paper: CP performs within ~1% of UCP on average; allow a
         wider band for the tiny test configuration."""
         ucp = runner.weighted_speedup_of(
-            runner.run_group("G2-6", two_core, "ucp"), two_core
+            runner.run(Experiment("G2-6", "ucp", two_core)), two_core
         )
         cp = runner.weighted_speedup_of(
-            runner.run_group("G2-6", two_core, "cooperative"), two_core
+            runner.run(Experiment("G2-6", "cooperative", two_core)), two_core
         )
         assert cp > ucp * 0.85
 
 
 class TestCooperativeTakeover:
     def test_transitions_progress_and_complete(self, runner, two_core):
-        run = runner.run_group("G2-6", two_core, "cooperative")
+        run = runner.run(Experiment("G2-6", "cooperative", two_core))
         stats = run.policy_stats
         if stats.transitions_started:
             assert (
@@ -99,7 +100,7 @@ class TestCooperativeTakeover:
             )
 
     def test_takeover_events_recorded_when_transferring(self, runner, two_core):
-        run = runner.run_group("G2-6", two_core, "cooperative")
+        run = runner.run(Experiment("G2-6", "cooperative", two_core))
         stats = run.policy_stats
         if stats.transitions_started:
             assert sum(stats.takeover_events.values()) > 0
@@ -132,15 +133,15 @@ class TestWayAlignment:
 
 class TestEnergyAccountingConsistency:
     def test_dynamic_energy_grows_with_probe_width(self, runner, two_core):
-        fair = runner.run_group("G2-8", two_core, "fair_share")
-        unmanaged = runner.run_group("G2-8", two_core, "unmanaged")
+        fair = runner.run(Experiment("G2-8", "fair_share", two_core))
+        unmanaged = runner.run(Experiment("G2-8", "unmanaged", two_core))
         assert (
             unmanaged.dynamic_energy_per_kiloinstruction
             > fair.dynamic_energy_per_kiloinstruction
         )
 
     def test_static_power_tracks_active_ways(self, runner, two_core):
-        cooperative = runner.run_group("G2-2", two_core, "cooperative")
-        fair = runner.run_group("G2-2", two_core, "fair_share")
+        cooperative = runner.run(Experiment("G2-2", "cooperative", two_core))
+        fair = runner.run(Experiment("G2-2", "fair_share", two_core))
         if cooperative.average_active_ways < 7.5:
             assert cooperative.static_power_nw < fair.static_power_nw

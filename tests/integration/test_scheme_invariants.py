@@ -7,6 +7,7 @@ and scheme-specific quantities must respect their definitional bounds.
 
 import pytest
 
+from repro.experiment import Experiment
 from repro.cache.geometry import CacheGeometry
 from repro.sim.config import SystemConfig
 from repro.sim.runner import ALL_POLICIES, ExperimentRunner
@@ -31,7 +32,7 @@ def config():
 def runs(config):
     runner = ExperimentRunner()
     return {
-        policy: runner.run_group("G2-6", config, policy) for policy in ALL_POLICIES
+        policy: runner.run(Experiment("G2-6", policy, config)) for policy in ALL_POLICIES
     }
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.experiment import Experiment
 from repro.orchestration.executor import SweepExecutor, orchestrated_runner, resolve_jobs
 from repro.orchestration.serialize import group_task_key
 from repro.orchestration.store import ResultStore
@@ -56,10 +57,10 @@ class TestResume:
         # ...and resume with an executor that cannot run in parallel
         # but must recompute exactly the missing task.
         resumed = SweepExecutor(store, max_workers=2)
-        pending = resumed.pending_group_tasks(
+        _alone, main_pending, _total = resumed.plan(
             [(g, p, tiny_two_core) for g in GROUPS for p in POLICIES]
         )
-        assert pending == [("G2-4", "cooperative", tiny_two_core)]
+        assert main_pending == [Experiment("G2-4", "cooperative", tiny_two_core)]
         resumed.sweep(tiny_two_core, POLICIES, GROUPS)
         assert store.has(victim)
 
@@ -67,8 +68,8 @@ class TestResume:
         executor = SweepExecutor(store, max_workers=1)
         # G2-4 (lbm, povray) and G2-8 (lbm, soplex) share lbm.
         tasks = [(g, "cooperative", tiny_two_core) for g in GROUPS]
-        pending = executor.pending_alone_tasks(tasks)
-        names = sorted(benchmark for _config, benchmark in pending)
+        alone_pending, _main, _total = executor.plan(tasks)
+        names = sorted(e.workload.name for e in alone_pending)
         assert names == ["lbm", "povray", "soplex"]
 
 

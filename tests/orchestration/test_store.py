@@ -8,6 +8,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiment import Experiment
 import repro
 
 from repro.orchestration.serialize import (
@@ -80,7 +81,7 @@ class TestTaskKeys:
 class TestSerialisation:
     def test_run_result_round_trip(self, tiny_two_core):
         runner = ExperimentRunner()
-        run = runner.run_group("G2-4", tiny_two_core, "cooperative")
+        run = runner.run(Experiment("G2-4", "cooperative", tiny_two_core))
         clone = run_result_from_dict(
             json.loads(json.dumps(run_result_to_dict(run)))
         )
@@ -96,7 +97,7 @@ class TestSerialisation:
 
     def test_flush_buckets_rekeyed_as_ints(self, tiny_two_core):
         runner = ExperimentRunner()
-        run = runner.run_group("G2-4", tiny_two_core, "ucp")
+        run = runner.run(Experiment("G2-4", "ucp", tiny_two_core))
         clone = run_result_from_dict(run_result_to_dict(run))
         assert all(
             isinstance(bucket, int)
@@ -157,17 +158,17 @@ class TestResultStore:
 class TestStoreBackedRunner:
     def test_results_survive_runner_restart(self, store, tiny_two_core):
         first = ExperimentRunner(store=store)
-        run = first.run_group("G2-4", tiny_two_core, "cooperative")
+        run = first.run(Experiment("G2-4", "cooperative", tiny_two_core))
         ws = first.weighted_speedup_of(run, tiny_two_core)
 
         second = ExperimentRunner(store=store)  # fresh memory caches
-        cached = second.run_group("G2-4", tiny_two_core, "cooperative")
+        cached = second.run(Experiment("G2-4", "cooperative", tiny_two_core))
         assert cached.ipcs() == run.ipcs()
         assert second.weighted_speedup_of(cached, tiny_two_core) == ws
 
     def test_disk_hit_skips_simulation(self, store, tiny_two_core, monkeypatch):
         seeded = ExperimentRunner(store=store)
-        expected = seeded.run_group("G2-4", tiny_two_core, "fair_share")
+        expected = seeded.run(Experiment("G2-4", "fair_share", tiny_two_core))
         seeded.alone("lbm", tiny_two_core)
 
         import repro.sim.runner as runner_module
@@ -177,11 +178,11 @@ class TestStoreBackedRunner:
 
         monkeypatch.setattr(runner_module, "CMPSimulator", explode)
         resumed = ExperimentRunner(store=store)
-        hit = resumed.run_group("G2-4", tiny_two_core, "fair_share")
+        hit = resumed.run(Experiment("G2-4", "fair_share", tiny_two_core))
         assert hit.ipcs() == expected.ipcs()
         resumed.alone("lbm", tiny_two_core)
 
     def test_store_and_memory_agree(self, store, tiny_two_core):
         runner = ExperimentRunner(store=store)
-        computed = runner.run_group("G2-4", tiny_two_core, "ucp")
-        assert runner.run_group("G2-4", tiny_two_core, "ucp") is computed
+        computed = runner.run(Experiment("G2-4", "ucp", tiny_two_core))
+        assert runner.run(Experiment("G2-4", "ucp", tiny_two_core)) is computed

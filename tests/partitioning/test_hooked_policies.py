@@ -6,11 +6,21 @@ probe/fill tables, but third-party subclasses (see
 and must keep working through the compatibility path.  The strongest
 check: a hook-overriding policy whose restrictions equal Fair Share's
 static partitions must produce a bit-identical ``RunResult``.
+
+Third-party policies plug in through the real
+:func:`~repro.partitioning.registry.register_policy` decorator — no
+monkeypatching of factory internals.
 """
+
+import pytest
 
 from repro.orchestration.serialize import run_result_to_dict
 from repro.partitioning.base import BaseSharedCachePolicy
-from repro.partitioning.registry import POLICY_NAMES
+from repro.partitioning.registry import (
+    POLICY_NAMES,
+    register_policy,
+    unregister_policy,
+)
 from repro.sim.config import scaled_two_core
 from repro.sim.runner import ExperimentRunner
 from repro.sim.simulator import CMPSimulator
@@ -39,7 +49,14 @@ class _HookedEqualShare(BaseSharedCachePolicy):
         return self._blocks[core]
 
 
-def _run(policy_name, monkeypatch=None):
+@pytest.fixture
+def hooked_fair_share():
+    register_policy("fair_share_hooked")(_HookedEqualShare)
+    yield "fair_share_hooked"
+    unregister_policy("fair_share_hooked")
+
+
+def _run(policy_name):
     runner = ExperimentRunner()
     config = scaled_two_core(refs_per_core=4_000)
     traces = [
@@ -63,27 +80,10 @@ def test_hooked_subclass_uses_the_compatibility_path():
     assert not sim.policy._dynamic_ways  # built-ins stay on the fast path
 
 
-def test_hooked_policy_matches_tabled_fair_share(monkeypatch):
+def test_hooked_policy_matches_tabled_fair_share(hooked_fair_share):
     """Hook path and table path simulate the identical machine."""
-    import repro.partitioning.registry as registry
-
     expected = run_result_to_dict(_run("fair_share"))
-
-    original = registry.create_policy
-
-    def hooked_create(name, *args, **kwargs):
-        if name == "fair_share_hooked":
-            cache, memory, energy, stats = args[:4]
-            monitors = args[4] if len(args) > 4 else kwargs.get("monitors")
-            return _HookedEqualShare(cache, memory, energy, stats, monitors)
-        return original(name, *args, **kwargs)
-
-    monkeypatch.setattr(registry, "create_policy", hooked_create)
-    # CMPSimulator imported create_policy by name; patch its reference.
-    import repro.sim.simulator as simulator_module
-
-    monkeypatch.setattr(simulator_module, "create_policy", hooked_create)
-    actual = run_result_to_dict(_run("fair_share_hooked"))
+    actual = run_result_to_dict(_run(hooked_fair_share))
     assert actual == expected
 
 

@@ -12,7 +12,7 @@ from repro.monitor.umon import UtilityMonitor
 from repro.partitioning.base import PolicyStats
 from repro.partitioning.cpe import DynamicCPEPolicy
 from repro.partitioning.fair_share import FairSharePolicy
-from repro.partitioning.registry import POLICY_NAMES, create_policy
+from repro.partitioning.registry import POLICY_NAMES
 from repro.partitioning.ucp import UCPPolicy
 from repro.partitioning.unmanaged import UnmanagedPolicy
 
@@ -159,20 +159,25 @@ class TestDynamicCPE:
 
 
 class TestRegistry:
-    def test_all_names_construct(self):
-        for name in POLICY_NAMES:
+    def test_all_builtin_names_construct(self):
+        from repro.partitioning.registry import build_policy
+        from repro.sim.runner import ALL_POLICIES
+
+        for name in ALL_POLICIES:
             cache, memory, energy, stats = _parts()
             monitors = [
                 UtilityMonitor(8, SetSampler(GEOMETRY.num_sets, 1)) for _ in range(2)
             ]
             curve = [100, 50, 25, 12, 6, 3, 2, 1, 0]
-            policy = create_policy(
+            policy = build_policy(
                 name, cache, memory, energy, stats, monitors,
-                cpe_profiles=[list(curve), list(curve)],
+                profiles=[list(curve), list(curve)],
             )
             assert policy.name == POLICY_NAMES[name]
 
     def test_unknown_name_rejected(self):
+        from repro.partitioning.registry import build_policy
+
         cache, memory, energy, stats = _parts()
         with pytest.raises(ValueError):
-            create_policy("nope", cache, memory, energy, stats)
+            build_policy("nope", cache, memory, energy, stats)

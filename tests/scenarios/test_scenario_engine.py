@@ -7,6 +7,7 @@ energy versus the identical run without the departure.
 
 import pytest
 
+from repro.experiment import Experiment
 from repro.orchestration.serialize import run_result_to_dict
 from repro.scenarios import (
     Scenario,
@@ -224,11 +225,11 @@ def test_run_scenario_caches_and_round_trips(tmp_path, config, static_run):
     scenario = consolidation_scenario(
         BENCHMARKS, [1], _mid_window(static_run), name="store-test"
     )
-    first = cached_runner.run_scenario(scenario, config, "cooperative")
+    first = cached_runner.run(Experiment.for_scenario(scenario, system=config, policy="cooperative"))
     assert cached_runner.cached_scenario(scenario, config, "cooperative") is first
     # A fresh runner sharing the store reads the identical artifact.
     rereader = ExperimentRunner(store=store)
-    reread = rereader.run_scenario(scenario, config, "cooperative")
+    reread = rereader.run(Experiment.for_scenario(scenario, system=config, policy="cooperative"))
     assert run_result_to_dict(reread) == run_result_to_dict(first)
     assert [s.cycle for s in reread.timeline] == [s.cycle for s in first.timeline]
     assert reread.scenario == "store-test"

@@ -1,0 +1,198 @@
+"""The Experiment spec model: eager validation, normalisation, keys.
+
+The spec's load-bearing guarantees:
+
+* equal runs are equal *values* (threshold folding, alone collapsing);
+* :meth:`Experiment.task_key` reproduces the historical store keys
+  for every built-in run shape;
+* serialisation round-trips losslessly.
+"""
+
+import json
+
+import pytest
+
+from repro.experiment import (
+    Experiment,
+    WorkloadSpec,
+    by_group_policy,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.orchestration.serialize import (
+    alone_task_key,
+    group_task_key,
+    scenario_task_key,
+)
+from repro.partitioning.registry import PolicySpec
+from repro.scenarios.model import Scenario, consolidation_scenario
+from repro.sim.config import scaled_four_core, scaled_two_core
+
+
+class TestWorkloadSpec:
+    def test_coerce_group_and_benchmark(self):
+        assert WorkloadSpec.coerce("G2-8").kind == "group"
+        assert WorkloadSpec.coerce("lbm").kind == "benchmark"
+        assert WorkloadSpec.coerce("G4-3").benchmarks != ()
+
+    def test_unknown_names_fail_eagerly(self):
+        with pytest.raises(ValueError, match="neither"):
+            WorkloadSpec.coerce("G9-1")
+        with pytest.raises(KeyError):
+            WorkloadSpec.table_group("G9-1")
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            WorkloadSpec.benchmark("doom")
+
+
+class TestConstruction:
+    def test_exactly_one_of_workload_or_scenario(self, tiny_two_core):
+        with pytest.raises(ValueError, match="exactly one"):
+            Experiment(system=tiny_two_core)
+        scenario = Scenario.static(("lbm", "povray"))
+        with pytest.raises(ValueError, match="exactly one"):
+            Experiment("G2-4", "ucp", tiny_two_core, scenario)
+
+    def test_group_size_must_match_cores(self, tiny_two_core):
+        with pytest.raises(ValueError, match="4 applications"):
+            Experiment("G4-1", "ucp", tiny_two_core)
+
+    def test_alone_runs_collapse_to_profiling_config(self, tiny_two_core):
+        experiment = Experiment.alone_run("lbm", system=tiny_two_core)
+        assert experiment.kind == "alone"
+        assert experiment.system == tiny_two_core.alone()
+        assert experiment == Experiment("lbm", "unmanaged", tiny_two_core)
+
+    def test_alone_rejects_managed_policies(self, tiny_two_core):
+        with pytest.raises(ValueError, match="unmanaged"):
+            Experiment("lbm", "cooperative", tiny_two_core)
+
+    def test_scenario_validates_against_cores(self, tiny_two_core):
+        bad = consolidation_scenario(("lbm", "povray", "mcf"), [2], 1_000)
+        with pytest.raises(ValueError, match="core"):
+            Experiment.for_scenario(bad, system=tiny_two_core)
+
+    def test_group_infers_scaled_system(self):
+        assert Experiment(workload="G2-8").system == scaled_two_core()
+        assert Experiment(workload="G4-2").system == scaled_four_core()
+
+    def test_threshold_param_folds_into_system(self, tiny_two_core):
+        spec = Experiment(
+            "G2-4", PolicySpec("cooperative", threshold=0.2), tiny_two_core
+        )
+        assert spec.system.threshold == 0.2
+        assert spec.policy == PolicySpec("cooperative")
+        assert spec == Experiment(
+            "G2-4", "cooperative", tiny_two_core.with_threshold(0.2)
+        )
+
+    def test_specs_are_hashable_set_members(self, tiny_two_core):
+        grid = {
+            Experiment("G2-4", policy, tiny_two_core)
+            for policy in ("ucp", "cooperative", "ucp")
+        }
+        assert len(grid) == 2
+
+
+class TestBuilders:
+    def test_two_core_defaults(self):
+        experiment = Experiment.two_core("G2-8")
+        assert experiment.system == scaled_two_core()
+        assert experiment.policy_name == "cooperative"
+
+    def test_fluent_chain(self):
+        experiment = (
+            Experiment.two_core("G2-8", refs_per_core=9_000)
+            .with_policy(PolicySpec("ucp"))
+            .with_threshold(0.1)
+        )
+        assert experiment.policy_name == "ucp"
+        assert experiment.system.threshold == 0.1
+        assert experiment.system.refs_per_core == 9_000
+
+    def test_with_refs(self, tiny_two_core):
+        experiment = Experiment("G2-4", "ucp", tiny_two_core).with_refs(4_000)
+        assert experiment.system.refs_per_core == 4_000
+
+    def test_with_scenario_swaps_workload(self, tiny_two_core):
+        scenario = Scenario.static(("lbm", "povray"))
+        experiment = Experiment("G2-4", "ucp", tiny_two_core).with_scenario(scenario)
+        assert experiment.kind == "scenario"
+        assert experiment.workload is None
+
+    def test_grid_covers_cross_product(self, tiny_two_core):
+        grid = Experiment.grid(tiny_two_core, ["G2-1", "G2-2"], ["ucp", "cpe"])
+        assert len(grid) == 4
+        assert {e.policy_name for e in grid} == {"ucp", "cpe"}
+
+
+class TestTaskKeys:
+    def test_group_key_matches_legacy(self, tiny_two_core):
+        experiment = Experiment("G2-4", "cooperative", tiny_two_core)
+        assert experiment.task_key() == group_task_key(
+            tiny_two_core, "G2-4", "cooperative"
+        )
+
+    def test_alone_key_matches_legacy(self, tiny_two_core):
+        experiment = Experiment.alone_run("lbm", system=tiny_two_core)
+        assert experiment.task_key() == alone_task_key(tiny_two_core, "lbm")
+
+    def test_scenario_key_matches_legacy(self, tiny_two_core):
+        scenario = consolidation_scenario(("lbm", "povray"), [1], 50_000)
+        experiment = Experiment.for_scenario(
+            scenario, system=tiny_two_core, policy="cooperative"
+        )
+        assert experiment.task_key() == scenario_task_key(
+            tiny_two_core, scenario, "cooperative"
+        )
+
+    def test_threshold_spec_key_matches_legacy_with_threshold(self, tiny_two_core):
+        experiment = Experiment(
+            "G2-4", PolicySpec("cooperative", threshold=0.1), tiny_two_core
+        )
+        assert experiment.task_key() == group_task_key(
+            tiny_two_core.with_threshold(0.1), "G2-4", "cooperative"
+        )
+
+    def test_non_default_params_open_new_key_space(self, tiny_two_core):
+        pinned = Experiment(
+            "G2-4", PolicySpec("cooperative", seed=7), tiny_two_core
+        )
+        default = Experiment("G2-4", "cooperative", tiny_two_core)
+        assert pinned.task_key() != default.task_key()
+
+
+class TestSerialisation:
+    def test_round_trip_all_kinds(self, tiny_two_core):
+        scenario = consolidation_scenario(("lbm", "povray"), [1], 60_000)
+        specs = [
+            Experiment("G2-4", "cooperative", tiny_two_core),
+            Experiment("G2-4", PolicySpec("cooperative", seed=3), tiny_two_core),
+            Experiment.alone_run("gcc", system=tiny_two_core),
+            Experiment.for_scenario(scenario, system=tiny_two_core, policy="ucp"),
+        ]
+        for spec in specs:
+            document = json.loads(json.dumps(spec.to_dict()))
+            rebuilt = Experiment.from_dict(document)
+            assert rebuilt == spec
+            assert rebuilt.task_key() == spec.task_key()
+
+    def test_config_round_trip(self, tiny_two_core):
+        rebuilt = config_from_dict(
+            json.loads(json.dumps(config_to_dict(tiny_two_core)))
+        )
+        assert rebuilt == tiny_two_core
+        assert rebuilt.l2.num_sets == tiny_two_core.l2.num_sets
+
+
+class TestPivot:
+    def test_by_group_policy_shapes_figure_tables(self, tiny_two_core):
+        results = {
+            Experiment("G2-1", "ucp", tiny_two_core): "a",
+            Experiment("G2-1", "cpe", tiny_two_core): "b",
+            Experiment("G2-2", "ucp", tiny_two_core): "c",
+            Experiment.alone_run("lbm", system=tiny_two_core): "ignored",
+        }
+        assert by_group_policy(results) == {
+            "G2-1": {"ucp": "a", "cpe": "b"},
+            "G2-2": {"ucp": "c"},
+        }
