@@ -33,6 +33,19 @@ and ``benchmarks/`` for the per-figure reproduction harness.
 from repro.cache.geometry import CacheGeometry
 from repro.core.policy import CooperativeParams, CooperativePartitioningPolicy
 from repro.core.transfer import TransferPlan, plan_transfers
+from repro.dvfs import (
+    GOVERNOR_NAMES,
+    BaseGovernor,
+    CoreEnergyModel,
+    GovernorSpec,
+    OperatingPoint,
+    VFTable,
+    default_vf_table,
+    governor_info,
+    register_governor,
+    registered_governors,
+    unregister_governor,
+)
 from repro.energy.cacti import CactiEnergyModel, OverheadBits
 from repro.experiment import Experiment, WorkloadSpec, by_group_policy
 from repro.metrics.speedup import geometric_mean, normalize, weighted_speedup
@@ -62,8 +75,10 @@ from repro.scenarios import (
     consolidation_scenario,
     core_arrive,
     core_depart,
+    frequency_series,
     phase_change,
     phased_scenario,
+    voltage_series,
 )
 from repro.sim.config import (
     SystemConfig,
@@ -86,16 +101,21 @@ __all__ = [
     "AllocationResult",
     "AloneResult",
     "BENCHMARK_PROFILES",
+    "BaseGovernor",
     "CMPSimulator",
     "CacheGeometry",
     "CactiEnergyModel",
     "CooperativeParams",
     "CooperativePartitioningPolicy",
+    "CoreEnergyModel",
     "CoreResult",
     "Experiment",
     "ExperimentRunner",
     "FOUR_CORE_GROUPS",
+    "GOVERNOR_NAMES",
+    "GovernorSpec",
     "MPKIClass",
+    "OperatingPoint",
     "OverheadBits",
     "POLICY_NAMES",
     "PolicySpec",
@@ -109,6 +129,7 @@ __all__ = [
     "TimelineSample",
     "Trace",
     "TransferPlan",
+    "VFTable",
     "WorkloadSpec",
     "arrival_scenario",
     "build_policy",
@@ -118,9 +139,12 @@ __all__ = [
     "core_depart",
     "create_policy",
     "default_store_path",
+    "default_vf_table",
+    "frequency_series",
     "generate_trace",
     "geometric_mean",
     "get_shared_runner",
+    "governor_info",
     "group_benchmarks",
     "group_names",
     "lookahead_partition",
@@ -133,11 +157,15 @@ __all__ = [
     "plan_transfers",
     "policy_info",
     "profile_for",
+    "register_governor",
     "register_policy",
+    "registered_governors",
     "registered_policies",
     "scaled_four_core",
     "scaled_two_core",
     "task_key",
+    "unregister_governor",
     "unregister_policy",
+    "voltage_series",
     "weighted_speedup",
 ]

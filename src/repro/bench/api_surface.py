@@ -34,7 +34,9 @@ from typing import Any
 SURFACE_PATH = Path("tests") / "api_surface.json"
 
 #: snapshot layout version; bump on incompatible format changes
-SURFACE_SCHEMA = 1
+#: (2: added the DVFS governor registry, GovernorSpec and the
+#: TimelineSample field list)
+SURFACE_SCHEMA = 2
 
 
 def _signature_of(function: Any) -> list[dict[str, Any]]:
@@ -71,6 +73,19 @@ def _public_methods(cls: type) -> dict[str, list[dict[str, Any]]]:
     return methods
 
 
+def _params_surface(info: Any) -> dict[str, Any]:
+    """Declared-parameter snapshot of one registry entry (shared by
+    the policy and governor registries — they declare params the same
+    way)."""
+    return {
+        field.name: {
+            "type": str(field.type),
+            "default": repr(info.param_defaults().get(field.name)),
+        }
+        for field in dataclasses.fields(info.params_type)
+    }
+
+
 def _registry_surface() -> dict[str, Any]:
     from repro.partitioning.registry import policy_info, registered_policies
 
@@ -81,22 +96,31 @@ def _registry_surface() -> dict[str, Any]:
             "display_name": info.display_name,
             "needs_monitors": info.needs_monitors,
             "profile_kwarg": info.profile_kwarg,
-            "params": {
-                field.name: {
-                    "type": str(field.type),
-                    "default": repr(info.param_defaults().get(field.name)),
-                }
-                for field in dataclasses.fields(info.params_type)
-            },
+            "params": _params_surface(info),
         }
     return policies
+
+
+def _governor_surface() -> dict[str, Any]:
+    from repro.dvfs.governors import governor_info, registered_governors
+
+    governors: dict[str, Any] = {}
+    for name in sorted(registered_governors()):
+        info = governor_info(name)
+        governors[name] = {
+            "display_name": info.display_name,
+            "params": _params_surface(info),
+        }
+    return governors
 
 
 def compute_surface() -> dict[str, Any]:
     """The current public-API surface as a JSON-stable document."""
     import repro
+    from repro.dvfs.governors import GovernorSpec, register_governor
     from repro.experiment import Experiment, WorkloadSpec
     from repro.partitioning.registry import PolicySpec, register_policy
+    from repro.scenarios.timeline import TimelineSample
     from repro.sim.runner import ExperimentRunner
 
     return {
@@ -114,9 +138,20 @@ def compute_surface() -> dict[str, Any]:
             "fields": [field.name for field in dataclasses.fields(PolicySpec)],
             "methods": _public_methods(PolicySpec),
         },
+        "governor_spec": {
+            "fields": [field.name for field in dataclasses.fields(GovernorSpec)],
+            "methods": _public_methods(GovernorSpec),
+        },
+        "timeline_sample": {
+            "fields": [
+                field.name for field in dataclasses.fields(TimelineSample)
+            ],
+        },
         "runner": _public_methods(ExperimentRunner),
         "register_policy": _signature_of(register_policy),
+        "register_governor": _signature_of(register_governor),
         "policies": _registry_surface(),
+        "governors": _governor_surface(),
     }
 
 

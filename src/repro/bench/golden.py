@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cache.geometry import CacheGeometry
+from repro.dvfs.governors import GovernorSpec
 from repro.experiment import Experiment
 from repro.orchestration.serialize import run_result_to_dict
 from repro.scenarios.model import (
@@ -183,6 +184,64 @@ def run_scenario_golden_case(
     )
 
 
+# ----------------------------------------------------------------------
+# DVFS fixtures
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DvfsGoldenCase:
+    """One pinned DVFS run: per-core V/f trajectory, core energy and
+    the frequency/voltage timeline are all part of the fixture."""
+
+    name: str
+    cores: int
+    policy: str
+    group: str
+    refs_per_core: int
+    governor: str
+    qos_slowdown: float
+
+    def config(self) -> SystemConfig:
+        """The exact system configuration of this case."""
+        factory = scaled_two_core if self.cores == 2 else scaled_four_core
+        return factory(refs_per_core=self.refs_per_core)
+
+    def governor_spec(self) -> GovernorSpec:
+        """The pinned governor binding of this case."""
+        return GovernorSpec(self.governor, qos_slowdown=self.qos_slowdown)
+
+    @property
+    def filename(self) -> str:
+        """Fixture file name for this case."""
+        return f"{self.name}.json"
+
+
+def dvfs_golden_matrix() -> list[DvfsGoldenCase]:
+    """One pinned DVFS run: the coordinated governor over cooperative
+    partitioning on the two-core system — the headline configuration
+    of the DVFS subsystem, energy integrals and timeline included."""
+    return [
+        DvfsGoldenCase(
+            name="dvfs_2c_coordinated_cooperative",
+            cores=2, policy="cooperative", group="G2-1",
+            refs_per_core=8_000, governor="coordinated", qos_slowdown=0.2,
+        ),
+    ]
+
+
+def run_dvfs_golden_case(
+    case: DvfsGoldenCase, runner: ExperimentRunner
+) -> RunResult:
+    """Simulate one pinned DVFS case (trace cache shared via runner)."""
+    return runner.run(
+        Experiment(
+            case.group,
+            case.policy,
+            case.config(),
+            governor=case.governor_spec(),
+        )
+    )
+
+
 def case_payload(case: GoldenCase, result: RunResult) -> dict:
     """JSON-ready fixture payload for one simulated case."""
     return {
@@ -227,24 +286,22 @@ def write_fixtures(directory: str | Path, progress=print) -> list[Path]:
     directory.mkdir(parents=True, exist_ok=True)
     runner = ExperimentRunner()
     written = []
-    for case in golden_matrix():
-        result = run_golden_case(case, runner)
-        path = directory / case.filename
-        path.write_text(
-            json.dumps(case_payload(case, result), indent=2, sort_keys=True) + "\n"
-        )
-        written.append(path)
-        if progress is not None:
-            progress(f"wrote {path}")
-    for case in scenario_golden_matrix():
-        result = run_scenario_golden_case(case, runner)
-        path = directory / case.filename
-        path.write_text(
-            json.dumps(case_payload(case, result), indent=2, sort_keys=True) + "\n"
-        )
-        written.append(path)
-        if progress is not None:
-            progress(f"wrote {path}")
+    matrices = (
+        (golden_matrix, run_golden_case),
+        (scenario_golden_matrix, run_scenario_golden_case),
+        (dvfs_golden_matrix, run_dvfs_golden_case),
+    )
+    for matrix, run_case in matrices:
+        for case in matrix():
+            result = run_case(case, runner)
+            path = directory / case.filename
+            path.write_text(
+                json.dumps(case_payload(case, result), indent=2, sort_keys=True)
+                + "\n"
+            )
+            written.append(path)
+            if progress is not None:
+                progress(f"wrote {path}")
     return written
 
 

@@ -50,6 +50,8 @@ class BenchCase:
     group: str
     policy: str
     refs_per_core: int
+    #: DVFS governor short name (None = the nominal-frequency machine)
+    governor: str | None = None
 
     def config(self) -> SystemConfig:
         """The scaled system configuration this case runs on."""
@@ -71,6 +73,10 @@ def bench_matrix(quick: bool = False) -> list[BenchCase]:
     quick_cases = [
         BenchCase("2c-unmanaged-quick", 2, "G2-1", "unmanaged", 6_000),
         BenchCase("2c-cooperative-quick", 2, "G2-1", "cooperative", 6_000),
+        BenchCase(
+            "2c-cooperative-dvfs-quick", 2, "G2-1", "cooperative", 6_000,
+            governor="coordinated",
+        ),
     ]
     if quick:
         return quick_cases
@@ -80,6 +86,10 @@ def bench_matrix(quick: bool = False) -> list[BenchCase]:
         BenchCase("2c-cpe", 2, "G2-1", "cpe", 20_000),
         BenchCase("2c-ucp", 2, "G2-1", "ucp", 20_000),
         BenchCase("2c-cooperative", 2, "G2-1", "cooperative", 20_000),
+        BenchCase(
+            "2c-cooperative-dvfs", 2, "G2-1", "cooperative", 20_000,
+            governor="coordinated",
+        ),
         BenchCase("4c-ucp", 4, "G4-1", "ucp", 10_000),
         BenchCase("4c-cooperative", 4, "G4-1", "cooperative", 10_000),
     ]
@@ -102,7 +112,13 @@ def _prepare(case: BenchCase, runner: ExperimentRunner) -> Callable[[], CMPSimul
             [list(curve) for curve in runner.alone(benchmark, config).curves]
             for benchmark in benchmarks
         ]
-    return lambda: CMPSimulator(config, traces, case.policy, cpe_profiles=cpe_profiles)
+    return lambda: CMPSimulator(
+        config,
+        traces,
+        case.policy,
+        cpe_profiles=cpe_profiles,
+        governor=case.governor,
+    )
 
 
 def run_case(
@@ -123,7 +139,7 @@ def run_case(
         elapsed = time.perf_counter() - started
         refs = sum(core.refs_done for core in simulator.cores)
         best = min(best, elapsed)
-    return {
+    record = {
         "name": case.name,
         "cores": case.cores,
         "group": case.group,
@@ -133,6 +149,9 @@ def run_case(
         "seconds": best,
         "refs_per_sec": refs / best,
     }
+    if case.governor is not None:
+        record["governor"] = case.governor
+    return record
 
 
 def run_benchmarks(

@@ -1,0 +1,66 @@
+"""DVFS subsystem: per-core V/f scaling and coordinated governors.
+
+Public surface of the package:
+
+* :class:`~repro.dvfs.model.OperatingPoint`, :class:`~repro.dvfs.
+  model.VFTable` and :func:`~repro.dvfs.model.default_vf_table` — the
+  discrete voltage/frequency model;
+* :class:`~repro.dvfs.model.CoreEnergyModel` — V²-scaled dynamic and
+  V-scaled leakage core energy per operating point;
+* the governor registry (:func:`~repro.dvfs.governors.
+  register_governor`, :class:`~repro.dvfs.governors.GovernorSpec`,
+  :data:`~repro.dvfs.governors.GOVERNOR_NAMES`) and the built-in
+  ``fixed`` / ``ondemand`` / ``coordinated`` governors;
+* :class:`~repro.dvfs.state.DvfsState` — the per-run coupling the
+  simulator drives (timing tables, telemetry, interval energy).
+
+An :class:`~repro.experiment.Experiment` opts in via ``governor=``;
+without one the machine runs at the nominal frequency and reproduces
+every pre-DVFS result bit-for-bit.  See ``docs/energy.md``.
+"""
+
+from repro.dvfs.governors import (
+    GOVERNOR_NAMES,
+    BaseGovernor,
+    CoordinatedGovernor,
+    CoreTelemetry,
+    FixedGovernor,
+    GovernorSpec,
+    OndemandGovernor,
+    build_governor,
+    governor_info,
+    register_governor,
+    registered_governors,
+    unregister_governor,
+)
+from repro.dvfs.model import (
+    GATED,
+    GATED_LEVEL,
+    CoreEnergyModel,
+    OperatingPoint,
+    VFTable,
+    default_vf_table,
+)
+from repro.dvfs.state import DvfsState
+
+__all__ = [
+    "GATED",
+    "GATED_LEVEL",
+    "GOVERNOR_NAMES",
+    "BaseGovernor",
+    "CoordinatedGovernor",
+    "CoreEnergyModel",
+    "CoreTelemetry",
+    "DvfsState",
+    "FixedGovernor",
+    "GovernorSpec",
+    "OndemandGovernor",
+    "OperatingPoint",
+    "VFTable",
+    "build_governor",
+    "default_vf_table",
+    "governor_info",
+    "register_governor",
+    "registered_governors",
+    "unregister_governor",
+]

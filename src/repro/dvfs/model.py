@@ -1,0 +1,213 @@
+"""Per-core voltage/frequency model: operating points and core energy.
+
+The paper's energy story stops at the LLC (way power-gating); this
+module adds the *core* side of the budget so DVFS-based schemes can be
+compared against — and combined with — cache partitioning.  Nejat et
+al. ("Coordinated Management of DVFS and Cache Partitioning under QoS
+Constraints") show the two knobs save more energy together than either
+alone; reproducing that requires cores whose clock, voltage and energy
+scale per operating point.
+
+The model is the standard discrete-OPP abstraction:
+
+* a :class:`VFTable` lists the machine's operating points in
+  descending frequency order; the first entry is the **nominal** point
+  (the single frequency every pre-DVFS run modelled, aligned with the
+  LLC clock in :mod:`repro.energy.cacti`);
+* core **dynamic** energy per instruction scales with V² (``E ∝ C·V²``
+  per switched capacitance; frequency cancels out of the per-event
+  cost, it only changes *when* the events happen);
+* core **static** (leakage) power scales with V and with time — a
+  slower run leaks longer, which is exactly the race-to-idle tension
+  QoS-constrained governors navigate;
+* a **gated** core (departed from the schedule, or absent from cycle
+  0) sits at the :data:`GATED` pseudo-point: frequency 0, voltage 0,
+  zero dynamic and zero leakage energy.
+
+All quantities are integers (MHz / mV) so operating points hash and
+serialise exactly; the derived per-level energy figures are floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.cacti import CLOCK_HZ
+
+#: dynamic energy of one instruction at the nominal operating point
+#: (nJ).  Chosen CACTI/McPAT-plausible for a 4-wide 45 nm core (~2 nJ
+#: per instruction) and deliberately dominant over the leakage terms so
+#: lowering V/f under a loose QoS target reduces *total* energy even
+#: though the run stretches (the per-instruction V² savings outweigh
+#: the extra leakage-cycles of the longer run).
+CORE_DYNAMIC_NJ_PER_INSTR = 2.0
+
+#: leakage power of one powered core at the nominal voltage (watts).
+CORE_LEAKAGE_W = 0.1
+
+#: level index of a power-gated core (departed / never-arrived slots)
+GATED_LEVEL = -1
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One discrete V/f pair a core can run at."""
+
+    freq_mhz: int
+    voltage_mv: int
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz < 0 or self.voltage_mv < 0:
+            raise ValueError(
+                f"operating point must be non-negative, got "
+                f"{self.freq_mhz} MHz @ {self.voltage_mv} mV"
+            )
+        if (self.freq_mhz == 0) != (self.voltage_mv == 0):
+            raise ValueError(
+                "frequency and voltage gate together: 0 MHz needs 0 mV "
+                f"(got {self.freq_mhz} MHz @ {self.voltage_mv} mV)"
+            )
+
+    def describe(self) -> str:
+        """Short human-readable label (``"1600MHz@1000mV"``)."""
+        if self.freq_mhz == 0:
+            return "gated"
+        return f"{self.freq_mhz}MHz@{self.voltage_mv}mV"
+
+
+#: the power-gated pseudo-point of a departed core
+GATED = OperatingPoint(0, 0)
+
+
+@dataclass(frozen=True)
+class VFTable:
+    """The machine's discrete operating points, fastest first.
+
+    ``points[0]`` is the nominal point: the frequency the shared LLC
+    clock and every pre-DVFS result are expressed in.  Voltages must
+    be non-increasing with frequency (a lower frequency never needs a
+    *higher* voltage).
+    """
+
+    points: tuple[OperatingPoint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a VFTable needs at least one operating point")
+        ordered = tuple(
+            sorted(self.points, key=lambda p: p.freq_mhz, reverse=True)
+        )
+        object.__setattr__(self, "points", ordered)
+        frequencies = [point.freq_mhz for point in ordered]
+        if len(set(frequencies)) != len(frequencies):
+            raise ValueError(f"duplicate frequencies in VF table: {frequencies}")
+        if any(point.freq_mhz == 0 for point in ordered):
+            raise ValueError(
+                "the gated point is implicit; VF tables list only "
+                "runnable frequencies"
+            )
+        voltages = [point.voltage_mv for point in ordered]
+        if any(b > a for a, b in zip(voltages, voltages[1:])):
+            raise ValueError(
+                f"voltage must not increase as frequency drops: {voltages}"
+            )
+
+    @property
+    def nominal(self) -> OperatingPoint:
+        """The fastest (default) operating point."""
+        return self.points[0]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, level: int) -> OperatingPoint:
+        """Point at ``level`` (:data:`GATED_LEVEL` yields :data:`GATED`)."""
+        if level == GATED_LEVEL:
+            return GATED
+        if not 0 <= level < len(self.points):
+            raise IndexError(
+                f"level {level} outside 0..{len(self.points) - 1}"
+            )
+        return self.points[level]
+
+    def level_of(self, freq_mhz: int) -> int:
+        """Level index of an exact frequency; errors list the table."""
+        for level, point in enumerate(self.points):
+            if point.freq_mhz == freq_mhz:
+                return level
+        raise ValueError(
+            f"{freq_mhz} MHz is not an operating point; table: "
+            f"{', '.join(point.describe() for point in self.points)}"
+        )
+
+    def period_ratio(self, level: int) -> tuple[int, int]:
+        """``(num, den)`` such that one cycle at ``level`` lasts
+        ``num/den`` nominal cycles (``(1, 1)`` at nominal)."""
+        point = self[level]
+        if point.freq_mhz == 0:
+            raise ValueError("a gated core has no cycle time")
+        return (self.nominal.freq_mhz, point.freq_mhz)
+
+    def describe(self) -> str:
+        """The table as a compact one-liner."""
+        return " > ".join(point.describe() for point in self.points)
+
+
+def default_vf_table() -> VFTable:
+    """Four operating points from the 2 GHz nominal down to 800 MHz.
+
+    The nominal frequency matches :data:`repro.energy.cacti.CLOCK_HZ`
+    (the LLC clock), so a run with every core pinned at level 0 is the
+    same machine the pre-DVFS model simulated.  The voltage ladder is
+    a typical 45 nm DVFS curve (roughly linear in f over the legal
+    range).
+    """
+    return VFTable(
+        (
+            OperatingPoint(2000, 1100),
+            OperatingPoint(1600, 1000),
+            OperatingPoint(1200, 900),
+            OperatingPoint(800, 800),
+        )
+    )
+
+
+class CoreEnergyModel:
+    """Per-level core energy figures derived from a :class:`VFTable`.
+
+    Mirrors :class:`repro.energy.cacti.CactiEnergyModel`'s role for
+    the LLC: turn the abstract model into flat per-event numbers the
+    accounting can add up.  ``dynamic_nj_per_instr[level]`` is the V²-
+    scaled energy of one instruction, ``leakage_nj_per_cycle[level]``
+    the V-scaled leakage of one powered core over one *nominal* cycle
+    of wall time (leakage is a wall-clock phenomenon — the core clock
+    only decides how much work fits in that time).
+    """
+
+    def __init__(
+        self,
+        table: VFTable,
+        dynamic_nj_per_instr: float = CORE_DYNAMIC_NJ_PER_INSTR,
+        leakage_w: float = CORE_LEAKAGE_W,
+    ) -> None:
+        self.table = table
+        nominal_mv = table.nominal.voltage_mv
+        self.dynamic_nj_per_instr: list[float] = []
+        self.leakage_nj_per_cycle: list[float] = []
+        for point in table.points:
+            v_ratio = point.voltage_mv / nominal_mv
+            self.dynamic_nj_per_instr.append(dynamic_nj_per_instr * v_ratio * v_ratio)
+            self.leakage_nj_per_cycle.append(leakage_w / CLOCK_HZ * 1e9 * v_ratio)
+
+    def dynamic_nj(self, level: int, instructions: int) -> float:
+        """Dynamic energy of ``instructions`` retired at ``level``."""
+        if level == GATED_LEVEL:
+            return 0.0
+        return self.dynamic_nj_per_instr[level] * instructions
+
+    def static_nj(self, level: int, cycles: int) -> float:
+        """Leakage over ``cycles`` nominal cycles of wall time at
+        ``level`` (zero for a gated core)."""
+        if level == GATED_LEVEL:
+            return 0.0
+        return self.leakage_nj_per_cycle[level] * cycles

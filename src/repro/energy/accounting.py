@@ -9,6 +9,13 @@ monitoring hardware also pay a small per-access update cost.
 Static energy integrates ``powered ways x cycles`` between way on/off
 events so gated-Vdd savings (unallocated ways turned off) appear
 directly, plus the constant leakage of the Table 1 overhead bits.
+
+Core energy (DVFS runs only).  When a run carries a governor, the
+DVFS state charges per-interval **core** energy into the two
+``core_*_nj`` accumulators: dynamic energy per instruction scaled by
+V², leakage per wall cycle scaled by V (see
+:class:`repro.dvfs.model.CoreEnergyModel`).  Runs without a governor
+never touch them, so every legacy total is unchanged.
 """
 
 from __future__ import annotations
@@ -28,6 +35,10 @@ class EnergyAccounting:
         self.data_writes = 0
         self.writebacks = 0
         self.monitor_updates = 0
+        # Core-side energy (charged by the DVFS state; stays 0.0 for
+        # runs without a governor).
+        self.core_dynamic_nj = 0.0
+        self.core_static_nj = 0.0
         # Static integration state.
         self._active_ways = model.geometry.ways
         self._last_event_cycle = 0
@@ -89,6 +100,8 @@ class EnergyAccounting:
         self.data_writes = 0
         self.writebacks = 0
         self.monitor_updates = 0
+        self.core_dynamic_nj = 0.0
+        self.core_static_nj = 0.0
         self._way_cycles = 0.0
         self._last_event_cycle = now
         self._final_cycle = now
@@ -147,9 +160,14 @@ class EnergyAccounting:
         return self._active_ways
 
     @property
+    def core_energy_nj(self) -> float:
+        """Total core-side energy (0.0 for runs without a governor)."""
+        return self.core_dynamic_nj + self.core_static_nj
+
+    @property
     def total_nj(self) -> float:
-        """Dynamic plus static energy."""
-        return self.dynamic_nj + self.static_nj
+        """LLC dynamic + LLC static + core energy."""
+        return self.dynamic_nj + self.static_nj + self.core_energy_nj
 
     @property
     def window_start(self) -> int:

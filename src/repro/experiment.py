@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.cache.geometry import CacheGeometry
+from repro.dvfs.governors import GovernorSpec
 from repro.partitioning.registry import PolicySpec
 from repro.scenarios.model import Scenario
 from repro.workloads.groups import group_benchmarks, group_names
@@ -139,17 +140,24 @@ class WorkloadSpec:
 @dataclass(frozen=True)
 class Experiment:
     """One fully-specified simulation: workload × policy × system
-    (× optional time-varying scenario).  Frozen, hashable, eager."""
+    (× optional time-varying scenario × optional DVFS governor).
+    Frozen, hashable, eager."""
 
     workload: WorkloadSpec | None = None
     policy: PolicySpec | str = "cooperative"
     system: SystemConfig | None = None
     scenario: Scenario | None = None
+    #: DVFS governor driving per-core V/f (None = nominal frequency,
+    #: the historical machine — results and store keys unchanged)
+    governor: GovernorSpec | str | None = None
 
     def __post_init__(self) -> None:
         policy = self.policy
         if isinstance(policy, str):
             policy = PolicySpec(policy)
+        governor = self.governor
+        if isinstance(governor, str):
+            governor = GovernorSpec(governor)
         workload = self.workload
         if workload is not None:
             workload = WorkloadSpec.coerce(workload)
@@ -185,6 +193,12 @@ class Experiment:
                     f"policy (got {policy.name!r}); they measure the "
                     f"benchmark with the full LLC to itself"
                 )
+            if governor is not None:
+                raise ValueError(
+                    "alone runs always profile at the nominal frequency "
+                    "(no governor); IPC_alone is the QoS reference every "
+                    "DVFS comparison is measured against"
+                )
             system = system.alone()
         elif workload is not None:
             expected = len(workload.benchmarks)
@@ -209,6 +223,7 @@ class Experiment:
         object.__setattr__(self, "workload", workload)
         object.__setattr__(self, "policy", policy)
         object.__setattr__(self, "system", system)
+        object.__setattr__(self, "governor", governor)
 
     @staticmethod
     def _infer_system(workload: WorkloadSpec | None) -> SystemConfig:
@@ -280,9 +295,13 @@ class Experiment:
         *,
         system: SystemConfig,
         policy: PolicySpec | str = "cooperative",
+        governor: GovernorSpec | str | None = None,
     ) -> "Experiment":
-        """A time-varying schedule under one scheme."""
-        return cls(policy=policy, system=system, scenario=scenario)
+        """A time-varying schedule under one scheme (and optionally
+        one DVFS governor)."""
+        return cls(
+            policy=policy, system=system, scenario=scenario, governor=governor
+        )
 
     @classmethod
     def grid(
@@ -290,16 +309,18 @@ class Experiment:
         system: SystemConfig,
         groups: Sequence[str] | None = None,
         policies: Sequence[PolicySpec | str] | None = None,
+        governor: GovernorSpec | str | None = None,
     ) -> list["Experiment"]:
         """The (group × policy) cross-product on one system — the
         figures' sweep shape.  Defaults: every Table 4 group of the
-        system's core count, every built-in scheme in legend order."""
+        system's core count, every built-in scheme in legend order.
+        ``governor`` applies one DVFS governor to every cell."""
         from repro.sim.runner import ALL_POLICIES
 
         groups = list(groups) if groups is not None else group_names(system.n_cores)
         policies = list(policies) if policies is not None else list(ALL_POLICIES)
         return [
-            cls(workload=group, policy=policy, system=system)
+            cls(workload=group, policy=policy, system=system, governor=governor)
             for group in groups
             for policy in policies
         ]
@@ -307,6 +328,11 @@ class Experiment:
     def with_policy(self, policy: PolicySpec | str) -> "Experiment":
         """Copy of this spec under a different scheme."""
         return dataclasses.replace(self, policy=policy)
+
+    def with_governor(self, governor: GovernorSpec | str | None) -> "Experiment":
+        """Copy of this spec under a different DVFS governor (None
+        returns to the nominal-frequency machine)."""
+        return dataclasses.replace(self, governor=governor)
 
     def with_system(self, system: SystemConfig) -> "Experiment":
         """Copy of this spec on a different machine."""
@@ -356,9 +382,10 @@ class Experiment:
         kind = self.kind
         if kind == ALONE:
             return f"alone {self.workload.name}"
+        suffix = f" +{self.governor.name}" if self.governor is not None else ""
         if kind == GROUP:
-            return f"group {self.workload.name} {self.policy_name}"
-        return f"scenario {self.scenario.name} {self.policy_name}"
+            return f"group {self.workload.name} {self.policy_name}{suffix}"
+        return f"scenario {self.scenario.name} {self.policy_name}{suffix}"
 
     @property
     def benchmarks(self) -> tuple[str, ...]:
@@ -401,39 +428,50 @@ class Experiment:
     def task_key(self) -> str:
         """Stable content address of this run in the result store.
 
-        For built-in policies at default parameters this reproduces
-        the historical ``alone``/``group``/``scenario`` task keys
-        exactly, so pre-redesign artifacts stay resolvable.  Non-default
-        policy parameters (third-party knobs, a pinned cooperative
-        seed) extend the digest document and open a fresh key space.
+        For built-in policies at default parameters (and no governor)
+        this reproduces the historical ``alone``/``group``/``scenario``
+        task keys exactly, so pre-redesign artifacts stay resolvable.
+        Non-default policy parameters (third-party knobs, a pinned
+        cooperative seed) and a DVFS governor extend the digest
+        document and open a fresh key space.
         """
         from repro.orchestration import serialize
 
         assert isinstance(self.policy, PolicySpec) and self.system is not None
         extra = self.policy.non_default_params()
+        governor = None
+        if self.governor is not None:
+            governor = {
+                "name": self.governor.name,
+                "params": self.governor.non_default_params(),
+            }
         kind = self.kind
         if kind == ALONE:
             return serialize.alone_task_key(self.system, self.workload.name)
         if kind == GROUP:
-            if extra:
-                return serialize.task_key(
-                    "group",
-                    self.system,
-                    group=self.workload.name,
-                    policy=self.policy_name,
-                    policy_params=extra,
-                )
+            if extra or governor:
+                params: dict[str, Any] = {
+                    "group": self.workload.name,
+                    "policy": self.policy_name,
+                }
+                if extra:
+                    params["policy_params"] = extra
+                if governor:
+                    params["governor"] = governor
+                return serialize.task_key("group", self.system, **params)
             return serialize.group_task_key(
                 self.system, self.workload.name, self.policy_name
             )
-        if extra:
-            return serialize.task_key(
-                "scenario",
-                self.system,
-                scenario=serialize.scenario_to_dict(self.scenario),
-                policy=self.policy_name,
-                policy_params=extra,
-            )
+        if extra or governor:
+            params = {
+                "scenario": serialize.scenario_to_dict(self.scenario),
+                "policy": self.policy_name,
+            }
+            if extra:
+                params["policy_params"] = extra
+            if governor:
+                params["governor"] = governor
+            return serialize.task_key("scenario", self.system, **params)
         return serialize.scenario_task_key(
             self.system, self.scenario, self.policy_name
         )
@@ -465,6 +503,11 @@ class Experiment:
         params = self.policy.non_default_params() if kind != ALONE else {}
         if params:
             meta["policy_params"] = params
+        if self.governor is not None:
+            meta["governor"] = self.governor.name
+            governor_params = self.governor.non_default_params()
+            if governor_params:
+                meta["governor_params"] = governor_params
         return meta
 
     # ------------------------------------------------------------------
@@ -485,6 +528,9 @@ class Experiment:
             "scenario": (
                 scenario_to_dict(self.scenario) if self.scenario is not None else None
             ),
+            "governor": (
+                self.governor.to_dict() if self.governor is not None else None
+            ),
         }
 
     @classmethod
@@ -494,6 +540,7 @@ class Experiment:
 
         workload = data.get("workload")
         scenario = data.get("scenario")
+        governor = data.get("governor")
         return cls(
             workload=(
                 WorkloadSpec(workload["kind"], workload["name"]) if workload else None
@@ -501,6 +548,7 @@ class Experiment:
             policy=PolicySpec.from_dict(data["policy"]),
             system=config_from_dict(data["system"]),
             scenario=scenario_from_dict(scenario) if scenario else None,
+            governor=GovernorSpec.from_dict(governor) if governor else None,
         )
 
 

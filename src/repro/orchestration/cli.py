@@ -7,7 +7,8 @@ Six subcommands drive the whole evaluation through the orchestrator:
   ``--spec experiments.json`` instead runs an explicit JSON list of
   serialised :class:`~repro.experiment.Experiment` specs (mixed
   alone/group/scenario runs welcome) through the store-backed
-  executor.
+  executor.  ``--dry-run`` prints the planned task list with per-task
+  store hit/miss status and runs nothing.
 * ``repro alone``    — profile benchmarks in isolation (Table 3).
 * ``repro report``   — render the figure tables from stored artifacts
   only (never simulates; tells you what to sweep if results are
@@ -25,9 +26,10 @@ Six subcommands drive the whole evaluation through the orchestrator:
 
 Every run-shaped command accepts ``--cores``, ``--refs-per-core``,
 ``--groups``, ``--policies`` and ``--threshold`` to select the slice
-of the evaluation, plus ``--store`` and ``--jobs`` for the
-orchestration knobs (``$REPRO_STORE`` / ``$REPRO_JOBS`` set the
-defaults).  Installed as a console script by ``setup.py``;
+of the evaluation, ``--governor``/``--governor-param`` to run it
+under a DVFS governor (see ``docs/energy.md``), plus ``--store`` and
+``--jobs`` for the orchestration knobs (``$REPRO_STORE`` /
+``$REPRO_JOBS`` set the defaults).  Installed as a console script by ``setup.py``;
 ``python -m repro`` is the equivalent for source checkouts.
 """
 
@@ -106,6 +108,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=None, metavar="T",
         help="override the takeover threshold (paper default 0.05)",
     )
+    selection.add_argument(
+        "--governor", default=None, metavar="NAME",
+        help="run group/scenario simulations under a DVFS governor "
+             "(fixed, ondemand, coordinated, or a registered third-party "
+             "name); default: none — the nominal-frequency machine",
+    )
+    selection.add_argument(
+        "--governor-param", action="append", default=None,
+        metavar="KEY=VALUE",
+        help="governor parameter binding, repeatable (e.g. "
+             "--governor coordinated --governor-param qos_slowdown=0.1); "
+             "values parse as JSON, falling back to plain strings",
+    )
 
     sweep = commands.add_parser(
         "sweep", parents=[common, selection],
@@ -125,6 +140,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "Experiment.to_dict format; see docs/api.md) instead of the "
              "--cores/--groups/--policies grid, printing one summary row "
              "per spec",
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true",
+        help="print the planned task list (alone-run dependencies "
+             "included) with per-task store hit/miss status and exit "
+             "without simulating anything",
     )
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -279,6 +300,38 @@ def _policies_from(options: argparse.Namespace) -> tuple[str, ...]:
     return chosen
 
 
+def _governor_from(options: argparse.Namespace):
+    """Build the selected :class:`GovernorSpec` (None when no
+    ``--governor`` was given)."""
+    import json
+
+    from repro.dvfs.governors import GovernorSpec, registered_governors
+
+    raw_params = options.governor_param or []
+    if options.governor is None:
+        if raw_params:
+            raise SystemExit(
+                "--governor-param requires --governor NAME "
+                f"(registered: {', '.join(registered_governors())})"
+            )
+        return None
+    params = {}
+    for binding in raw_params:
+        key, separator, value = binding.partition("=")
+        if not separator or not key:
+            raise SystemExit(
+                f"--governor-param must look like KEY=VALUE, got {binding!r}"
+            )
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    try:
+        return GovernorSpec(options.governor, **params)
+    except (TypeError, ValueError) as error:
+        raise SystemExit(f"bad --governor selection: {error}")
+
+
 def _store_from(options: argparse.Namespace) -> ResultStore:
     return ResultStore(options.store if options.store else default_store_path())
 
@@ -384,19 +437,24 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
     config = _config_from(options)
     groups = _groups_from(options)
     policies = _policies_from(options)
+    governor = _governor_from(options)
     store = _store_from(options)
     executor = SweepExecutor(
         store, resolve_jobs(options.jobs), progress=_progress
     )
     started = time.perf_counter()
-    experiments = Experiment.grid(config, groups, policies)
+    experiments = Experiment.grid(config, groups, policies, governor=governor)
+    if options.dry_run:
+        return _render_dry_run(executor, experiments, store)
     computed, cached = executor.prefetch(experiments)
     # Assemble directly through the runner: the prefetch above already
     # materialised every artifact, so re-running each spec is a pure
     # cache hit.
     results = {
         group: {
-            policy: executor.runner.run(Experiment(group, policy, config))
+            policy: executor.runner.run(
+                Experiment(group, policy, config, governor=governor)
+            )
             for policy in policies
         }
         for group in groups
@@ -413,10 +471,37 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
     return 0
 
 
+def _render_dry_run(
+    executor: SweepExecutor, experiments: list, store: ResultStore
+) -> int:
+    """``repro sweep --dry-run``: the planned task list, no simulation."""
+    plan = executor.plan_report(experiments)
+    print(f"{'status':<8}{'kind':<10}{'experiment':<44}{'key':<14}")
+    for experiment, cached in plan:
+        status = "hit" if cached else "miss"
+        print(
+            f"{status:<8}{experiment.kind:<10}{experiment.label:<44}"
+            f"{experiment.task_key()[:12]:<14}"
+        )
+    missing = sum(1 for _, cached in plan if not cached)
+    print(
+        f"\n{len(plan)} task(s) planned (alone-run dependencies "
+        f"included); {len(plan) - missing} cached in {store.root}, "
+        f"{missing} would be computed — dry run, nothing executed"
+    )
+    return 0
+
+
 def _cmd_sweep_spec(options: argparse.Namespace) -> int:
     """``repro sweep --spec FILE``: run serialised Experiment specs."""
     import json
 
+    if _governor_from(options) is not None:
+        raise SystemExit(
+            "--governor cannot be combined with --spec: each spec "
+            "document carries its own governor (the Experiment.to_dict "
+            "'governor' field)"
+        )
     with open(options.spec, "r", encoding="utf-8") as handle:
         documents = json.load(handle)
     if not isinstance(documents, list):
@@ -432,6 +517,8 @@ def _cmd_sweep_spec(options: argparse.Namespace) -> int:
     executor = SweepExecutor(
         store, resolve_jobs(options.jobs), progress=_progress
     )
+    if options.dry_run:
+        return _render_dry_run(executor, experiments, store)
     started = time.perf_counter()
     computed, cached = executor.prefetch(experiments)
     print(f"{'kind':<10}{'experiment':<38}{'key':<14}{'headline':<40}")
@@ -459,6 +546,12 @@ def _cmd_sweep_spec(options: argparse.Namespace) -> int:
 
 
 def _cmd_alone(options: argparse.Namespace) -> int:
+    if _governor_from(options) is not None:
+        raise SystemExit(
+            "alone runs always profile at the nominal frequency (no "
+            "--governor): IPC_alone is the QoS reference every DVFS "
+            "comparison is measured against"
+        )
     config = _config_from(options).alone()
     names = options.benchmarks or sorted(BENCHMARK_PROFILES)
     unknown = [name for name in names if name not in BENCHMARK_PROFILES]
@@ -488,6 +581,7 @@ def _cmd_report(options: argparse.Namespace) -> int:
     config = _config_from(options)
     groups = _groups_from(options)
     policies = _policies_from(options)
+    governor = _governor_from(options)
     store = _store_from(options)
     # Validate with get(), not has(): a corrupt artifact exists on disk
     # but reads as a miss, and report must refuse rather than silently
@@ -495,7 +589,7 @@ def _cmd_report(options: argparse.Namespace) -> int:
     missing: list[str] = []
     for group in groups:
         for policy in policies:
-            experiment = Experiment(group, policy, config)
+            experiment = Experiment(group, policy, config, governor=governor)
             if store.get(experiment.task_key()) is None:
                 missing.append(f"{group}/{policy}")
         for benchmark in group_benchmarks(group):
@@ -514,7 +608,9 @@ def _cmd_report(options: argparse.Namespace) -> int:
     runner = ExperimentRunner(store=store)
     results = {
         group: {
-            policy: runner.run(Experiment(group, policy, config))
+            policy: runner.run(
+                Experiment(group, policy, config, governor=governor)
+            )
             for policy in policies
         }
         for group in groups
@@ -538,6 +634,7 @@ def _cmd_scenario(options: argparse.Namespace) -> int:
 
     config = _config_from(options)
     policies = _policies_from(options)
+    governor = _governor_from(options)
     group = options.group or ("G2-1" if options.cores == 2 else "G4-1")
     benchmarks = group_benchmarks(group)
     if len(benchmarks) != config.n_cores:
@@ -573,7 +670,9 @@ def _cmd_scenario(options: argparse.Namespace) -> int:
         # measured window (the baseline is cached, so this is cheap on
         # re-runs and doubles as the comparison point below).
         probe = runner.run(
-            Experiment.for_scenario(static, system=config, policy=policies[0])
+            Experiment.for_scenario(
+                static, system=config, policy=policies[0], governor=governor
+            )
         )
         window_start = probe.end_cycle - probe.window_cycles
         event_cycle = window_start + int(
@@ -599,20 +698,27 @@ def _cmd_scenario(options: argparse.Namespace) -> int:
         "group": group,
         "n_cores": config.n_cores,
         "refs_per_core": config.refs_per_core,
+        "governor": governor.to_dict() if governor is not None else None,
         "runs": {},
     }
     for policy in policies:
         run = runner.run(
-            Experiment.for_scenario(scenario, system=config, policy=policy)
+            Experiment.for_scenario(
+                scenario, system=config, policy=policy, governor=governor
+            )
         )
         baseline = runner.run(
-            Experiment.for_scenario(static, system=config, policy=policy)
+            Experiment.for_scenario(
+                static, system=config, policy=policy, governor=governor
+            )
         )
         takeovers = sum(run.policy_stats.takeover_events.values())
         summary = {
             "static_energy_nj": run.static_energy_nj,
             "static_energy_nj_baseline": baseline.static_energy_nj,
             "dynamic_energy_nj": run.dynamic_energy_nj,
+            "core_energy_nj": run.core_energy_nj,
+            "total_energy_nj": run.total_energy_nj,
             "average_active_ways": run.average_active_ways,
             "min_powered_ways": run.min_powered_ways(),
             "initial_powered_ways": (

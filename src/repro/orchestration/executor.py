@@ -92,14 +92,22 @@ def normalize_task(task: "Experiment | tuple") -> Experiment:
 # ----------------------------------------------------------------------
 # Worker entry point (top-level so it pickles under spawn too)
 # ----------------------------------------------------------------------
-def _worker_run(store_root: str, experiment: Experiment, policy_module: str) -> str:
+def _worker_run(
+    store_root: str,
+    experiment: Experiment,
+    policy_module: str,
+    governor_module: str | None = None,
+) -> str:
     # Importing the registering module re-runs its @register_policy
     # decorator in this process — a no-op for built-ins (the registry
     # auto-imports those) but required for third-party policies when
-    # workers start via spawn and inherit nothing.
+    # workers start via spawn and inherit nothing.  The same applies
+    # to a third-party @register_governor module.
     import importlib
 
     importlib.import_module(policy_module)
+    if governor_module is not None:
+        importlib.import_module(governor_module)
     runner = ExperimentRunner(store=ResultStore(store_root))
     runner.run(experiment)
     return experiment.label
@@ -110,10 +118,22 @@ def _policy_module(experiment: Experiment) -> str:
     return experiment.policy.info.cls.__module__
 
 
+def _governor_module(experiment: Experiment) -> str | None:
+    """The module registering this spec's governor class (None when
+    the spec carries no governor)."""
+    if experiment.governor is None:
+        return None
+    return experiment.governor.info.cls.__module__
+
+
 def _pool_safe(experiment: Experiment) -> bool:
-    """Whether a worker process can rebuild this spec's policy class
-    (``__main__`` registrations exist only in the parent)."""
-    return _policy_module(experiment) != "__main__"
+    """Whether a worker process can rebuild this spec's policy and
+    governor classes (``__main__`` registrations exist only in the
+    parent)."""
+    return (
+        _policy_module(experiment) != "__main__"
+        and _governor_module(experiment) != "__main__"
+    )
 
 
 class SweepExecutor:
@@ -171,6 +191,28 @@ class SweepExecutor:
             if self.runner.cached(experiment) is None
         ]
         return alone_pending, main_pending, total
+
+    def plan_report(
+        self, tasks: Iterable["Experiment | tuple"]
+    ) -> list[tuple[Experiment, bool]]:
+        """The full planned task list with per-task store status.
+
+        Returns ``(experiment, cached)`` pairs in execution order —
+        alone-phase dependencies first, then the main specs — without
+        running anything.  ``repro sweep --dry-run`` renders this.
+        """
+        alone: dict[str, Experiment] = {}
+        main: dict[str, Experiment] = {}
+        for task in tasks:
+            experiment = normalize_task(task)
+            bucket = alone if experiment.kind == "alone" else main
+            bucket.setdefault(experiment.task_key(), experiment)
+            for dependency in experiment.alone_dependencies():
+                alone.setdefault(dependency.task_key(), dependency)
+        return [
+            (experiment, self.runner.cached(experiment) is not None)
+            for experiment in (*alone.values(), *main.values())
+        ]
 
     # ------------------------------------------------------------------
     # Execution
@@ -246,6 +288,7 @@ class SweepExecutor:
                         store_root,
                         experiment,
                         _policy_module(experiment),
+                        _governor_module(experiment),
                     ): experiment
                     for experiment in pooled
                 }

@@ -222,6 +222,13 @@ def run_result_to_dict(run: RunResult) -> dict[str, Any]:
         payload["scenario"] = run.scenario
     if run.timeline:
         payload["timeline"] = [sample.to_dict() for sample in run.timeline]
+    # DVFS fields are emitted only for runs that carried a governor,
+    # so pre-DVFS artifacts and golden fixtures keep their exact
+    # historical byte layout.
+    if run.governor is not None:
+        payload["governor"] = run.governor
+        payload["core_dynamic_energy_nj"] = run.core_dynamic_energy_nj
+        payload["core_static_energy_nj"] = run.core_static_energy_nj
     return payload
 
 
@@ -246,6 +253,9 @@ def run_result_from_dict(data: dict[str, Any]) -> RunResult:
             TimelineSample.from_dict(sample)
             for sample in data.get("timeline", [])
         ],
+        governor=data.get("governor"),
+        core_dynamic_energy_nj=data.get("core_dynamic_energy_nj", 0.0),
+        core_static_energy_nj=data.get("core_static_energy_nj", 0.0),
     )
 
 

@@ -29,12 +29,14 @@ from repro.scenarios.model import (
 )
 from repro.scenarios.timeline import (
     TimelineSample,
+    frequency_series,
     min_powered_ways,
     powered_ways_dropped,
     powered_ways_series,
     render_timeline,
     samples_with_events,
     static_energy_deltas,
+    voltage_series,
 )
 
 __all__ = [
@@ -48,6 +50,7 @@ __all__ = [
     "consolidation_scenario",
     "core_arrive",
     "core_depart",
+    "frequency_series",
     "min_powered_ways",
     "phase_change",
     "phased_scenario",
@@ -56,4 +59,5 @@ __all__ = [
     "render_timeline",
     "samples_with_events",
     "static_energy_deltas",
+    "voltage_series",
 ]

@@ -38,10 +38,23 @@ class TimelineSample:
     dynamic_energy_nj: float
     #: labels of schedule events applied at this cycle ("" = epoch tick)
     events: tuple[str, ...] = field(default_factory=tuple)
+    #: per-slot core frequency in MHz (DVFS runs only; 0 = gated core,
+    #: empty tuple = run without a governor)
+    frequencies_mhz: tuple[int, ...] = field(default_factory=tuple)
+    #: per-slot core voltage in mV (parallel to ``frequencies_mhz``)
+    voltages_mv: tuple[int, ...] = field(default_factory=tuple)
+    #: core dynamic + static energy integrated up to this cycle (DVFS
+    #: runs only; 0.0 without a governor)
+    core_energy_nj: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready representation (lossless)."""
-        return {
+        """JSON-ready representation (lossless).
+
+        The DVFS fields are emitted only when a governor produced
+        them, so pre-DVFS artifacts and fixtures keep their exact
+        historical shape.
+        """
+        payload = {
             "cycle": self.cycle,
             "active_cores": list(self.active_cores),
             "allocations": list(self.allocations),
@@ -50,6 +63,11 @@ class TimelineSample:
             "dynamic_energy_nj": self.dynamic_energy_nj,
             "events": list(self.events),
         }
+        if self.frequencies_mhz:
+            payload["frequencies_mhz"] = list(self.frequencies_mhz)
+            payload["voltages_mv"] = list(self.voltages_mv)
+            payload["core_energy_nj"] = self.core_energy_nj
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TimelineSample":
@@ -62,6 +80,9 @@ class TimelineSample:
             static_energy_nj=data["static_energy_nj"],
             dynamic_energy_nj=data["dynamic_energy_nj"],
             events=tuple(data["events"]),
+            frequencies_mhz=tuple(data.get("frequencies_mhz", ())),
+            voltages_mv=tuple(data.get("voltages_mv", ())),
+            core_energy_nj=data.get("core_energy_nj", 0.0),
         )
 
 
@@ -94,6 +115,29 @@ def samples_with_events(
     return [sample for sample in timeline if sample.events]
 
 
+def frequency_series(
+    timeline: Sequence[TimelineSample],
+) -> list[tuple[int, tuple[int, ...]]]:
+    """``(cycle, per-core frequency MHz)`` pairs in time order (DVFS
+    runs; empty for runs without a governor)."""
+    return [
+        (sample.cycle, sample.frequencies_mhz)
+        for sample in timeline
+        if sample.frequencies_mhz
+    ]
+
+
+def voltage_series(
+    timeline: Sequence[TimelineSample],
+) -> list[tuple[int, tuple[int, ...]]]:
+    """``(cycle, per-core voltage mV)`` pairs in time order."""
+    return [
+        (sample.cycle, sample.voltages_mv)
+        for sample in timeline
+        if sample.voltages_mv
+    ]
+
+
 def static_energy_deltas(timeline: Sequence[TimelineSample]) -> list[float]:
     """Per-interval static energy between consecutive samples."""
     deltas: list[float] = []
@@ -103,17 +147,29 @@ def static_energy_deltas(timeline: Sequence[TimelineSample]) -> list[float]:
 
 
 def render_timeline(timeline: Sequence[TimelineSample], ways: int) -> str:
-    """Fixed-width text table of a timeline (CLI / example output)."""
-    lines = [
+    """Fixed-width text table of a timeline (CLI / example output).
+
+    A frequency column appears automatically when the run carried a
+    DVFS governor (any sample with a recorded frequency series).
+    """
+    with_dvfs = any(sample.frequencies_mhz for sample in timeline)
+    header = (
         f"{'cycle':>12} {'active':<14} {'allocs':<20} "
-        f"{'powered':>8} {'static nJ':>12}  events"
-    ]
+        f"{'powered':>8} {'static nJ':>12}"
+    )
+    if with_dvfs:
+        header += f" {'MHz':<20} {'core nJ':>12}"
+    lines = [header + "  events"]
     for sample in timeline:
         active = ",".join(str(c) for c in sample.active_cores) or "-"
         allocations = "/".join(str(a) for a in sample.allocations)
         events = " ".join(sample.events)
-        lines.append(
+        line = (
             f"{sample.cycle:>12} {active:<14} {allocations:<20} "
-            f"{sample.powered_ways:>5}/{ways:<2} {sample.static_energy_nj:>12.1f}  {events}"
+            f"{sample.powered_ways:>5}/{ways:<2} {sample.static_energy_nj:>12.1f}"
         )
+        if with_dvfs:
+            mhz = "/".join(str(f) for f in sample.frequencies_mhz) or "-"
+            line += f" {mhz:<20} {sample.core_energy_nj:>12.1f}"
+        lines.append(line + f"  {events}")
     return "\n".join(lines)

@@ -227,7 +227,11 @@ class ExperimentRunner:
         if experiment.policy.info.profile_kwarg is not None:
             profiles = self._profiles_for(experiment, benchmarks)
         simulator = CMPSimulator(
-            config, traces, experiment.policy, cpe_profiles=profiles
+            config,
+            traces,
+            experiment.policy,
+            cpe_profiles=profiles,
+            governor=experiment.governor,
         )
         return simulator.run()
 
@@ -246,6 +250,7 @@ class ExperimentRunner:
             lambda benchmark: self.trace_for(benchmark, config),
             cpe_profiles=profiles,
             collect_timeline=True,
+            governor=experiment.governor,
         )
         return simulator.run()
 

@@ -29,6 +29,19 @@ and a phase change swaps the core's reference stream in place.
 Dynamic runs additionally record a per-epoch/per-event
 :class:`~repro.scenarios.timeline.TimelineSample` series.
 
+DVFS.  A run may carry a :class:`~repro.dvfs.governors.GovernorSpec`:
+each core then executes at a discrete operating point from the
+machine's :class:`~repro.dvfs.model.VFTable`, chosen per epoch by the
+governor (after the partitioning decision, so the two controllers
+cooperate).  Core-clock work — issue gaps and L1 hits — stretches
+with the core's cycle time while the shared LLC and memory stay on
+the nominal clock, and per-interval core energy (V² dynamic,
+V-scaled leakage) is charged through
+:class:`~repro.dvfs.state.DvfsState` at every monotone boundary.
+Without a governor the DVFS state is never allocated and the loop
+executes the historical arithmetic bit-for-bit (pinned by the golden
+suite).
+
 Hot-path notes.  ``run`` is written for throughput and is
 allocation-free per reference: the next core comes from a two-way
 compare (2 cores), a plain read (1 core) or a heap (3+; always a heap
@@ -51,6 +64,8 @@ from repro.cache.cache_set import NO_TAG
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.memory import MainMemory
 from repro.cache.set_associative import SetAssociativeCache
+from repro.dvfs.governors import GovernorSpec
+from repro.dvfs.state import DvfsState
 from repro.energy.accounting import EnergyAccounting
 from repro.energy.cacti import CactiEnergyModel
 from repro.monitor.sampling import SetSampler
@@ -81,6 +96,7 @@ class CMPSimulator:
         scenario: Scenario | None = None,
         phase_traces: dict[str, Trace] | None = None,
         collect_timeline: bool | None = None,
+        governor: GovernorSpec | str | None = None,
     ) -> None:
         if len(traces) != config.n_cores:
             raise ValueError(
@@ -106,8 +122,15 @@ class CMPSimulator:
         self._scenario_dynamic = bool(self._pending_events) or any(
             not core.active for core in self.cores
         )
+        #: per-core V/f machinery; None = nominal-frequency machine
+        #: (the historical model, bit-identical by construction)
+        self.dvfs: DvfsState | None = (
+            DvfsState(governor, config) if governor is not None else None
+        )
         if collect_timeline is None:
-            collect_timeline = self._scenario_dynamic
+            # DVFS runs always record a timeline: the per-epoch
+            # frequency/voltage series is the result's whole point.
+            collect_timeline = self._scenario_dynamic or self.dvfs is not None
         self._timeline: list[TimelineSample] | None = (
             [] if collect_timeline else None
         )
@@ -183,6 +206,8 @@ class CMPSimulator:
             for core in self.cores:
                 if not core.active:
                     self.policy.on_core_idle(core.core_id, 0)
+                    if self.dvfs is not None:
+                        self.dvfs.gate_core(core.core_id)
 
     @staticmethod
     def _check_traces(
@@ -226,6 +251,7 @@ class CMPSimulator:
         cpe_profiles: list[list] | None = None,
         collect_curves: bool = False,
         collect_timeline: bool | None = None,
+        governor: GovernorSpec | str | None = None,
     ) -> "CMPSimulator":
         """Build a simulator for ``scenario``, fetching traces on demand.
 
@@ -250,6 +276,7 @@ class CMPSimulator:
             scenario=scenario,
             phase_traces=phase_traces,
             collect_timeline=collect_timeline,
+            governor=governor,
         )
 
     # ------------------------------------------------------------------
@@ -295,6 +322,14 @@ class CMPSimulator:
         l1_writebacks = self._l1_writebacks
         policy_access = self._policy_access
         miss_latency = self._miss_latency
+        # DVFS bindings: with a governor, core-clock work is scaled by
+        # the per-core timing rows and LLC+memory stall is accumulated
+        # for the governors' slowdown model.  Without one these stay
+        # None and every expression below is the historical arithmetic.
+        dvfs = self.dvfs
+        dvfs_entries = dvfs.entries if dvfs is not None else None
+        dvfs_stall = dvfs.stall if dvfs is not None else None
+        l2_latency = self.config.l2_latency
 
         events = self._pending_events
         event_index = 0
@@ -358,6 +393,11 @@ class CMPSimulator:
                     stamp = when if when >= now else now
                     if stamp < clock:
                         stamp = clock
+                    if dvfs is not None:
+                        # Close the energy interval at the levels the
+                        # cores actually ran at before an event gates
+                        # or re-activates anything.
+                        dvfs.charge_to(stamp, cores, self.energy)
                     closed = 0
                     labels: list[str] = []
                     while (
@@ -396,7 +436,18 @@ class CMPSimulator:
             gap = core.gaps[position]
             address = core.addresses[position]
             is_write = core.writes[position]
-            issue_time = now + (gap >> issue_shift)
+            if dvfs_entries is None:
+                issue_time = now + (gap >> issue_shift)
+                hit_latency = l1_latency
+                miss_base = miss_latency
+            else:
+                # Core-clock work stretches by num/den; the LLC keeps
+                # its own clock (the l2 term inside miss_base and the
+                # memory latency below are nominal cycles).
+                entry = dvfs_entries[core.core_id]
+                issue_time = now + (gap >> issue_shift) * entry[0] // entry[1]
+                hit_latency = entry[2]
+                miss_base = entry[3]
 
             # Inlined L1 lookup — the hit path touches three integers
             # and returns to the scheduler without another frame.
@@ -410,7 +461,7 @@ class CMPSimulator:
                 if is_write:
                     cset.dirty[way] = 1
                 l1_hits[core.core_id] += 1
-                core.time = issue_time + l1_latency
+                core.time = issue_time + hit_latency
             else:
                 # Inlined L1 miss path — a verbatim copy of _l1_miss
                 # (worth one frame per miss at this call frequency).
@@ -452,7 +503,9 @@ class CMPSimulator:
                     policy_access(
                         core_id, (old_tag << l1_shift) | set_index, True, issue_time
                     )
-                core.time = issue_time + miss_latency + memory_latency
+                core.time = issue_time + miss_base + memory_latency
+                if dvfs_stall is not None:
+                    dvfs_stall[core_id] += l2_latency + memory_latency
             core.instructions += gap + 1
             position += 1
             core.position = 0 if position == core.length else position
@@ -483,6 +536,8 @@ class CMPSimulator:
             # silently dropped, so the cached artifact and the timeline
             # honestly reflect the full schedule.
             stamp = end_cycle if end_cycle >= clock else clock
+            if dvfs is not None:
+                dvfs.charge_to(stamp, cores, self.energy)
             labels = []
             while event_index < n_events:
                 event = events[event_index]
@@ -497,6 +552,8 @@ class CMPSimulator:
                 self._record_sample(stamp, labels)
             if stamp > end_cycle:
                 end_cycle = stamp
+        if dvfs is not None:
+            dvfs.charge_to(end_cycle, cores, self.energy)
         self.energy.finalize(end_cycle)
         note_pending = getattr(self.policy, "note_pending", None)
         if note_pending is not None:
@@ -514,6 +571,10 @@ class CMPSimulator:
             self.policy.on_core_active(event.core, when)
             core.active = True
             core.time = when
+            if self.dvfs is not None:
+                # The arrival executes at the governor-chosen operating
+                # point from its very first (warming) access.
+                self.dvfs.activate_core(event.core, when, core.instructions)
             self._warm_core(core)
             if self._warmup == 0:
                 core.start_measurement()
@@ -533,6 +594,11 @@ class CMPSimulator:
             core.active = False
             core.departed = True
             self.policy.on_core_idle(event.core, when)
+            if self.dvfs is not None:
+                # The energy interval up to ``when`` was already closed
+                # at the event boundary; from here the core's V/f is
+                # gated and it contributes zero core energy.
+                self.dvfs.gate_core(event.core)
             return closed
         # PHASE: swap the reference stream in place; counters continue.
         trace = self._phase_traces[event.benchmark]
@@ -549,6 +615,7 @@ class CMPSimulator:
     def _record_sample(self, cycle: int, labels: list[str] | tuple = ()) -> None:
         """Append one timeline observation (never mutates sim state)."""
         policy = self.policy
+        dvfs = self.dvfs
         self._timeline.append(
             TimelineSample(
                 cycle=cycle,
@@ -560,6 +627,13 @@ class CMPSimulator:
                 static_energy_nj=self.energy.static_nj_at(cycle),
                 dynamic_energy_nj=self.energy.dynamic_nj,
                 events=tuple(labels),
+                frequencies_mhz=(
+                    dvfs.frequencies_mhz() if dvfs is not None else ()
+                ),
+                voltages_mv=dvfs.voltages_mv() if dvfs is not None else (),
+                core_energy_nj=(
+                    self.energy.core_energy_nj if dvfs is not None else 0.0
+                ),
             )
         )
 
@@ -620,7 +694,12 @@ class CMPSimulator:
             victim_address = (old_tag << self._l1_shift) | set_index
             self._l1_writebacks[core_id] += 1
             policy_access(core_id, victim_address, True, now)
-        return self._miss_latency + memory_latency
+        dvfs = self.dvfs
+        if dvfs is None:
+            return self._miss_latency + memory_latency
+        entry = dvfs.entries[core_id]
+        dvfs.stall[core_id] += self.config.l2_latency + memory_latency
+        return entry[3] + memory_latency
 
     # ------------------------------------------------------------------
     def _prewarm(self) -> None:
@@ -641,13 +720,17 @@ class CMPSimulator:
         """
         l1_mask = self._l1_mask
         l1_shift = self._l1_shift
-        l1_latency = self.hierarchy.l1_latency
         l1_hits = self.hierarchy.l1_hits
         miss = self._l1_miss
         warm_one = self._warm_access
-        # [core, cursor, lines, length] per core with warming to do.
+        # [core, cursor, lines, length, hit_cost] per core with warming
+        # to do (the hit cost is the core's scaled L1 latency when the
+        # run carries a governor).
         active = [
-            [core, 0, core.warm_lines, len(core.warm_lines)]
+            [
+                core, 0, core.warm_lines, len(core.warm_lines),
+                self._l1_hit_cost(core.core_id),
+            ]
             for core in self.cores
             if core.active and len(core.warm_lines)
         ]
@@ -657,7 +740,7 @@ class CMPSimulator:
                 cursor = entry[1]
                 warm_one(
                     entry[0], entry[2][cursor],
-                    l1_mask, l1_shift, l1_latency, l1_hits, miss,
+                    l1_mask, l1_shift, entry[4], l1_hits, miss,
                 )
                 cursor += 1
                 entry[1] = cursor
@@ -665,6 +748,13 @@ class CMPSimulator:
                     drained = True
             if drained:
                 active = [entry for entry in active if entry[1] < entry[3]]
+
+    def _l1_hit_cost(self, core_id: int) -> int:
+        """The L1 hit latency of ``core_id`` at its current operating
+        point (the nominal latency without a governor)."""
+        if self.dvfs is None:
+            return self.hierarchy.l1_latency
+        return self.dvfs.entries[core_id][2]
 
     @staticmethod
     def _warm_access(
@@ -705,11 +795,11 @@ class CMPSimulator:
         warm_one = self._warm_access
         l1_mask = self._l1_mask
         l1_shift = self._l1_shift
-        l1_latency = self.hierarchy.l1_latency
+        hit_cost = self._l1_hit_cost(core.core_id)
         l1_hits = self.hierarchy.l1_hits
         miss = self._l1_miss
         for address in core.warm_lines:
-            warm_one(core, address, l1_mask, l1_shift, l1_latency, l1_hits, miss)
+            warm_one(core, address, l1_mask, l1_shift, hit_cost, l1_hits, miss)
 
     def _run_epoch(self, now: int) -> bool:
         """Partitioning decision at a global epoch boundary.
@@ -719,7 +809,16 @@ class CMPSimulator:
         """
         if self.collect_curves and self.monitors:
             self.epoch_curves.append(self.monitors[0].miss_curve())
+        if self.dvfs is not None:
+            # Close the interval at the levels it actually ran at,
+            # *before* the governor moves anything.
+            self.dvfs.charge_to(now, self.cores, self.energy)
         self.policy.epoch(now)
+        if self.dvfs is not None:
+            # The governor decides after the partitioning decision:
+            # next epoch's stall telemetry reflects the allocation the
+            # partitioner just made, which is the coordination loop.
+            self.dvfs.epoch(now, self.cores, self.policy.way_allocations())
         if self._timeline is not None and self._measuring:
             self._record_sample(now)
         stall = getattr(self.policy, "pending_stall", 0)
@@ -743,6 +842,8 @@ class CMPSimulator:
             default=max(core.time for core in self.cores),
         )
         self.energy.reset_window(now)
+        if self.dvfs is not None:
+            self.dvfs.reset_window(now, self.cores)
         # Zero the L1 counters in place: the run loop holds direct
         # references to these lists.
         hierarchy = self.hierarchy
@@ -792,4 +893,9 @@ class CMPSimulator:
             epoch_curves=self.epoch_curves,
             scenario=self.scenario.name,
             timeline=self._timeline if self._timeline is not None else [],
+            governor=(
+                self.dvfs.spec.name if self.dvfs is not None else None
+            ),
+            core_dynamic_energy_nj=self.energy.core_dynamic_nj,
+            core_static_energy_nj=self.energy.core_static_nj,
         )

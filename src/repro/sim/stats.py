@@ -68,11 +68,28 @@ class RunResult:
     #: per-epoch/per-event machine observations (scenario runs only;
     #: empty for classic static runs unless explicitly requested)
     timeline: list[TimelineSample] = field(default_factory=list)
+    #: governor short name of a DVFS run (None = nominal frequency)
+    governor: str | None = None
+    #: V²-scaled core dynamic energy (DVFS runs; 0.0 without a governor)
+    core_dynamic_energy_nj: float = 0.0
+    #: V-scaled core leakage energy (DVFS runs; 0.0 without a governor)
+    core_static_energy_nj: float = 0.0
+
+    @property
+    def core_energy_nj(self) -> float:
+        """Total core-side energy (0.0 for runs without a governor)."""
+        return self.core_dynamic_energy_nj + self.core_static_energy_nj
 
     @property
     def total_energy_nj(self) -> float:
-        """Dynamic plus static energy."""
-        return self.dynamic_energy_nj + self.static_energy_nj
+        """LLC dynamic + LLC static + core energy.
+
+        For a run without a governor the core terms are exactly 0.0,
+        so this remains the historical LLC-only total.
+        """
+        return (
+            self.dynamic_energy_nj + self.static_energy_nj + self.core_energy_nj
+        )
 
     @property
     def dynamic_energy_per_kiloinstruction(self) -> float:
@@ -146,3 +163,12 @@ class RunResult:
     def timeline_events(self) -> list[TimelineSample]:
         """Samples recorded because a schedule event fired."""
         return timeline_helpers.samples_with_events(self.timeline)
+
+    def frequency_series(self) -> list[tuple[int, tuple[int, ...]]]:
+        """``(cycle, per-core MHz)`` pairs from the recorded timeline
+        (DVFS runs; empty without a governor)."""
+        return timeline_helpers.frequency_series(self.timeline)
+
+    def voltage_series(self) -> list[tuple[int, tuple[int, ...]]]:
+        """``(cycle, per-core mV)`` pairs from the recorded timeline."""
+        return timeline_helpers.voltage_series(self.timeline)

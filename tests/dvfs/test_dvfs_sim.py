@@ -1,0 +1,324 @@
+"""End-to-end DVFS behaviour through the simulator and runner.
+
+Covers the tentpole's contracts:
+
+* the degenerate paths — no governor is bit-identical to history
+  (also pinned by the golden suite), and the ``fixed`` nominal
+  governor reproduces the same *performance* while adding core energy;
+* frequency-aware timing — slower operating points stretch core-clock
+  work but not LLC/memory latency;
+* scenario interaction — an arrival starts at the governor-chosen
+  frequency, a departure gates the core's V/f and contributes zero
+  core energy afterward;
+* the QoS property — total energy is monotone non-increasing as the
+  coordinated governor's slowdown budget loosens.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Experiment, ExperimentRunner, GovernorSpec
+from repro.dvfs.model import CoreEnergyModel, default_vf_table
+from repro.orchestration.serialize import run_result_to_dict
+from repro.scenarios.model import arrival_scenario, consolidation_scenario
+
+#: one runner for the whole module so traces and results are shared
+#: across tests (specs are values; equal specs cache-hit)
+_RUNNER = ExperimentRunner()
+
+
+def _group_run(config, policy="cooperative", governor=None):
+    return _RUNNER.run(
+        Experiment("G2-4", policy, config, governor=governor)
+    )
+
+
+# ----------------------------------------------------------------------
+# Degenerate paths
+# ----------------------------------------------------------------------
+class TestDegeneratePaths:
+    def test_no_governor_has_no_dvfs_surface(self, tiny_two_core):
+        run = _group_run(tiny_two_core)
+        assert run.governor is None
+        assert run.core_dynamic_energy_nj == 0.0
+        assert run.core_static_energy_nj == 0.0
+        assert run.total_energy_nj == (
+            run.dynamic_energy_nj + run.static_energy_nj
+        )
+        payload = run_result_to_dict(run)
+        assert "governor" not in payload
+        assert "core_dynamic_energy_nj" not in payload
+
+    def test_fixed_nominal_same_performance_plus_core_energy(
+        self, tiny_two_core
+    ):
+        """Level 0 is the historical machine: identical timing and LLC
+        energy, with the core energy model layered on top."""
+        plain = _group_run(tiny_two_core)
+        nominal = _group_run(tiny_two_core, governor=GovernorSpec("fixed"))
+        assert [c.cycles for c in nominal.cores] == [
+            c.cycles for c in plain.cores
+        ]
+        assert [c.instructions for c in nominal.cores] == [
+            c.instructions for c in plain.cores
+        ]
+        assert nominal.end_cycle == plain.end_cycle
+        assert nominal.dynamic_energy_nj == plain.dynamic_energy_nj
+        assert nominal.static_energy_nj == plain.static_energy_nj
+        assert nominal.governor == "fixed"
+        assert nominal.core_dynamic_energy_nj > 0.0
+        assert nominal.core_static_energy_nj > 0.0
+
+    def test_fixed_nominal_core_energy_matches_model_exactly(
+        self, tiny_two_core
+    ):
+        """With no warmup and no level changes the integrals collapse
+        to closed forms: leakage x window x cores and EPI x window
+        instructions.  (With a warmup, per-core IPC windows open before
+        the global energy reset, so ``window_instructions`` and the
+        charged instructions deliberately differ — exactly as the LLC
+        energy window does.)"""
+        import dataclasses
+
+        config = dataclasses.replace(tiny_two_core, warmup_refs=0)
+        run = _group_run(config, governor=GovernorSpec("fixed"))
+        model = CoreEnergyModel(default_vf_table())
+        expected_static = (
+            model.leakage_nj_per_cycle[0]
+            * run.window_cycles
+            * config.n_cores
+        )
+        assert run.core_static_energy_nj == pytest.approx(
+            expected_static, rel=1e-9
+        )
+        expected_dynamic = (
+            model.dynamic_nj_per_instr[0] * run.window_instructions
+        )
+        assert run.core_dynamic_energy_nj == pytest.approx(
+            expected_dynamic, rel=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Frequency-aware timing
+# ----------------------------------------------------------------------
+class TestFrequencyAwareTiming:
+    def test_slower_clock_stretches_the_run(self, tiny_two_core):
+        nominal = _group_run(tiny_two_core, governor=GovernorSpec("fixed"))
+        slow = _group_run(
+            tiny_two_core, governor=GovernorSpec("fixed", freq_mhz=800)
+        )
+        assert slow.end_cycle > nominal.end_cycle
+        for fast_core, slow_core in zip(nominal.cores, slow.cores):
+            assert slow_core.cycles > fast_core.cycles
+            assert slow_core.instructions == fast_core.instructions
+            # The LLC stays on its own clock, so the slowdown is far
+            # below the 2.5x a pure core-clock model would give.
+            assert slow_core.cycles < fast_core.cycles * 2.5
+
+    def test_slower_clock_saves_core_energy(self, tiny_two_core):
+        nominal = _group_run(tiny_two_core, governor=GovernorSpec("fixed"))
+        slow = _group_run(
+            tiny_two_core, governor=GovernorSpec("fixed", freq_mhz=800)
+        )
+        assert slow.core_dynamic_energy_nj < nominal.core_dynamic_energy_nj
+        assert slow.total_energy_nj < nominal.total_energy_nj
+
+    def test_timeline_records_the_vf_series(self, tiny_two_core):
+        run = _group_run(
+            tiny_two_core, governor=GovernorSpec("fixed", freq_mhz=1200)
+        )
+        assert run.timeline, "DVFS runs must record a timeline"
+        for sample in run.timeline:
+            assert sample.frequencies_mhz == (1200, 1200)
+            assert sample.voltages_mv == (900, 900)
+        series = run.frequency_series()
+        assert series and all(f == (1200, 1200) for _, f in series)
+        energy = [sample.core_energy_nj for sample in run.timeline]
+        assert all(b >= a for a, b in zip(energy, energy[1:]))
+
+
+# ----------------------------------------------------------------------
+# Scenario interaction
+# ----------------------------------------------------------------------
+class TestScenarioInteraction:
+    def _scenario_run(self, config, scenario, governor):
+        return _RUNNER.run(
+            Experiment.for_scenario(
+                scenario, system=config, policy="cooperative",
+                governor=governor,
+            )
+        )
+
+    def _mid_window_cycle(self, config):
+        """A cycle safely inside the measured window (probe-calibrated,
+        like the CLI presets), so depart events actually fire mid-run."""
+        from repro.scenarios.model import Scenario
+
+        probe = self._scenario_run(
+            config,
+            Scenario.static(("lbm", "povray"), name="dvfs-probe"),
+            GovernorSpec("fixed"),
+        )
+        window_start = probe.end_cycle - probe.window_cycles
+        return window_start + probe.window_cycles // 3
+
+    def test_arrival_starts_at_governor_chosen_frequency(self, tiny_two_core):
+        """Before the arrival the slot is gated (0 MHz); from the
+        arrival boundary it runs at the governor's chosen point."""
+        scenario = arrival_scenario(
+            ("lbm", "povray"), late_core=1, arrive_cycle=800_000,
+            name="dvfs-arrival",
+        )
+        run = self._scenario_run(
+            tiny_two_core, scenario, GovernorSpec("fixed", freq_mhz=1200)
+        )
+        arrival_cycle = next(
+            sample.cycle
+            for sample in run.timeline
+            if any("arrive:core1" in event for event in sample.events)
+        )
+        for sample in run.timeline:
+            if sample.cycle < arrival_cycle:
+                assert sample.frequencies_mhz[1] == 0, sample
+            if sample.cycle >= arrival_cycle:
+                assert sample.frequencies_mhz[1] == 1200, sample
+            assert sample.frequencies_mhz[0] == 1200, sample
+
+    def test_departure_gates_frequency(self, tiny_two_core):
+        scenario = consolidation_scenario(
+            ("lbm", "povray"), [1], self._mid_window_cycle(tiny_two_core),
+            name="dvfs-depart",
+        )
+        run = self._scenario_run(
+            tiny_two_core, scenario, GovernorSpec("fixed")
+        )
+        depart_cycle = next(
+            sample.cycle
+            for sample in run.timeline
+            if any("depart:core1" in event for event in sample.events)
+        )
+        seen_after = False
+        for sample in run.timeline:
+            if sample.cycle < depart_cycle:
+                assert sample.frequencies_mhz[1] == 2000, sample
+            if sample.cycle >= depart_cycle:
+                assert sample.frequencies_mhz[1] == 0, sample
+                assert sample.voltages_mv[1] == 0, sample
+                seen_after = True
+        assert seen_after
+
+    def test_departed_core_contributes_zero_core_energy(self, tiny_two_core):
+        """From the departure boundary on, only the survivor's V/f
+        draws energy: the departing run leaks strictly less than the
+        no-departure schedule, and the post-departure core-energy
+        slope never reaches two cores' worth of leakage."""
+        from repro.scenarios.model import Scenario
+
+        depart_cycle = self._mid_window_cycle(tiny_two_core)
+        scenario = consolidation_scenario(
+            ("lbm", "povray"), [1], depart_cycle, name="dvfs-depart"
+        )
+        run = self._scenario_run(
+            tiny_two_core, scenario, GovernorSpec("fixed")
+        )
+        static = self._scenario_run(
+            tiny_two_core,
+            Scenario.static(("lbm", "povray"), name="dvfs-probe"),
+            GovernorSpec("fixed"),
+        )
+        # The departing run leaks strictly less than the same workload
+        # without the departure.
+        assert run.core_static_energy_nj < static.core_static_energy_nj
+        # Exact closed form: with the fixed nominal governor, static
+        # core energy is two cores' leakage up to the departure stamp
+        # and exactly ONE core's from there to run end — any residual
+        # leakage of the departed core would break this equality.
+        model = CoreEnergyModel(default_vf_table())
+        leak = model.leakage_nj_per_cycle[0]
+        depart_stamp = next(
+            sample.cycle
+            for sample in run.timeline
+            if any("depart:core1" in event for event in sample.events)
+        )
+        window_start = run.end_cycle - run.window_cycles
+        expected = leak * (
+            2 * (depart_stamp - window_start)
+            + (run.end_cycle - depart_stamp)
+        )
+        assert run.core_static_energy_nj == pytest.approx(expected, rel=1e-9)
+
+    def test_coordinated_governor_keeps_qos_through_a_departure(
+        self, tiny_two_core
+    ):
+        """QoS × scenario: with a mid-run departure, the coordinated
+        governor still keeps the survivor's DVFS-attributable slowdown
+        within budget (measured against the same schedule at the
+        nominal frequency), while spending less total energy."""
+        scenario = consolidation_scenario(
+            ("lbm", "povray"), [1], self._mid_window_cycle(tiny_two_core),
+            name="dvfs-depart",
+        )
+        budget = 0.15
+        governed = self._scenario_run(
+            tiny_two_core,
+            scenario,
+            GovernorSpec("coordinated", qos_slowdown=budget),
+        )
+        nominal = self._scenario_run(
+            tiny_two_core, scenario, GovernorSpec("fixed")
+        )
+        survivor_slowdown = (
+            governed.cores[0].cycles / nominal.cores[0].cycles
+        )
+        assert survivor_slowdown <= 1.0 + budget + 0.02
+        assert governed.total_energy_nj < nominal.total_energy_nj
+        # The departed slot stays gated under both governors.
+        assert governed.timeline[-1].frequencies_mhz[1] == 0
+
+
+# ----------------------------------------------------------------------
+# The QoS property
+# ----------------------------------------------------------------------
+#: budgets drawn from a fixed menu so hypothesis examples cache-hit
+#: the module runner instead of simulating fresh every time
+_BUDGETS = (0.0, 0.02, 0.05, 0.10, 0.15, 0.25, 0.40, 0.80)
+
+
+class TestQosEnergyMonotone:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        loose=st.sampled_from(_BUDGETS),
+        tight=st.sampled_from(_BUDGETS),
+        group=st.sampled_from(("G2-4", "G2-8")),
+    )
+    def test_total_energy_monotone_in_qos_slack(self, loose, tight, group):
+        """Loosening the coordinated governor's slowdown budget never
+        costs total (LLC + core) energy: more slack admits lower V/f
+        points, the V² dynamic savings dominate the extra leakage of
+        the stretched run, and finished cores race to the bottom of
+        the ladder instead of spinning wrap-around work at nominal.
+
+        Budgets come from a fixed menu so hypothesis examples reuse
+        the module runner's cache — at most one simulation per
+        (group, budget) across the whole test."""
+        if loose < tight:
+            loose, tight = tight, loose
+        from repro.sim.config import scaled_two_core
+
+        config = scaled_two_core(refs_per_core=15_000)
+        runs = {
+            budget: _RUNNER.run(
+                Experiment(
+                    group,
+                    "cooperative",
+                    config,
+                    governor=GovernorSpec("coordinated", qos_slowdown=budget),
+                )
+            )
+            for budget in {loose, tight}
+        }
+        assert (
+            runs[loose].total_energy_nj <= runs[tight].total_energy_nj + 1e-9
+        ), (tight, loose)

@@ -1,0 +1,113 @@
+"""Unit tests for the V/f model: operating points, tables, energy."""
+
+import pytest
+
+from repro.dvfs.model import (
+    CORE_DYNAMIC_NJ_PER_INSTR,
+    CORE_LEAKAGE_W,
+    GATED,
+    GATED_LEVEL,
+    CoreEnergyModel,
+    OperatingPoint,
+    VFTable,
+    default_vf_table,
+)
+from repro.energy.cacti import CLOCK_HZ
+
+
+class TestOperatingPoint:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            OperatingPoint(-1, 1000)
+
+    def test_frequency_and_voltage_gate_together(self):
+        with pytest.raises(ValueError, match="gate together"):
+            OperatingPoint(0, 800)
+        with pytest.raises(ValueError, match="gate together"):
+            OperatingPoint(800, 0)
+
+    def test_gated_sentinel(self):
+        assert GATED.freq_mhz == 0 and GATED.voltage_mv == 0
+        assert GATED.describe() == "gated"
+
+    def test_describe(self):
+        assert OperatingPoint(1600, 1000).describe() == "1600MHz@1000mV"
+
+
+class TestVFTable:
+    def test_sorted_fastest_first(self):
+        table = VFTable(
+            (OperatingPoint(800, 800), OperatingPoint(2000, 1100))
+        )
+        assert [p.freq_mhz for p in table.points] == [2000, 800]
+        assert table.nominal.freq_mhz == 2000
+
+    def test_rejects_empty_duplicate_and_gated(self):
+        with pytest.raises(ValueError, match="at least one"):
+            VFTable(())
+        with pytest.raises(ValueError, match="duplicate"):
+            VFTable((OperatingPoint(800, 800), OperatingPoint(800, 900)))
+        with pytest.raises(ValueError, match="gated point is implicit"):
+            VFTable((OperatingPoint(2000, 1100), GATED))
+
+    def test_rejects_voltage_rising_as_frequency_drops(self):
+        with pytest.raises(ValueError, match="must not increase"):
+            VFTable((OperatingPoint(2000, 1000), OperatingPoint(800, 1100)))
+
+    def test_level_lookup(self):
+        table = default_vf_table()
+        assert table.level_of(2000) == 0
+        assert table.level_of(800) == len(table) - 1
+        with pytest.raises(ValueError, match="not an operating point"):
+            table.level_of(1700)
+
+    def test_indexing_and_gated_level(self):
+        table = default_vf_table()
+        assert table[0] is table.nominal
+        assert table[GATED_LEVEL] is GATED
+        with pytest.raises(IndexError):
+            table[len(table)]
+
+    def test_period_ratio(self):
+        table = default_vf_table()
+        assert table.period_ratio(0) == (2000, 2000)
+        assert table.period_ratio(table.level_of(800)) == (2000, 800)
+        with pytest.raises(ValueError, match="no cycle time"):
+            table.period_ratio(GATED_LEVEL)
+
+    def test_nominal_matches_llc_clock(self):
+        """Level 0 is the machine the pre-DVFS model simulated: its
+        frequency equals the LLC clock of the CACTI model."""
+        assert default_vf_table().nominal.freq_mhz * 1e6 == CLOCK_HZ
+
+
+class TestCoreEnergyModel:
+    def test_dynamic_scales_with_v_squared(self):
+        table = default_vf_table()
+        model = CoreEnergyModel(table)
+        assert model.dynamic_nj_per_instr[0] == CORE_DYNAMIC_NJ_PER_INSTR
+        for level, point in enumerate(table.points):
+            ratio = point.voltage_mv / table.nominal.voltage_mv
+            expected = CORE_DYNAMIC_NJ_PER_INSTR * ratio * ratio
+            assert model.dynamic_nj_per_instr[level] == pytest.approx(expected)
+        # Lower level (lower V) is strictly cheaper per instruction.
+        per_instr = model.dynamic_nj_per_instr
+        assert all(b < a for a, b in zip(per_instr, per_instr[1:]))
+
+    def test_leakage_scales_with_v(self):
+        table = default_vf_table()
+        model = CoreEnergyModel(table)
+        nominal = CORE_LEAKAGE_W / CLOCK_HZ * 1e9
+        assert model.leakage_nj_per_cycle[0] == pytest.approx(nominal)
+        for level, point in enumerate(table.points):
+            ratio = point.voltage_mv / table.nominal.voltage_mv
+            assert model.leakage_nj_per_cycle[level] == pytest.approx(
+                nominal * ratio
+            )
+
+    def test_gated_level_charges_nothing(self):
+        model = CoreEnergyModel(default_vf_table())
+        assert model.dynamic_nj(GATED_LEVEL, 1_000_000) == 0.0
+        assert model.static_nj(GATED_LEVEL, 1_000_000) == 0.0
+        assert model.dynamic_nj(0, 100) > 0.0
+        assert model.static_nj(0, 100) > 0.0

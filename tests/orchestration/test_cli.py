@@ -65,6 +65,128 @@ class TestSweep:
             main(["sweep", "--policies", "lru", *FAST, *store_arguments])
 
 
+class TestSweepDryRun:
+    def test_dry_run_lists_tasks_without_running(
+        self, store_arguments, capsys
+    ):
+        code = main([
+            "sweep", "--cores", "2", "--groups", "1", "--dry-run",
+            *FAST, *store_arguments,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Alone-run dependencies are planned too, everything is a miss
+        # against the fresh store, and nothing was executed.
+        assert "miss" in out and "alone" in out and "group" in out
+        assert "dry run, nothing executed" in out
+        assert "0 cached" in out
+
+    def test_dry_run_reports_hits_after_a_sweep(
+        self, store_arguments, capsys
+    ):
+        main([
+            "sweep", "--cores", "2", "--groups", "1",
+            "--policies", "fair_share", *FAST, *store_arguments,
+        ])
+        capsys.readouterr()
+        code = main([
+            "sweep", "--cores", "2", "--groups", "1",
+            "--policies", "fair_share", "--dry-run", *FAST, *store_arguments,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 would be computed" in out
+        assert "miss" not in out
+
+    def test_dry_run_covers_spec_files(self, tmp_path, store_arguments, capsys):
+        from repro.experiment import Experiment
+        from repro.sim.config import scaled_two_core
+
+        spec_file = tmp_path / "experiments.json"
+        spec_file.write_text(json.dumps([
+            Experiment(
+                "G2-1", "fair_share", scaled_two_core(refs_per_core=3000)
+            ).to_dict()
+        ]))
+        code = main([
+            "sweep", "--spec", str(spec_file), "--dry-run", *store_arguments,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "group G2-1 fair_share" in out
+        assert "dry run, nothing executed" in out
+
+
+class TestGovernorSelection:
+    def test_governed_sweep_round_trips_through_the_store(
+        self, store_arguments, capsys
+    ):
+        governed = [
+            "sweep", "--cores", "2", "--groups", "1",
+            "--policies", "cooperative",
+            "--governor", "coordinated",
+            "--governor-param", "qos_slowdown=0.2",
+            *FAST, *store_arguments,
+        ]
+        code = main(governed)
+        assert code == 0
+        assert "cooperative" in capsys.readouterr().out
+        # Re-running is a pure cache hit under the governed key space.
+        code = main(governed)
+        assert code == 0
+        assert "0 tasks computed" in capsys.readouterr().out
+
+    def test_unknown_governor_rejected(self, store_arguments):
+        with pytest.raises(SystemExit, match="registered governors"):
+            main([
+                "sweep", "--governor", "turbo", "--groups", "1",
+                *FAST, *store_arguments,
+            ])
+
+    def test_governor_param_requires_governor(self, store_arguments):
+        with pytest.raises(SystemExit, match="requires --governor"):
+            main([
+                "sweep", "--governor-param", "qos_slowdown=0.1",
+                "--groups", "1", *FAST, *store_arguments,
+            ])
+
+    def test_malformed_governor_param_rejected(self, store_arguments):
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            main([
+                "sweep", "--governor", "coordinated",
+                "--governor-param", "qos_slowdown", "--groups", "1",
+                *FAST, *store_arguments,
+            ])
+
+    def test_unknown_governor_param_rejected(self, store_arguments):
+        with pytest.raises(SystemExit, match="accepted"):
+            main([
+                "sweep", "--governor", "coordinated",
+                "--governor-param", "slack=0.1", "--groups", "1",
+                *FAST, *store_arguments,
+            ])
+
+    def test_spec_sweeps_reject_the_governor_flag(
+        self, tmp_path, store_arguments
+    ):
+        """Spec documents carry their own governor; silently ignoring
+        the flag would hand back nominal-frequency results."""
+        spec_file = tmp_path / "experiments.json"
+        spec_file.write_text("[]")
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main([
+                "sweep", "--spec", str(spec_file),
+                "--governor", "coordinated", *store_arguments,
+            ])
+
+    def test_alone_rejects_the_governor_flag(self, store_arguments):
+        with pytest.raises(SystemExit, match="nominal frequency"):
+            main([
+                "alone", "lbm", "--governor", "coordinated",
+                *FAST, *store_arguments,
+            ])
+
+
 class TestAlone:
     def test_alone_profiles_and_classifies(self, store_arguments, capsys):
         code = main(["alone", "lbm", "povray", *FAST, *store_arguments])

@@ -184,6 +184,88 @@ class TestSerialisation:
         assert rebuilt.l2.num_sets == tiny_two_core.l2.num_sets
 
 
+class TestGovernorOnSpec:
+    """The DVFS half of a spec: absent = legacy keys, present = new
+    key space, lossless round-trips, eager validation."""
+
+    def test_absent_governor_keeps_legacy_key(self, tiny_two_core):
+        experiment = Experiment("G2-1", "cooperative", tiny_two_core)
+        assert experiment.governor is None
+        assert experiment.task_key() == group_task_key(
+            tiny_two_core, "G2-1", "cooperative"
+        )
+
+    def test_governor_opens_new_key_space(self, tiny_two_core):
+        from repro.dvfs.governors import GovernorSpec
+
+        plain = Experiment("G2-1", "cooperative", tiny_two_core)
+        governed = plain.with_governor(GovernorSpec("fixed"))
+        assert governed.task_key() != plain.task_key()
+        # Distinct parameterisations never collide either.
+        tight = plain.with_governor(
+            GovernorSpec("coordinated", qos_slowdown=0.05)
+        )
+        loose = plain.with_governor(
+            GovernorSpec("coordinated", qos_slowdown=0.2)
+        )
+        assert len({plain.task_key(), tight.task_key(), loose.task_key()}) == 3
+
+    def test_governor_string_coerces_and_round_trips(self, tiny_two_core):
+        from repro.dvfs.governors import GovernorSpec
+
+        experiment = Experiment(
+            "G2-1", "cooperative", tiny_two_core, governor="ondemand"
+        )
+        assert experiment.governor == GovernorSpec("ondemand")
+        rebuilt = Experiment.from_dict(
+            json.loads(json.dumps(experiment.to_dict()))
+        )
+        assert rebuilt == experiment
+        assert rebuilt.task_key() == experiment.task_key()
+        assert "+ondemand" in experiment.label
+
+    def test_scenario_spec_carries_governor(self, tiny_two_core):
+        scenario = consolidation_scenario(("lbm", "povray"), [1], 2_000_000)
+        governed = Experiment.for_scenario(
+            scenario,
+            system=tiny_two_core,
+            policy="cooperative",
+            governor="fixed",
+        )
+        plain = Experiment.for_scenario(
+            scenario, system=tiny_two_core, policy="cooperative"
+        )
+        assert governed.task_key() != plain.task_key()
+        assert plain.task_key() == scenario_task_key(
+            tiny_two_core, scenario, "cooperative"
+        )
+
+    def test_alone_runs_reject_governors(self, tiny_two_core):
+        with pytest.raises(ValueError, match="nominal frequency"):
+            Experiment.alone_run(
+                "lbm", system=tiny_two_core
+            ).with_governor("fixed")
+
+    def test_unknown_governor_fails_eagerly(self, tiny_two_core):
+        with pytest.raises(ValueError, match="registered governors"):
+            Experiment(
+                "G2-1", "cooperative", tiny_two_core, governor="turbo"
+            )
+
+    def test_grid_applies_governor_to_every_cell(self, tiny_two_core):
+        from repro.dvfs.governors import GovernorSpec
+
+        spec = GovernorSpec("coordinated", qos_slowdown=0.2)
+        grid = Experiment.grid(
+            tiny_two_core, ["G2-1"], ["ucp", "cooperative"], governor=spec
+        )
+        assert all(cell.governor == spec for cell in grid)
+        # Alone dependencies stay governor-free (the QoS reference).
+        for cell in grid:
+            for dependency in cell.alone_dependencies():
+                assert dependency.governor is None
+
+
 class TestPivot:
     def test_by_group_policy_shapes_figure_tables(self, tiny_two_core):
         results = {

@@ -123,6 +123,56 @@ class TestDeprecatedShims:
             Experiment("G2-4", "fair_share", tiny_two_core)
         ) is not None
 
+    def test_deprecation_warnings_point_at_caller_code(
+        self, tmp_path, tiny_two_core
+    ):
+        """The shims must warn with a stacklevel that attributes the
+        warning to the *calling* line — this file — not to the shim's
+        own ``warnings.warn`` call inside the library, so users can
+        find the call site to migrate."""
+        import warnings
+
+        from repro.cache.memory import MainMemory
+        from repro.cache.set_associative import SetAssociativeCache
+        from repro.energy.accounting import EnergyAccounting
+        from repro.energy.cacti import CactiEnergyModel
+        from repro.partitioning.base import PolicyStats
+
+        runner = ExperimentRunner()
+        scenario = consolidation_scenario(("lbm", "povray"), [1], 2_000_000)
+        shim_calls = {
+            "run_group": lambda: runner.run_group(
+                "G2-4", tiny_two_core, "fair_share"
+            ),
+            "run_scenario": lambda: runner.run_scenario(
+                scenario, tiny_two_core, "fair_share"
+            ),
+            "create_policy": lambda: repro.create_policy(
+                "fair_share",
+                SetAssociativeCache(tiny_two_core.l2),
+                MainMemory(),
+                EnergyAccounting(CactiEnergyModel(tiny_two_core.l2, 2)),
+                PolicyStats(2),
+            ),
+        }
+        for name, call in shim_calls.items():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                call()
+            deprecations = [
+                warning
+                for warning in caught
+                if issubclass(warning.category, DeprecationWarning)
+                and name in str(warning.message)
+            ]
+            assert deprecations, f"{name} emitted no DeprecationWarning"
+            for warning in deprecations:
+                assert warning.filename == __file__, (
+                    f"{name}'s DeprecationWarning points at "
+                    f"{warning.filename}:{warning.lineno} instead of the "
+                    f"caller ({__file__})"
+                )
+
     def test_create_policy_string_form_warns(self, tiny_two_core):
         from repro.cache.memory import MainMemory
         from repro.cache.set_associative import SetAssociativeCache
