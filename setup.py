@@ -27,6 +27,10 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # The committed scenario corpus ships with the package: the
+    # differential suite loads it via importlib.resources.
+    package_data={"repro.scenarios": ["corpus/*.json"]},
+    include_package_data=True,
     python_requires=">=3.10",
     entry_points={
         "console_scripts": [

@@ -68,6 +68,7 @@ from repro.partitioning.registry import (
     unregister_policy,
 )
 from repro.scenarios import (
+    SCENARIO_SHAPES,
     Scenario,
     ScenarioEvent,
     TimelineSample,
@@ -75,7 +76,11 @@ from repro.scenarios import (
     consolidation_scenario,
     core_arrive,
     core_depart,
+    corpus_names,
+    corpus_scenario,
     frequency_series,
+    generate_scenario,
+    load_corpus,
     phase_change,
     phased_scenario,
     voltage_series,
@@ -121,6 +126,7 @@ __all__ = [
     "PolicySpec",
     "ResultStore",
     "RunResult",
+    "SCENARIO_SHAPES",
     "Scenario",
     "ScenarioEvent",
     "SweepExecutor",
@@ -137,16 +143,20 @@ __all__ = [
     "consolidation_scenario",
     "core_arrive",
     "core_depart",
+    "corpus_names",
+    "corpus_scenario",
     "create_policy",
     "default_store_path",
     "default_vf_table",
     "frequency_series",
+    "generate_scenario",
     "generate_trace",
     "geometric_mean",
     "get_shared_runner",
     "governor_info",
     "group_benchmarks",
     "group_names",
+    "load_corpus",
     "lookahead_partition",
     "normalize",
     "orchestrated_runner",

@@ -35,8 +35,9 @@ SURFACE_PATH = Path("tests") / "api_surface.json"
 
 #: snapshot layout version; bump on incompatible format changes
 #: (2: added the DVFS governor registry, GovernorSpec and the
-#: TimelineSample field list)
-SURFACE_SCHEMA = 2
+#: TimelineSample field list; 3: added the scenario generator, the
+#: committed-corpus name grid and the differential-suite entry points)
+SURFACE_SCHEMA = 3
 
 
 def _signature_of(function: Any) -> list[dict[str, Any]]:
@@ -114,6 +115,41 @@ def _governor_surface() -> dict[str, Any]:
     return governors
 
 
+def _scenarios_surface() -> dict[str, Any]:
+    """The generator, corpus and differential-suite entry points."""
+    from repro.bench.differential import (
+        SUITES,
+        run_suite,
+        suite_governors,
+        suite_policies,
+    )
+    from repro.scenarios.corpus import load_corpus
+    from repro.scenarios.generate import (
+        CORPUS_SCHEMA,
+        SCENARIO_SHAPES,
+        generate_scenario,
+        pinned_corpus_names,
+    )
+
+    return {
+        "shapes": list(SCENARIO_SHAPES),
+        "generate_scenario": _signature_of(generate_scenario),
+        "corpus": {
+            "schema": CORPUS_SCHEMA,
+            "names": list(pinned_corpus_names()),
+        },
+        "load_corpus": _signature_of(load_corpus),
+        "suites": {
+            suite: {
+                "policies": list(suite_policies(suite)),
+                "governors": list(suite_governors(suite)),
+            }
+            for suite in SUITES
+        },
+        "run_suite": _signature_of(run_suite),
+    }
+
+
 def compute_surface() -> dict[str, Any]:
     """The current public-API surface as a JSON-stable document."""
     import repro
@@ -152,6 +188,7 @@ def compute_surface() -> dict[str, Any]:
         "register_governor": _signature_of(register_governor),
         "policies": _registry_surface(),
         "governors": _governor_surface(),
+        "scenarios": _scenarios_surface(),
     }
 
 

@@ -242,6 +242,84 @@ def run_dvfs_golden_case(
     )
 
 
+# ----------------------------------------------------------------------
+# Corpus fixtures
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CorpusGoldenCase:
+    """One committed corpus scenario whose full result is a fixture.
+
+    This pins two contracts at once: the generator's committed output
+    (the scenario is loaded from ``repro/scenarios/corpus/``, so a
+    generator drift that changed the committed specs would surface
+    here too) and the engine's bit-exact behaviour on a
+    generated-storm schedule in the same suite-sized configuration
+    the differential harness runs.
+    """
+
+    name: str
+    scenario_name: str
+    policy: str
+    governor: str | None
+
+    def config(self) -> SystemConfig:
+        """The suite-sized machine for the scenario's core count."""
+        from repro.scenarios.generate import corpus_config
+
+        return corpus_config(self.cores)
+
+    @property
+    def cores(self) -> int:
+        """Core count parsed from the corpus naming scheme."""
+        from repro.scenarios.corpus import corpus_scenario
+
+        return corpus_scenario(self.scenario_name).n_cores
+
+    def scenario(self) -> Scenario:
+        """The committed corpus schedule of this case."""
+        from repro.scenarios.corpus import corpus_scenario
+
+        return corpus_scenario(self.scenario_name).scenario
+
+    def governor_spec(self) -> GovernorSpec | None:
+        """The pinned governor binding (None runs at nominal V/f)."""
+        return GovernorSpec(self.governor) if self.governor else None
+
+    @property
+    def filename(self) -> str:
+        """Fixture file name for this case."""
+        return f"{self.name}.json"
+
+
+def corpus_golden_matrix() -> list[CorpusGoldenCase]:
+    """One pinned corpus run: the seed-zero two-core storm under
+    cooperative partitioning and the coordinated governor — the
+    densest event schedule in the quick suite, with arrivals,
+    departures, way gating and V/f scaling all in one timeline."""
+    return [
+        CorpusGoldenCase(
+            name="corpus_storm_2c_s000_coordinated",
+            scenario_name="storm-2c-s000",
+            policy="cooperative",
+            governor="coordinated",
+        ),
+    ]
+
+
+def run_corpus_golden_case(
+    case: CorpusGoldenCase, runner: ExperimentRunner
+) -> RunResult:
+    """Simulate one pinned corpus case (trace cache shared via runner)."""
+    return runner.run(
+        Experiment.for_scenario(
+            case.scenario(),
+            system=case.config(),
+            policy=case.policy,
+            governor=case.governor_spec(),
+        )
+    )
+
+
 def case_payload(case: GoldenCase, result: RunResult) -> dict:
     """JSON-ready fixture payload for one simulated case."""
     return {
@@ -290,6 +368,7 @@ def write_fixtures(directory: str | Path, progress=print) -> list[Path]:
         (golden_matrix, run_golden_case),
         (scenario_golden_matrix, run_scenario_golden_case),
         (dvfs_golden_matrix, run_dvfs_golden_case),
+        (corpus_golden_matrix, run_corpus_golden_case),
     )
     for matrix, run_case in matrices:
         for case in matrix():

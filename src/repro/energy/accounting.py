@@ -77,9 +77,12 @@ class EnergyAccounting:
                 f"active_ways={active_ways} outside 0..{self.model.geometry.ways}"
             )
         if now < self._last_event_cycle:
-            raise ValueError(
-                f"time went backwards: {now} < {self._last_event_cycle}"
-            )
+            # Cores execute at skewed local clocks (an access — or the
+            # flush stall it charged — can overrun a boundary another
+            # core has yet to reach), so a power event may be reported
+            # with a stale timestamp.  Integration never rewinds: the
+            # change takes effect at the frontier instead.
+            now = self._last_event_cycle
         self._way_cycles += self._active_ways * (now - self._last_event_cycle)
         self._active_ways = active_ways
         self._last_event_cycle = now
@@ -137,14 +140,13 @@ class EnergyAccounting:
         """Static energy integrated up to ``now`` without closing the
         window — the scenario timeline's per-interval observation.
 
-        ``now`` must not precede the last recorded way on/off event
-        (the timeline samples at the same monotone boundaries the
-        events use, so this holds by construction).
+        A ``now`` behind the last recorded way on/off event (possible
+        when an access from a core running ahead completed a power
+        transition past this boundary) reads the integration frontier
+        instead — the reported series never decreases.
         """
         if now < self._last_event_cycle:
-            raise ValueError(
-                f"time went backwards: {now} < {self._last_event_cycle}"
-            )
+            now = self._last_event_cycle
         way_cycles = self._way_cycles + self._active_ways * (
             now - self._last_event_cycle
         )
@@ -158,6 +160,16 @@ class EnergyAccounting:
     def active_ways_now(self) -> int:
         """Ways currently drawing leakage power."""
         return self._active_ways
+
+    @property
+    def last_event_cycle(self) -> int:
+        """Cycle of the most recent way on/off event (or window reset).
+
+        Accesses execute at core-local times that may overrun the next
+        scheduler boundary; the boundary clock consults this to avoid
+        stamping an event earlier than energy already integrated.
+        """
+        return self._last_event_cycle
 
     @property
     def core_energy_nj(self) -> float:

@@ -17,7 +17,10 @@ Six subcommands drive the whole evaluation through the orchestrator:
 * ``repro scenario`` — run a time-varying schedule (consolidation,
   arrival or phase preset, or a ``--spec`` JSON file) under the
   selected schemes and print the recorded timeline plus a comparison
-  against the matching static run (see ``docs/scenarios.md``).
+  against the matching static run.  ``--suite {quick,full}`` instead
+  drives the committed scenario corpus through the differential
+  invariant harness — every selected policy × governor combination,
+  exiting non-zero on any violation (see ``docs/scenarios.md``).
 * ``repro bench``    — time the simulation engine on the fixed
   workload matrix, write ``BENCH_sim_throughput.json`` and (with
   ``--check``) fail on throughput regressions against a committed
@@ -203,6 +206,40 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--format", choices=("table", "json", "csv"), default="table",
         help="output format (default: table)",
+    )
+    scenario.add_argument(
+        "--suite", choices=("quick", "full"), default=None,
+        help="run the differential suite over the committed scenario "
+             "corpus instead of a single schedule: every selected "
+             "(scenario x policy x governor) combination through the "
+             "store-backed runner plus the invariant harness; exits "
+             "non-zero on any violation (see docs/scenarios.md)",
+    )
+    scenario.add_argument(
+        "--governors", default=None, metavar="LIST",
+        help="suite mode: comma-separated governor settings, 'none' "
+             "meaning the ungoverned machine (default: none,coordinated "
+             "for quick; none,fixed,ondemand,coordinated for full)",
+    )
+    scenario.add_argument(
+        "--filter", default=None, metavar="SUBSTR",
+        help="suite mode: keep only corpus scenarios whose name "
+             "contains SUBSTR (e.g. 'storm', '4c')",
+    )
+    scenario.add_argument(
+        "--list", action="store_true",
+        help="suite mode: print the selected corpus scenarios and exit "
+             "without running anything",
+    )
+    scenario.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="suite mode: also write the JSON report to FILE (the CI "
+             "artifact shape)",
+    )
+    scenario.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="suite mode: worker processes for the run fan-out "
+             "(default: $REPRO_JOBS or CPU count)",
     )
     scenario.set_defaults(handler=_cmd_scenario)
 
@@ -622,6 +659,8 @@ def _cmd_report(options: argparse.Namespace) -> int:
 def _cmd_scenario(options: argparse.Namespace) -> int:
     import json
 
+    if options.suite:
+        return _run_scenario_suite(options)
     from repro.orchestration.serialize import scenario_from_dict, scenario_to_dict
     from repro.scenarios.model import (
         Scenario,
@@ -769,6 +808,99 @@ def _cmd_scenario(options: argparse.Namespace) -> int:
                     f"{sample['dynamic_energy_nj']!r},{events}"
                 )
     return 0
+
+
+def _run_scenario_suite(options: argparse.Namespace) -> int:
+    """``repro scenario --suite``: the corpus differential harness."""
+    import json
+
+    from repro.bench.differential import (
+        render_report,
+        run_suite,
+        suite_entries,
+        suite_governors,
+        suite_policies,
+    )
+
+    for value, flag in (
+        (options.spec, "--spec"),
+        (options.group, "--group"),
+        (options.governor, "--governor"),
+        (options.governor_param, "--governor-param"),
+    ):
+        if value:
+            raise SystemExit(
+                f"{flag} cannot be combined with --suite: the suite draws "
+                f"its scenarios from the committed corpus and its governor "
+                f"settings from --governors"
+            )
+    policies = (
+        _policies_from(options)
+        if options.policies
+        else suite_policies(options.suite)
+    )
+    governors = (
+        tuple(
+            token.strip()
+            for token in options.governors.split(",")
+            if token.strip()
+        )
+        if options.governors
+        else suite_governors(options.suite)
+    )
+    if options.list:
+        try:
+            entries = suite_entries(options.suite, name_filter=options.filter)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        for entry in entries:
+            print(
+                f"{entry.name:<24} shape={entry.shape:<14} "
+                f"cores={entry.n_cores} events={len(entry.scenario.events)}"
+            )
+        print(
+            f"{len(entries)} scenario(s) x {len(policies)} policies x "
+            f"{len(governors)} governors = "
+            f"{len(entries) * len(policies) * len(governors)} runs"
+        )
+        return 0
+    runner = ExperimentRunner(
+        store=_store_from(options), max_workers=resolve_jobs(options.jobs)
+    )
+    try:
+        report = run_suite(
+            options.suite,
+            policies=policies,
+            governors=governors,
+            name_filter=options.filter,
+            refs_per_core=options.refs_per_core,
+            runner=runner,
+            progress=_progress,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if options.report:
+        with open(options.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        _progress(f"wrote report to {options.report}")
+    if options.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif options.format == "csv":
+        print(
+            "scenario,shape,n_cores,policy,governor,end_cycle,"
+            "total_energy_nj,static_power_nw,min_powered_ways,violations"
+        )
+        for row in report.rows:
+            print(
+                f"{row['scenario']},{row['shape']},{row['n_cores']},"
+                f"{row['policy']},{row['governor']},{row['end_cycle']},"
+                f"{row['total_energy_nj']!r},{row['static_power_nw']!r},"
+                f"{row['min_powered_ways']},{row['violations']}"
+            )
+    else:
+        print(render_report(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(options: argparse.Namespace) -> int:

@@ -7,13 +7,30 @@ Public surface of the package:
   the declarative schedule model;
 * the preset builders (:func:`consolidation_scenario`,
   :func:`arrival_scenario`, :func:`phased_scenario`);
+* the seeded generator (:func:`generate_scenario`, shapes in
+  :data:`SCENARIO_SHAPES`) and the committed corpus readers
+  (:func:`load_corpus`, :func:`corpus_scenario`, :func:`corpus_names`);
 * :class:`~repro.scenarios.timeline.TimelineSample` and the series
   helpers over recorded timelines.
 
 ``ExperimentRunner.run_scenario`` executes a scenario (with store
-caching) and ``repro scenario`` drives the presets from the CLI.
+caching) and ``repro scenario`` drives the presets, spec files and
+the corpus suite from the CLI.
 """
 
+from repro.scenarios.corpus import (
+    CorpusEntry,
+    CorpusError,
+    corpus_names,
+    corpus_scenario,
+    load_corpus,
+)
+from repro.scenarios.generate import (
+    DEFAULT_POOL,
+    SCENARIO_SHAPES,
+    generate_scenario,
+    write_corpus,
+)
 from repro.scenarios.model import (
     ARRIVE,
     DEPART,
@@ -43,6 +60,10 @@ __all__ = [
     "ARRIVE",
     "DEPART",
     "PHASE",
+    "CorpusEntry",
+    "CorpusError",
+    "DEFAULT_POOL",
+    "SCENARIO_SHAPES",
     "Scenario",
     "ScenarioEvent",
     "TimelineSample",
@@ -50,7 +71,11 @@ __all__ = [
     "consolidation_scenario",
     "core_arrive",
     "core_depart",
+    "corpus_names",
+    "corpus_scenario",
     "frequency_series",
+    "generate_scenario",
+    "load_corpus",
     "min_powered_ways",
     "phase_change",
     "phased_scenario",
@@ -60,4 +85,5 @@ __all__ = [
     "samples_with_events",
     "static_energy_deltas",
     "voltage_series",
+    "write_corpus",
 ]

@@ -393,6 +393,14 @@ class CMPSimulator:
                     stamp = when if when >= now else now
                     if stamp < clock:
                         stamp = clock
+                    last_power_event = self.energy.last_event_cycle
+                    if stamp < last_power_event:
+                        # An access from another core (or the flush
+                        # stall it charged) overran this boundary:
+                        # static energy is already integrated past it,
+                        # so the event takes effect at that later
+                        # instant rather than rewinding time.
+                        stamp = last_power_event
                     if dvfs is not None:
                         # Close the energy interval at the levels the
                         # cores actually ran at before an event gates
@@ -814,10 +822,15 @@ class CMPSimulator:
             # *before* the governor moves anything.
             self.dvfs.charge_to(now, self.cores, self.energy)
         self.policy.epoch(now)
-        if self.dvfs is not None:
+        if self.dvfs is not None and self._measuring:
             # The governor decides after the partitioning decision:
             # next epoch's stall telemetry reflects the allocation the
             # partitioner just made, which is the coordination loop.
+            # It stays parked at the initial (nominal) point until the
+            # measured window opens: warmup is a miss storm that makes
+            # every core look memory-bound, and a decision taken on
+            # that telemetry would start the window at the deepest
+            # level regardless of the workload.
             self.dvfs.epoch(now, self.cores, self.policy.way_allocations())
         if self._timeline is not None and self._measuring:
             self._record_sample(now)

@@ -1,0 +1,168 @@
+"""The committed corpus: completeness, eager validation, regeneration.
+
+The corpus is data with a contract: 50 spec files spanning the pinned
+grid, each schema-versioned and eagerly validated on load, and every
+file byte-reproducible from the generator at its pinned seed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.corpus import (
+    CorpusError,
+    corpus_dir,
+    corpus_names,
+    corpus_scenario,
+    load_corpus,
+    load_spec,
+)
+from repro.scenarios.generate import (
+    CORPUS_CORE_COUNTS,
+    CORPUS_SEEDS,
+    CORPUS_SHAPES,
+    corpus_specs,
+    pinned_corpus_names,
+    render_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus()
+
+
+# ----------------------------------------------------------------------
+# Completeness
+# ----------------------------------------------------------------------
+def test_corpus_spans_the_pinned_grid(corpus):
+    assert sorted(corpus) == sorted(pinned_corpus_names())
+    for shape in CORPUS_SHAPES:
+        for n_cores in CORPUS_CORE_COUNTS:
+            cell = [
+                entry
+                for entry in corpus.values()
+                if entry.shape == shape and entry.n_cores == n_cores
+            ]
+            assert len(cell) == len(CORPUS_SEEDS)
+
+
+def test_entries_carry_calibrated_windows(corpus):
+    for entry in corpus.values():
+        assert 0 <= entry.window_start_cycles < entry.horizon_cycles
+        entry.scenario.validate(entry.n_cores)
+        anchor = entry.scenario.arrival_of(0)
+        assert anchor is not None and anchor.at_cycle == 0
+
+
+def test_corpus_names_and_lookup(corpus):
+    names = corpus_names()
+    assert names == tuple(sorted(corpus))
+    entry = corpus_scenario(names[0])
+    assert entry.name == names[0]
+
+
+def test_unknown_name_lists_what_exists():
+    with pytest.raises(CorpusError, match="unknown corpus scenario"):
+        corpus_scenario("storm-64c-s999")
+
+
+# ----------------------------------------------------------------------
+# Byte-reproducibility (generator at pinned seeds == committed files)
+# ----------------------------------------------------------------------
+def test_subset_regeneration_is_byte_identical():
+    name = "sparse-2c-s000"
+    (spec,) = corpus_specs(names=[name])
+    committed = (corpus_dir() / f"{name}.json").read_text()
+    assert render_spec(spec) == committed
+
+
+# ----------------------------------------------------------------------
+# Eager validation names the offending file (and event)
+# ----------------------------------------------------------------------
+def _write(tmp_path: Path, name: str, text: str) -> Path:
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def _valid_spec() -> dict:
+    return json.loads(
+        (corpus_dir() / "sparse-2c-s000.json").read_text()
+    )
+
+
+def test_rejects_unparseable_json(tmp_path):
+    path = _write(tmp_path, "broken.json", "{nope")
+    with pytest.raises(CorpusError, match="broken.json.*not valid JSON"):
+        load_spec(path)
+
+
+def test_rejects_missing_fields(tmp_path):
+    spec = _valid_spec()
+    del spec["horizon_cycles"]
+    path = _write(tmp_path, "sparse-2c-s000.json", json.dumps(spec))
+    with pytest.raises(CorpusError, match="missing field 'horizon_cycles'"):
+        load_spec(path)
+
+
+def test_rejects_wrong_schema_version_with_regeneration_hint(tmp_path):
+    spec = _valid_spec()
+    spec["schema"] = 99
+    path = _write(tmp_path, "sparse-2c-s000.json", json.dumps(spec))
+    with pytest.raises(CorpusError, match="regenerate the corpus"):
+        load_spec(path)
+
+
+def test_rejects_bad_event_naming_its_index(tmp_path):
+    spec = _valid_spec()
+    spec["scenario"]["events"][1] = {"kind": "arrive", "core": 1}
+    path = _write(tmp_path, "sparse-2c-s000.json", json.dumps(spec))
+    with pytest.raises(CorpusError, match="event #1 .*missing"):
+        load_spec(path)
+
+
+def test_rejects_illegal_event_kind_naming_its_index(tmp_path):
+    spec = _valid_spec()
+    spec["scenario"]["events"][0] = {
+        "kind": "explode",
+        "core": 0,
+        "at_cycle": 0,
+        "benchmark": "lbm",
+    }
+    path = _write(tmp_path, "sparse-2c-s000.json", json.dumps(spec))
+    with pytest.raises(CorpusError, match="event #0 .*invalid"):
+        load_spec(path)
+
+
+def test_rejects_unknown_benchmarks(tmp_path):
+    spec = _valid_spec()
+    for event in spec["scenario"]["events"]:
+        if event.get("benchmark"):
+            event["benchmark"] = "fortranite"
+    path = _write(tmp_path, "sparse-2c-s000.json", json.dumps(spec))
+    with pytest.raises(CorpusError, match="unknown benchmark.*fortranite"):
+        load_spec(path)
+
+
+def test_rejects_name_filename_mismatch(tmp_path):
+    spec = _valid_spec()
+    path = _write(tmp_path, "impostor.json", json.dumps(spec))
+    with pytest.raises(CorpusError, match="does not match the filename"):
+        load_spec(path)
+
+
+def test_rejects_machine_overflow(tmp_path):
+    spec = _valid_spec()
+    spec["n_cores"] = 1
+    path = _write(tmp_path, "sparse-2c-s000.json", json.dumps(spec))
+    with pytest.raises(CorpusError, match="core"):
+        load_spec(path)
+
+
+def test_load_corpus_rejects_empty_and_missing_directories(tmp_path):
+    with pytest.raises(CorpusError, match="no spec files"):
+        load_corpus(tmp_path)
+    with pytest.raises(CorpusError, match="does not exist"):
+        load_corpus(tmp_path / "nowhere")

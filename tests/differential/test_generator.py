@@ -1,0 +1,160 @@
+"""The seeded scenario generator: determinism, legality, scaling.
+
+The generator's contract is structural: the same ``(seed, n_cores,
+shape)`` always draws the same schedule — byte-identical through the
+spec renderer — and every draw is a legal schedule for its machine,
+whatever the cycle window it is scaled onto.
+"""
+
+import pytest
+
+from repro.orchestration.serialize import scenario_to_dict
+from repro.scenarios import SCENARIO_SHAPES, generate_scenario
+from repro.scenarios.generate import (
+    CORPUS_CORE_COUNTS,
+    CORPUS_SEEDS,
+    CORPUS_SHAPES,
+    DEFAULT_POOL,
+    pinned_corpus_names,
+    render_spec,
+    scenario_spec,
+)
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shape", SCENARIO_SHAPES)
+def test_same_seed_draws_identical_schedule(shape):
+    first = generate_scenario(7, 4, shape)
+    second = generate_scenario(7, 4, shape)
+    assert scenario_to_dict(first) == scenario_to_dict(second)
+
+
+def test_same_seed_renders_byte_identical_specs():
+    def spec_bytes():
+        scenario = generate_scenario(3, 2, "storm")
+        return render_spec(
+            scenario_spec(
+                scenario,
+                shape="storm",
+                n_cores=2,
+                seed=3,
+                window_start_cycles=0,
+                horizon_cycles=2_800_000,
+            )
+        )
+
+    assert spec_bytes() == spec_bytes()
+
+
+def test_different_seeds_draw_different_schedules():
+    schedules = {
+        render_spec(scenario_to_dict(generate_scenario(seed, 4, "mixed")))
+        for seed in range(8)
+    }
+    assert len(schedules) > 1
+
+
+def test_seed_core_count_and_shape_all_key_the_draw():
+    base = scenario_to_dict(generate_scenario(0, 4, "storm"))
+    assert scenario_to_dict(generate_scenario(1, 4, "storm")) != base
+    assert scenario_to_dict(generate_scenario(0, 2, "storm")) != base
+
+
+# ----------------------------------------------------------------------
+# Structural legality
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shape", SCENARIO_SHAPES)
+@pytest.mark.parametrize("n_cores", (1, 2, 4, 8))
+def test_every_draw_is_a_legal_schedule(shape, n_cores):
+    for seed in range(5):
+        scenario = generate_scenario(seed, n_cores, shape)
+        scenario.validate(n_cores)  # raises on any structural breach
+        anchor = scenario.arrival_of(0)
+        assert anchor is not None and anchor.at_cycle == 0
+
+
+def test_benchmarks_come_from_the_pool():
+    pool = ("lbm", "soplex")
+    for seed in range(5):
+        scenario = generate_scenario(seed, 4, "mixed", benchmarks=pool)
+        assert set(scenario.benchmarks_used()) <= set(pool)
+    full = generate_scenario(0, 4, "churn")
+    assert set(full.benchmarks_used()) <= set(DEFAULT_POOL)
+
+
+def test_default_and_explicit_names():
+    assert generate_scenario(2, 4, "sparse").name == "sparse-4c-s002"
+    assert generate_scenario(2, 4, "sparse", name="pet").name == "pet"
+
+
+# ----------------------------------------------------------------------
+# Window scaling
+# ----------------------------------------------------------------------
+def test_rescaling_preserves_structure_and_lands_in_window():
+    default = generate_scenario(1, 4, "diurnal")
+    scaled = generate_scenario(
+        1, 4, "diurnal", horizon_cycles=900_000, window_start_cycles=400_000
+    )
+    signature = lambda s: [
+        (e.kind, e.core, e.benchmark) for e in s.events
+    ]
+    assert signature(scaled) == signature(default)
+    timed = [e for e in scaled.events if e.at_cycle != 0]
+    assert timed, "diurnal schedules carry timed events"
+    assert all(400_000 <= e.at_cycle <= 900_000 for e in timed)
+
+
+def test_per_core_times_stay_strictly_increasing_in_tiny_windows():
+    # A 1000-cycle horizon forces rounding collisions; the bump keeps
+    # per-core causal order.
+    for seed in range(10):
+        scenario = generate_scenario(seed, 8, "mixed", horizon_cycles=1000)
+        last = {}
+        for event in scenario.events:
+            if event.at_cycle == 0:
+                continue
+            previous = last.get(event.core)
+            assert previous is None or event.at_cycle > previous
+            last[event.core] = event.at_cycle
+        scenario.validate(8)
+
+
+# ----------------------------------------------------------------------
+# Error cases
+# ----------------------------------------------------------------------
+def test_rejects_unknown_shape():
+    with pytest.raises(ValueError, match="unknown scenario shape"):
+        generate_scenario(0, 2, "squall")
+
+
+def test_rejects_empty_machine():
+    with pytest.raises(ValueError, match="n_cores"):
+        generate_scenario(0, 0, "storm")
+
+
+def test_rejects_degenerate_windows():
+    with pytest.raises(ValueError, match="horizon_cycles"):
+        generate_scenario(0, 2, "storm", horizon_cycles=10)
+    with pytest.raises(ValueError, match="window_start_cycles"):
+        generate_scenario(
+            0, 2, "storm", horizon_cycles=10_000, window_start_cycles=10_000
+        )
+
+
+def test_rejects_empty_benchmark_pool():
+    with pytest.raises(ValueError, match="pool"):
+        generate_scenario(0, 2, "storm", benchmarks=())
+
+
+# ----------------------------------------------------------------------
+# The pinned grid
+# ----------------------------------------------------------------------
+def test_pinned_names_span_the_grid():
+    names = pinned_corpus_names()
+    assert len(names) == (
+        len(CORPUS_SHAPES) * len(CORPUS_CORE_COUNTS) * len(CORPUS_SEEDS)
+    )
+    assert len(set(names)) == len(names)
+    assert "mixed" not in {name.split("-")[0] for name in names}

@@ -1,0 +1,298 @@
+"""The invariant checks themselves: clean runs pass, doctored fail.
+
+Each check is exercised both ways — a real suite-sized run produces
+zero violations, and a surgically doctored copy of that run trips
+exactly the check under test.  Doctoring real results (rather than
+building fakes) keeps every other invariant intact, so a test failure
+points at the one check it names.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.differential import (
+    check_cross,
+    check_live,
+    check_run,
+    governor_from_label,
+    governor_label,
+)
+from repro.dvfs import GovernorSpec
+from repro.experiment import Experiment
+from repro.scenarios.corpus import corpus_scenario
+from repro.scenarios.generate import corpus_config
+from repro.sim.runner import ExperimentRunner
+
+_SCENARIO = "storm-2c-s000"
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return corpus_config(2)
+
+
+def _experiment(config, policy="cooperative", governor=None):
+    return Experiment.for_scenario(
+        corpus_scenario(_SCENARIO).scenario,
+        system=config,
+        policy=policy,
+        governor=governor,
+    )
+
+
+@pytest.fixture(scope="module")
+def ungoverned(runner, config):
+    experiment = _experiment(config)
+    return experiment, runner.run(experiment)
+
+
+@pytest.fixture(scope="module")
+def governed(runner, config):
+    experiment = _experiment(config, governor=GovernorSpec("coordinated"))
+    return experiment, runner.run(experiment)
+
+
+def _doctor_sample(run, index, **changes):
+    timeline = list(run.timeline)
+    timeline[index] = dataclasses.replace(timeline[index], **changes)
+    return dataclasses.replace(run, timeline=timeline)
+
+
+def _checks(violations):
+    return {violation.check for violation in violations}
+
+
+# ----------------------------------------------------------------------
+# Clean runs pass
+# ----------------------------------------------------------------------
+def test_real_runs_produce_no_violations(ungoverned, governed):
+    for experiment, run in (ungoverned, governed):
+        assert check_run(experiment, run) == []
+        assert len(run.timeline) > 2, "doctoring below needs samples"
+
+
+# ----------------------------------------------------------------------
+# Per-run checks, one doctored breach each
+# ----------------------------------------------------------------------
+def test_powered_ways_bounds(ungoverned):
+    experiment, run = ungoverned
+    doctored = _doctor_sample(run, 1, powered_ways=999)
+    assert "powered-ways-bounds" in _checks(check_run(experiment, doctored))
+
+
+def test_allocation_bounds(ungoverned):
+    experiment, run = ungoverned
+    doctored = _doctor_sample(run, 1, allocations=(3,))
+    assert "allocation-bounds" in _checks(check_run(experiment, doctored))
+
+
+def test_active_cores_bounds(ungoverned):
+    experiment, run = ungoverned
+    doctored = _doctor_sample(run, 1, active_cores=(0, 99))
+    assert "active-cores-bounds" in _checks(check_run(experiment, doctored))
+
+
+def test_monotone_clock(ungoverned):
+    experiment, run = ungoverned
+    doctored = _doctor_sample(run, 1, cycle=run.timeline[0].cycle - 1)
+    assert "monotone-clock" in _checks(check_run(experiment, doctored))
+    doctored = _doctor_sample(
+        run, len(run.timeline) - 1, cycle=run.end_cycle + 1
+    )
+    assert "monotone-clock" in _checks(check_run(experiment, doctored))
+
+
+def test_monotone_energy_series(ungoverned):
+    experiment, run = ungoverned
+    reference = run.timeline[0]
+    doctored = _doctor_sample(
+        run, 1, static_energy_nj=reference.static_energy_nj - 1.0
+    )
+    assert "monotone-static-energy" in _checks(check_run(experiment, doctored))
+    doctored = _doctor_sample(
+        run, 1, dynamic_energy_nj=reference.dynamic_energy_nj - 1.0
+    )
+    assert "monotone-dynamic-energy" in _checks(
+        check_run(experiment, doctored)
+    )
+
+
+def test_nonnegative_energy(ungoverned):
+    experiment, run = ungoverned
+    doctored = dataclasses.replace(run, static_energy_nj=-1.0)
+    assert "nonnegative-energy" in _checks(check_run(experiment, doctored))
+
+
+def test_depart_gating(ungoverned):
+    experiment, run = ungoverned
+    ways = experiment.system.l2.ways
+    doctored = _doctor_sample(run, 1, powered_ways=0)
+    doctored = _doctor_sample(
+        doctored, 2, events=("depart:core1",), powered_ways=ways
+    )
+    assert "depart-gating" in _checks(check_run(experiment, doctored))
+
+
+def test_dvfs_fields_on_governed_runs(governed):
+    experiment, run = governed
+    doctored = dataclasses.replace(run, governor="ondemand")
+    assert "dvfs-fields" in _checks(check_run(experiment, doctored))
+    doctored = _doctor_sample(run, 1, frequencies_mhz=())
+    assert "dvfs-fields" in _checks(check_run(experiment, doctored))
+
+
+def test_departed_frequency(governed):
+    experiment, run = governed
+    nominal = max(run.timeline[0].frequencies_mhz)
+    doctored = _doctor_sample(run, 1, events=("depart:core1",))
+    doctored = _doctor_sample(
+        doctored, 2, frequencies_mhz=(nominal, nominal)
+    )
+    assert "departed-frequency" in _checks(check_run(experiment, doctored))
+
+
+def test_dvfs_fields_on_ungoverned_runs(ungoverned):
+    experiment, run = ungoverned
+    doctored = dataclasses.replace(run, governor="fixed")
+    assert "dvfs-fields" in _checks(check_run(experiment, doctored))
+    doctored = _doctor_sample(run, 1, frequencies_mhz=(3200, 3200))
+    assert "dvfs-fields" in _checks(check_run(experiment, doctored))
+    doctored = dataclasses.replace(run, core_static_energy_nj=5.0)
+    assert "gated-core-energy" in _checks(check_run(experiment, doctored))
+
+
+# ----------------------------------------------------------------------
+# Cross-run checks
+# ----------------------------------------------------------------------
+def _grid(runner, config, policies, labels):
+    return {
+        (policy, label): runner.run(
+            _experiment(config, policy, governor_from_label(label))
+        )
+        for policy in policies
+        for label in labels
+    }
+
+
+@pytest.fixture(scope="module")
+def cross_grid(runner, config):
+    return _grid(
+        runner,
+        config,
+        ("unmanaged", "cooperative"),
+        ("none", "fixed", "coordinated"),
+    )
+
+
+def test_real_grid_is_cross_clean(cross_grid):
+    scenario = corpus_scenario(_SCENARIO).scenario
+    assert check_cross(_SCENARIO, cross_grid, scenario=scenario) == []
+
+
+def test_static_power_vs_unmanaged(cross_grid):
+    grid = dict(cross_grid)
+    run = grid[("cooperative", "none")]
+    grid[("cooperative", "none")] = dataclasses.replace(
+        run, static_energy_nj=run.static_energy_nj * 10.0
+    )
+    assert "static-power-vs-unmanaged" in _checks(
+        check_cross(_SCENARIO, grid)
+    )
+
+
+def test_fixed_nominal_identity(cross_grid):
+    grid = dict(cross_grid)
+    run = grid[("unmanaged", "fixed")]
+    grid[("unmanaged", "fixed")] = dataclasses.replace(
+        run, end_cycle=run.end_cycle + 1
+    )
+    assert "fixed-nominal-identity" in _checks(check_cross(_SCENARIO, grid))
+
+
+def test_fixed_identity_skipped_for_non_default_fixed(cross_grid):
+    grid = dict(cross_grid)
+    run = grid[("unmanaged", "fixed")]
+    grid[("unmanaged", "fixed")] = dataclasses.replace(
+        run, end_cycle=run.end_cycle + 1
+    )
+    governors = {
+        "none": None,
+        "fixed": GovernorSpec("fixed", freq_mhz=1600),
+        "coordinated": GovernorSpec("coordinated"),
+    }
+    found = check_cross(_SCENARIO, grid, governors)
+    assert "fixed-nominal-identity" not in _checks(found)
+
+
+def test_coordinated_qos(cross_grid):
+    grid = dict(cross_grid)
+    run = grid[("cooperative", "coordinated")]
+    slowed = tuple(
+        dataclasses.replace(core, cycles=core.cycles * 2)
+        for core in run.cores
+    )
+    grid[("cooperative", "coordinated")] = dataclasses.replace(
+        run, cores=slowed
+    )
+    assert "coordinated-qos" in _checks(check_cross(_SCENARIO, grid))
+
+
+def test_coordinated_qos_ignores_ineligible_cores(cross_grid):
+    scenario = corpus_scenario(_SCENARIO).scenario
+    departed = {
+        event.core for event in scenario.events if event.kind == "depart"
+    }
+    assert departed, "storm scenarios carry departures"
+    victim = next(iter(departed))
+    grid = dict(cross_grid)
+    run = grid[("cooperative", "coordinated")]
+    slowed = tuple(
+        dataclasses.replace(core, cycles=core.cycles * 2)
+        if index == victim
+        else core
+        for index, core in enumerate(run.cores)
+    )
+    grid[("cooperative", "coordinated")] = dataclasses.replace(
+        run, cores=slowed
+    )
+    found = check_cross(_SCENARIO, grid, scenario=scenario)
+    assert "coordinated-qos" not in _checks(found)
+
+
+def test_coordinated_energy(cross_grid):
+    grid = dict(cross_grid)
+    run = grid[("cooperative", "coordinated")]
+    grid[("cooperative", "coordinated")] = dataclasses.replace(
+        run, dynamic_energy_nj=run.dynamic_energy_nj * 10.0
+    )
+    assert "coordinated-energy" in _checks(check_cross(_SCENARIO, grid))
+
+
+# ----------------------------------------------------------------------
+# Live checks
+# ----------------------------------------------------------------------
+def test_check_live_is_clean_and_rejects_profile_policies(runner, config):
+    run, violations = check_live(_experiment(config), runner.trace_for)
+    assert violations == []
+    assert run.end_cycle > 0
+    with pytest.raises(ValueError, match="profile-fed"):
+        check_live(_experiment(config, policy="cpe"), runner.trace_for)
+
+
+# ----------------------------------------------------------------------
+# Governor labels
+# ----------------------------------------------------------------------
+def test_governor_labels_round_trip():
+    assert governor_label(None) == "none"
+    assert governor_from_label("none") is None
+    for name in ("fixed", "ondemand", "coordinated"):
+        spec = governor_from_label(name)
+        assert isinstance(spec, GovernorSpec)
+        assert governor_label(spec) == name
+    assert governor_label("ondemand") == "ondemand"

@@ -1,0 +1,125 @@
+"""The suite runner end to end: selection, execution, reporting.
+
+A filtered quick-suite run over real corpus scenarios must come back
+clean (the acceptance bar the CLI enforces), and the selection/report
+plumbing around it must hold its contracts.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.differential import (
+    DEFAULT_SUITE_EPOCH,
+    SUITES,
+    render_report,
+    run_suite,
+    suite_config,
+    suite_entries,
+    suite_governors,
+    suite_policies,
+)
+from repro.scenarios.corpus import load_corpus
+from repro.sim.runner import ALL_POLICIES, ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus()
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+def test_quick_suite_takes_seed_zero_of_every_cell(corpus):
+    entries = suite_entries("quick", corpus=corpus)
+    assert len(entries) == 10
+    assert all(entry.name.endswith("-s000") for entry in entries)
+    shapes = {(entry.shape, entry.n_cores) for entry in entries}
+    assert len(shapes) == 10
+
+
+def test_full_suite_takes_the_whole_corpus(corpus):
+    assert len(suite_entries("full", corpus=corpus)) == len(corpus)
+
+
+def test_name_filter_narrows_and_rejects_empty(corpus):
+    entries = suite_entries("full", corpus=corpus, name_filter="storm-2c")
+    assert [entry.name for entry in entries] == [
+        f"storm-2c-s{seed:03d}" for seed in range(5)
+    ]
+    with pytest.raises(ValueError, match="matches no suite scenario"):
+        suite_entries("quick", corpus=corpus, name_filter="blizzard")
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(ValueError, match="unknown suite"):
+        suite_entries("exhaustive")
+
+
+def test_suite_defaults():
+    assert SUITES == ("quick", "full")
+    assert suite_policies("quick") == ("unmanaged", "cooperative")
+    assert suite_policies("full") == tuple(ALL_POLICIES)
+    assert suite_governors("quick") == ("none", "coordinated")
+    assert set(suite_governors("full")) >= {"none", "fixed", "coordinated"}
+
+
+def test_suite_config_sizes_the_machine(corpus):
+    entry = next(iter(corpus.values()))
+    config = suite_config(entry)
+    assert config.n_cores == entry.n_cores
+    assert config.epoch_cycles == DEFAULT_SUITE_EPOCH
+    assert suite_config(entry, refs_per_core=1234).refs_per_core == 1234
+
+
+# ----------------------------------------------------------------------
+# Execution + report
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def report():
+    return run_suite(
+        "quick",
+        name_filter="sparse-2c",
+        policies=("unmanaged", "cooperative"),
+        governors=("none", "coordinated"),
+        runner=ExperimentRunner(),
+        deep=1,
+    )
+
+
+def test_filtered_quick_suite_is_clean(report):
+    assert report.ok
+    assert report.violations == []
+    assert report.counts["scenarios"] == 1
+    assert report.counts["runs"] == 4
+    assert report.counts["per_run_checks"] == 4
+    assert report.counts["cross_run_checks"] == 1
+    assert report.counts["live_checks"] == 1
+
+
+def test_report_rows_cover_the_grid(report):
+    combos = {(row["policy"], row["governor"]) for row in report.rows}
+    assert combos == {
+        ("unmanaged", "none"),
+        ("unmanaged", "coordinated"),
+        ("cooperative", "none"),
+        ("cooperative", "coordinated"),
+    }
+    for row in report.rows:
+        assert row["scenario"] == "sparse-2c-s000"
+        assert row["end_cycle"] > 0
+        assert row["violations"] == 0
+
+
+def test_report_serialises_and_renders(report):
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["ok"] is True
+    assert payload["suite"] == "quick"
+    assert len(payload["rows"]) == 4
+    assert payload["violations"] == []
+
+    text = render_report(report)
+    assert "OK: zero invariant violations" in text
+    assert "sparse-2c-s000" in text
+    assert "cooperative" in text

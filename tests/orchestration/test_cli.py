@@ -312,6 +312,103 @@ class TestScenario:
             main(["scenario", "--cores", "2", "--group", "G4-1",
                   *store_arguments])
 
+    def test_spec_round_trips_a_generated_scenario(self, tmp_path, capsys):
+        """scenario_to_dict -> JSON file -> --spec -> identical timeline."""
+        from repro.experiment import Experiment
+        from repro.orchestration.serialize import scenario_to_dict
+        from repro.scenarios import generate_scenario
+        from repro.sim.config import scaled_two_core
+        from repro.sim.runner import ExperimentRunner
+
+        scenario = generate_scenario(7, 2, "storm", horizon_cycles=600_000)
+        path = tmp_path / "generated.json"
+        path.write_text(json.dumps(scenario_to_dict(scenario)))
+        code = main(["scenario", "--cores", "2", "--refs-per-core", "8000",
+                     "--policies", "cooperative", "--spec", str(path),
+                     "--format", "json", "--store", str(tmp_path / "store")])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+
+        # The spec survives the file hop byte-for-byte...
+        assert document["scenario"] == scenario_to_dict(scenario)
+
+        # ...and the CLI's run is the same run a direct in-process
+        # execution produces (fresh store, so this truly re-simulates).
+        run = ExperimentRunner().run(
+            Experiment.for_scenario(
+                scenario,
+                system=scaled_two_core(refs_per_core=8_000),
+                policy="cooperative",
+            )
+        )
+        cli_timeline = document["runs"]["cooperative"]["timeline"]
+        assert cli_timeline == [sample.to_dict() for sample in run.timeline]
+        summary = document["runs"]["cooperative"]["summary"]
+        assert summary["end_cycle"] == run.end_cycle
+        assert summary["total_energy_nj"] == run.total_energy_nj
+
+
+class TestScenarioSuite:
+    def test_list_prints_the_selection_and_grid(self, capsys):
+        code = main(["scenario", "--suite", "quick", "--list"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 11
+        assert any(line.startswith("storm-2c-s000") for line in lines)
+        assert lines[-1] == (
+            "10 scenario(s) x 2 policies x 2 governors = 40 runs"
+        )
+
+    def test_list_honours_filter_policies_and_governors(self, capsys):
+        code = main(["scenario", "--suite", "full", "--list",
+                     "--filter", "storm-2c",
+                     "--policies", "unmanaged,cooperative",
+                     "--governors", "none,coordinated,ondemand"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [line.split()[0] for line in lines[:-1]] == [
+            f"storm-2c-s{seed:03d}" for seed in range(5)
+        ]
+        assert lines[-1] == (
+            "5 scenario(s) x 2 policies x 3 governors = 30 runs"
+        )
+
+    def test_list_rejects_a_filter_matching_nothing(self):
+        with pytest.raises(SystemExit, match="matches no suite scenario"):
+            main(["scenario", "--suite", "quick", "--list",
+                  "--filter", "blizzard"])
+
+    def test_suite_rejects_single_scenario_flags(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text("{}")
+        for extra in (
+            ["--spec", str(spec)],
+            ["--group", "G2-8"],
+            ["--governor", "coordinated"],
+        ):
+            with pytest.raises(SystemExit,
+                               match="cannot be combined with --suite"):
+                main(["scenario", "--suite", "quick", *extra])
+
+    def test_filtered_suite_runs_clean_and_writes_report(
+        self, tmp_path, capsys
+    ):
+        report_path = tmp_path / "report.json"
+        code = main(["scenario", "--suite", "quick", "--filter", "sparse-2c",
+                     "--policies", "unmanaged,cooperative",
+                     "--governors", "none,coordinated",
+                     "--report", str(report_path),
+                     "--store", str(tmp_path / "store"), "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK: zero invariant violations" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert len(payload["rows"]) == 4
+        assert {row["governor"] for row in payload["rows"]} == {
+            "none", "coordinated",
+        }
+
 
 class TestClean:
     def test_clean_empties_the_store(self, store_arguments, capsys):

@@ -104,3 +104,34 @@ def test_schedule_invariants(scenario, policy):
     static_series = [sample.static_energy_nj for sample in run.timeline]
     assert all(b >= a for a, b in zip(static_series, static_series[1:]))
     assert run.static_energy_nj >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Generated scenarios × DVFS governors, through the differential
+# harness's own checks: the generator replaces the hand-rolled
+# strategy, hypothesis drives its seed/shape space, and every engine
+# invariant the suite enforces must hold with a governor attached.
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    shape=st.sampled_from(("storm", "sparse", "churn", "mixed")),
+    governor=st.sampled_from(("none", "ondemand", "coordinated")),
+    horizon=st.integers(min_value=100_000, max_value=1_500_000),
+)
+@settings(max_examples=8, deadline=None)
+def test_generated_scenarios_survive_governors(seed, shape, governor, horizon):
+    from repro.bench.differential import check_live, governor_from_label
+    from repro.experiment import Experiment
+    from repro.scenarios import generate_scenario
+
+    scenario = generate_scenario(
+        seed, 2, shape, horizon_cycles=horizon, benchmarks=_BENCHMARKS
+    )
+    experiment = Experiment.for_scenario(
+        scenario,
+        system=_CONFIG,
+        policy="cooperative",
+        governor=governor_from_label(governor),
+    )
+    _, violations = check_live(experiment, _RUNNER.trace_for)
+    assert violations == []
