@@ -125,17 +125,27 @@ def run_case(
     case: BenchCase,
     runner: ExperimentRunner | None = None,
     repeats: int = 3,
+    engine: str | None = None,
 ) -> dict:
-    """Time one case; returns its JSON-ready record."""
+    """Time one case; returns its JSON-ready record.
+
+    ``engine`` names the execution backend to time (``auto``/None
+    defers to the simulator's normal selection).  The record carries
+    the engine that actually ran, so payloads from different backends
+    are distinguishable after the fact.
+    """
+    from repro.engine import resolve_engine
+
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
+    resolved = resolve_engine(engine)
     factory = _prepare(case, runner or ExperimentRunner())
     best = math.inf
     refs = 0
     for _ in range(repeats):
         simulator = factory()
         started = time.perf_counter()
-        simulator.run()
+        simulator.run(engine=resolved)
         elapsed = time.perf_counter() - started
         refs = sum(core.refs_done for core in simulator.cores)
         best = min(best, elapsed)
@@ -148,6 +158,7 @@ def run_case(
         "references": refs,
         "seconds": best,
         "refs_per_sec": refs / best,
+        "engine": resolved,
     }
     if case.governor is not None:
         record["governor"] = case.governor
@@ -158,12 +169,16 @@ def run_benchmarks(
     cases: Sequence[BenchCase],
     repeats: int = 3,
     progress: Callable[[str], None] | None = None,
+    engine: str | None = None,
 ) -> dict:
     """Run the matrix and return the ``BENCH_sim_throughput`` payload."""
+    from repro.engine import resolve_engine
+
+    resolved = resolve_engine(engine)
     runner = ExperimentRunner()
     records = []
     for case in cases:
-        record = run_case(case, runner, repeats)
+        record = run_case(case, runner, repeats, engine=resolved)
         records.append(record)
         if progress is not None:
             progress(
@@ -173,6 +188,7 @@ def run_benchmarks(
     aggregate = _geomean([record["refs_per_sec"] for record in records])
     return {
         "schema": BENCH_SCHEMA,
+        "engine": resolved,
         "aggregate_refs_per_sec": aggregate,
         "cases": records,
         "python": sys.version.split()[0],
@@ -198,6 +214,24 @@ def write_payload(payload: dict, path: str | Path) -> None:
 def load_payload(path: str | Path) -> dict:
     """Read a bench payload written by :func:`write_payload`."""
     return json.loads(Path(path).read_text())
+
+
+def carry_trajectory(payload: dict, previous: dict | None) -> dict:
+    """Copy the perf trajectory forward from the payload being replaced.
+
+    ``trajectory`` is the append-only list of per-PR headline points
+    (``{"pr", "engine", "aggregate_refs_per_sec", "speedup_over_seed",
+    "note"}``) that keeps every engine generation's speedup visible
+    after the measured cases are regenerated.  Regenerating the payload
+    must never erase that history, so the CLI routes every overwrite
+    through here; *appending* a new point stays a deliberate per-PR
+    act (see docs/performance.md).
+    """
+    if previous:
+        trajectory = previous.get("trajectory")
+        if trajectory:
+            payload["trajectory"] = trajectory
+    return payload
 
 
 def compare_to_baseline(

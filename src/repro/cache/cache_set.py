@@ -57,8 +57,9 @@ class CacheSet:
         self.owner = array("q", [NO_OWNER]) * ways
         # Initial recency matches the historical stack [0, 1, .., w-1]
         # (way 0 most recent); stamps stay unique forever because the
-        # clock only moves forward.
-        self.stamp = list(range(ways, 0, -1))
+        # clock only moves forward.  An ``array('q')`` like the other
+        # columns, so engines can view the recency state zero-copy.
+        self.stamp = array("q", range(ways, 0, -1))
         self.clock = ways + 1
         self.tag_map: dict[int, int] = {}
         self.valid_count = 0

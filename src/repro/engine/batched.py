@@ -1,0 +1,439 @@
+"""Numpy hit-run batching engine (``engine="batched"``).
+
+The scalar engine spends most of its time on references that never
+leave the core: an L1 hit touches three integers of core-private
+state and returns to the scheduler.  This engine amortises that work
+by *predicting* L1 behaviour in vectorized chunks and applying runs
+of consecutive predicted hits as one batch:
+
+* Per core, the trace columns (``gaps``/``addresses``/``writes``) are
+  exposed as zero-copy numpy views, with set indices, tags and
+  issue-shifted gaps precomputed once per trace bind.
+* A **chunk** (:data:`CHUNK` references ahead of the core's position)
+  is classified against a snapshot of the core's private L1 tag
+  array: one vectorized compare yields a hit flag and hit way per
+  reference.  Because L1s are strictly private and hits never install
+  lines, the prediction stays exact until this core's next miss; a
+  miss *spoils* the rest of the chunk and those references take the
+  ordinary scalar path (whose tag probe decides for itself, so a
+  spoiled prediction can never corrupt state).
+* A **segment** — the run of predicted hits at the current position,
+  capped at the next epoch/event boundary, the warmup and target
+  crossings and the chunk edge — is applied in bulk: issue times via
+  one cumulative sum (DVFS-scaled, since V/f entries only change at
+  boundaries), counters in O(1), and the per-set LRU recency updates
+  in a lean loop that skips the probe, the branch ladder and the
+  per-reference scheduler round-trip.
+
+Scheduling stays *exact*: the engine keeps the same ``(time,
+core_id)`` heap order as the scalar loop, segments never cross a
+boundary, and every L1 miss, epoch edge and scenario event runs the
+same per-reference/boundary code as the scalar engine (shared via
+``_advance_boundary``/``_apply_event``).  L1 hits are core-local, so
+applying a hit run ahead of another core's interleaved references
+commutes — with one exception, the end of the run, handled below.
+
+**Termination.**  The run ends when the last measurement window
+freezes.  A segment can run ahead of the globally-last freeze key
+``K_end`` (the maximum ``(issue instant, core_id)`` over all
+freezes); the scalar engine would never execute those tail
+references.  Only each core's *final* segment can straddle ``K_end``
+(a core is scheduled only while it holds the minimum key), so each
+lane keeps its last segment's pre-state and the engine prunes the
+overshoot arithmetically: time, instructions, reference counts, hit
+counters, trace position and a just-opened measurement window are
+rolled back to the reference that ``K_end`` admits.  Every
+:class:`~repro.sim.stats.RunResult` field is therefore bit-identical
+to the scalar engine (the golden suite pins this).  The one
+documented divergence: the L1 recency/dirty micro-state left behind
+*after* the run may reflect a few pruned tail hits — invisible to
+results, visible only to post-run inspection of raw ``CacheSet``
+internals.
+
+Warmup runs scalar: prediction only pays once traffic patterns are
+established, and the warmup era has extra gate bookkeeping per
+reference anyway.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heapreplace
+
+import numpy as np
+
+from repro.cache.cache_set import NO_TAG
+
+#: references classified per prediction pass
+CHUNK = 2048
+
+_NEVER = 1 << 62
+
+
+class _Lane:
+    """Per-core numpy view of the trace plus the chunk prediction."""
+
+    __slots__ = (
+        "core", "l1_mask", "l1_shift", "issue_shift",
+        "gaps", "writes", "sets", "tags", "shifted",
+        "ch_start", "ch_end", "spoiled",
+        "hit_list", "way_list", "sets_list", "writes_list",
+        "seg_record",
+    )
+
+    def __init__(self, core, l1_mask, l1_shift, issue_shift):
+        self.core = core
+        self.l1_mask = l1_mask
+        self.l1_shift = l1_shift
+        self.issue_shift = issue_shift
+        self.refresh()
+
+    def refresh(self):
+        """(Re)bind the trace views; drops the chunk and segment record.
+
+        Called at construction and after scenario events (ARRIVE warms
+        the core's L1, PHASE rebinds the trace columns).
+        """
+        core = self.core
+        if core.length:
+            addresses = np.frombuffer(core.addresses, dtype=np.int64)
+            self.gaps = np.frombuffer(core.gaps, dtype=np.int64)
+            self.writes = np.frombuffer(core.writes, dtype=np.int8)
+            self.sets = addresses & self.l1_mask
+            self.tags = addresses >> self.l1_shift
+            self.shifted = self.gaps >> self.issue_shift
+        self.ch_start = 0
+        self.ch_end = 0
+        self.spoiled = False
+        self.seg_record = None
+
+    def predicted_run(self, position):
+        """Length of the predicted L1-hit run at ``position`` (0 = none).
+
+        Returns 0 when the next reference is a predicted miss or the
+        chunk is spoiled/absent — the caller then takes the scalar
+        path, whose own tag probe is authoritative either way.
+        """
+        if position < self.ch_start or position >= self.ch_end:
+            self._predict(position)
+        elif self.spoiled:
+            return 0
+        i = position - self.ch_start
+        hits = self.hit_list
+        if not hits[i]:
+            return 0
+        j = i + 1
+        n = self.ch_end - self.ch_start
+        while j < n and hits[j]:
+            j += 1
+        return j - i
+
+    def _predict(self, position):
+        """Classify ``CHUNK`` references from ``position`` in one pass.
+
+        The tag snapshot is taken zero-copy from the live ``CacheSet``
+        arrays; invalid ways hold :data:`NO_TAG` (negative) and can
+        never match a real tag.
+        """
+        end = position + CHUNK
+        length = self.core.length
+        if end > length:
+            end = length
+        window = slice(position, end)
+        tags2d = np.vstack(
+            [np.frombuffer(cset.tags, dtype=np.int64)
+             for cset in self.core.l1_sets]
+        )
+        set_arr = self.sets[window]
+        equal = tags2d[set_arr] == self.tags[window][:, None]
+        self.hit_list = equal.any(axis=1).tolist()
+        self.way_list = equal.argmax(axis=1).tolist()
+        self.sets_list = set_arr.tolist()
+        self.writes_list = self.writes[window].tolist()
+        self.ch_start = position
+        self.ch_end = end
+        self.spoiled = False
+
+    def spoil(self):
+        """An L1 fill happened: the rest of the chunk is stale."""
+        self.spoiled = True
+
+
+def run_batched(sim):
+    """Execute ``sim`` with hit-run batching; bit-identical results."""
+    config = sim.config
+    cores = sim.cores
+    issue_shift = max(0, config.issue_width.bit_length() - 1)
+    (
+        target, warmup, warmed_up, unfinished, next_epoch, initial,
+    ) = sim._begin_run()
+
+    l1_mask = sim._l1_mask
+    l1_shift = sim._l1_shift
+    l1_latency = sim.hierarchy.l1_latency
+    l1_hits = sim.hierarchy.l1_hits
+    l1_misses = sim._l1_misses
+    l1_writebacks = sim._l1_writebacks
+    policy_access = sim._policy_access
+    miss_latency = sim._miss_latency
+    dvfs = sim.dvfs
+    dvfs_entries = dvfs.entries if dvfs is not None else None
+    dvfs_stall = dvfs.stall if dvfs is not None else None
+    l2_latency = config.l2_latency
+
+    events = sim._pending_events
+    event_index = 0
+    next_event = events[0].at_cycle if events else _NEVER
+    clock = 0
+
+    # Always heap-scheduled: identical (time, core_id) order and
+    # tie-break as the scalar engine's two-way compare.
+    heap = [(core.time, core.core_id) for core in initial]
+    heapify(heap)
+
+    lanes = None
+    #: (issue instant, core_id) of every window freeze observed while
+    #: batching — their max is the run's true final key K_end
+    freeze_keys = []
+
+    while unfinished:
+        if heap:
+            now, core_id = heap[0]
+            core = cores[core_id]
+        else:
+            core = None
+            now = next_event if next_event < next_epoch else next_epoch
+
+        if now >= next_epoch or now >= next_event:
+            was_event = next_epoch > next_event
+            (
+                clock, next_epoch, next_event, event_index,
+                unfinished, warmed_up, rekey,
+            ) = sim._advance_boundary(
+                now, clock, next_epoch, next_event, event_index,
+                unfinished, warmed_up,
+            )
+            if rekey:
+                heap = [(c.time, c.core_id) for c in cores if c.active]
+                heapify(heap)
+            if lanes is not None and was_event:
+                # Events touch L1s (arrival warming) and trace bindings
+                # (phase changes); epochs touch neither, so chunk
+                # predictions survive them.
+                for lane in lanes:
+                    lane.refresh()
+            continue
+
+        if lanes is None:
+            if warmed_up:
+                lanes = [
+                    _Lane(c, l1_mask, l1_shift, issue_shift) for c in cores
+                ]
+            else:
+                lane = None
+                run = 0
+        if lanes is not None:
+            lane = lanes[core_id]
+            run = lane.predicted_run(core.position)
+
+        if run:
+            # ---------------- batched hit segment ----------------
+            position = core.position
+            if dvfs_entries is None:
+                hit_latency = l1_latency
+                scaled = lane.shifted[position:position + run]
+            else:
+                entry = dvfs_entries[core_id]
+                hit_latency = entry[2]
+                scaled = lane.shifted[position:position + run]
+                if entry[0] != entry[1]:
+                    scaled = scaled * entry[0] // entry[1]
+            increments = scaled + hit_latency
+            ends = now + np.cumsum(increments)
+            starts = ends - increments
+            boundary = next_epoch if next_epoch < next_event else next_event
+            k = int(np.searchsorted(starts, boundary, side="left"))
+            if run < k:
+                k = run
+            refs_done = core.refs_done
+            if refs_done < warmup and warmup - refs_done < k:
+                k = warmup - refs_done
+            remaining = target - refs_done
+            if 0 < remaining < k:
+                k = remaining
+            # starts[0] == now < boundary and every other cap is >= 1,
+            # so k >= 1: the segment always advances.
+
+            lane.seg_record = (
+                starts, ends, position, k, core.time, refs_done,
+                core.instructions, l1_hits[core_id], False,
+                core.instr_base, core.cycle_base,
+            )
+            csets = core.l1_sets
+            sets_list = lane.sets_list
+            way_list = lane.way_list
+            writes_list = lane.writes_list
+            base = position - lane.ch_start
+            for j in range(base, base + k):
+                cset = csets[sets_list[j]]
+                cset.stamp[way_list[j]] = cset.clock
+                cset.clock += 1
+                if writes_list[j]:
+                    cset.dirty[way_list[j]] = 1
+            l1_hits[core_id] += k
+            core.time = int(ends[k - 1])
+            core.instructions += int(
+                np.sum(lane.gaps[position:position + k])
+            ) + k
+            core.refs_done = refs_done = refs_done + k
+            position += k
+            core.position = 0 if position == core.length else position
+            heapreplace(heap, (core.time, core_id))
+
+            if refs_done == warmup and not core.window_open:
+                core.start_measurement()
+                # Mark the record so a pruned opening reference can
+                # close the window again (instr/cycle bases restored).
+                rec = lane.seg_record
+                lane.seg_record = rec[:8] + (True,) + rec[9:]
+            if refs_done == target and not core.window_closed:
+                core.freeze()
+                freeze_keys.append((int(starts[k - 1]), core_id))
+                unfinished -= 1
+            continue
+
+        # ---------------- scalar reference ----------------
+        # Verbatim scalar-engine semantics (the golden suite pins both
+        # engines against the same fixtures).  Taken for every warmup
+        # reference, predicted miss and spoiled-chunk reference; the
+        # tag probe below is authoritative, so stale predictions only
+        # cost speed, never correctness.
+        position = core.position
+        gap = core.gaps[position]
+        address = core.addresses[position]
+        is_write = core.writes[position]
+        if dvfs_entries is None:
+            issue_time = now + (gap >> issue_shift)
+            hit_latency = l1_latency
+            miss_base = miss_latency
+        else:
+            entry = dvfs_entries[core_id]
+            issue_time = now + (gap >> issue_shift) * entry[0] // entry[1]
+            hit_latency = entry[2]
+            miss_base = entry[3]
+
+        set_index = address & l1_mask
+        tag = address >> l1_shift
+        cset = core.l1_sets[set_index]
+        way = cset.tag_map.get(tag, -1)
+        if way >= 0:
+            cset.stamp[way] = cset.clock
+            cset.clock += 1
+            if is_write:
+                cset.dirty[way] = 1
+            l1_hits[core_id] += 1
+            core.time = issue_time + hit_latency
+        else:
+            l1_misses[core_id] += 1
+            memory_latency = policy_access(core_id, address, False, issue_time)
+            tags = cset.tags
+            victim_way = -1
+            if cset.valid_count != cset.ways:
+                for candidate in range(cset.ways):
+                    if tags[candidate] == NO_TAG:
+                        victim_way = candidate
+                        break
+            if victim_way < 0:
+                stamp = cset.stamp
+                victim_way = stamp.index(min(stamp))
+            old_tag = tags[victim_way]
+            tag_map = cset.tag_map
+            evicted_dirty = 0
+            if old_tag != NO_TAG:
+                evicted_dirty = cset.dirty[victim_way]
+                if tag_map.get(old_tag) == victim_way:
+                    del tag_map[old_tag]
+            else:
+                cset.valid_count += 1
+                sim.hierarchy.l1[core_id].core_occupancy[core_id] += 1
+            tags[victim_way] = tag
+            tag_map[tag] = victim_way
+            cset.dirty[victim_way] = 1 if is_write else 0
+            cset.owner[victim_way] = core_id
+            cset.stamp[victim_way] = cset.clock
+            cset.clock += 1
+            if evicted_dirty:
+                l1_writebacks[core_id] += 1
+                policy_access(
+                    core_id, (old_tag << l1_shift) | set_index, True,
+                    issue_time,
+                )
+            core.time = issue_time + miss_base + memory_latency
+            if dvfs_stall is not None:
+                dvfs_stall[core_id] += l2_latency + memory_latency
+            if lane is not None:
+                lane.spoil()
+                lane.seg_record = None
+        core.instructions += gap + 1
+        position += 1
+        core.position = 0 if position == core.length else position
+        core.refs_done += 1
+        heapreplace(heap, (core.time, core_id))
+
+        if core.refs_done == warmup and not core.window_open:
+            core.start_measurement()
+            if not warmed_up and sim._warm_gate_passed(warmup):
+                sim._end_warmup()
+                warmed_up = True
+                if sim.energy.window_start > clock:
+                    clock = sim.energy.window_start
+        if core.refs_done == target and not core.window_closed:
+            core.freeze()
+            freeze_keys.append((now, core_id))
+            unfinished -= 1
+
+    if freeze_keys and lanes is not None:
+        _prune_overshoot(cores, lanes, l1_hits, warmup, max(freeze_keys))
+
+    return sim._finish_run(clock, event_index)
+
+
+def _prune_overshoot(cores, lanes, l1_hits, warmup, final_key):
+    """Roll back segment references past the run's final key.
+
+    ``final_key`` is the maximum freeze key ``(issue instant,
+    core_id)`` — the scalar engine processes exactly the references
+    whose key is <= it.  Only each core's last recorded segment can
+    contain later references (a core is only scheduled while it holds
+    the minimum key), so each lane's stored pre-state suffices.
+    """
+    final_time, final_core = final_key
+    for lane in lanes:
+        record = lane.seg_record
+        core = lane.core
+        if record is None or core.core_id == final_core:
+            continue
+        (
+            starts, ends, position, k, prev_time, prev_refs,
+            prev_instructions, prev_hits, opened, prev_instr_base,
+            prev_cycle_base,
+        ) = record
+        # A reference at exactly final_time wins the scalar tie-break
+        # (runs before the freeze) only on a lower core id.
+        side = "right" if core.core_id < final_core else "left"
+        kept = int(np.searchsorted(starts[:k], final_time, side=side))
+        if kept >= k:
+            continue
+        core.time = prev_time if kept == 0 else int(ends[kept - 1])
+        core.refs_done = prev_refs + kept
+        core.instructions = prev_instructions + (
+            int(np.sum(lane.gaps[position:position + kept])) + kept
+            if kept else 0
+        )
+        l1_hits[core.core_id] = prev_hits + kept
+        position += kept
+        core.position = 0 if position == core.length else position
+        if opened and core.refs_done < warmup:
+            # The reference that opened this core's window was pruned.
+            core.window_open = False
+            core.instr_base = prev_instr_base
+            core.cycle_base = prev_cycle_base

@@ -1,0 +1,949 @@
+/* Compiled inner loop for the trace-driven CMP simulator.
+ *
+ * One function, `repro_run_span`, executes references in exact global
+ * (time, core_id) order — the same schedule as the Python reference
+ * loop — from the current instant up to the next epoch/scenario
+ * boundary, then returns control to Python.  Everything the per-
+ * reference path touches is modelled here bit-for-bit:
+ *
+ *   - the private L1s (probe, LRU fill, dirty-victim writeback);
+ *   - the shared-LLC access skeleton of
+ *     repro.partitioning.base.BaseSharedCachePolicy.access_fast
+ *     (masked probe, energy/statistics charging, UMON/ATD sampling,
+ *     the banked-memory fetch, victim selection, inline fill, dirty
+ *     writeback);
+ *   - UCP's partition-aware victim selection and post-fill migration
+ *     tracking, and Cooperative Partitioning's takeover marking,
+ *     lazy flushes and receiving-way victim preference;
+ *   - the DVFS timing rows and per-core stall accumulators;
+ *   - the warmup / measurement-window bookkeeping per core.
+ *
+ * Anything boundary-side (partitioning decisions, scenario events,
+ * governor moves, warmup reset) and anything that restructures policy
+ * state (a takeover vector completing) bails out to Python with a
+ * status code.  Dict-order-sensitive side effects (flush timelines,
+ * transfer-flush buckets, transition durations) are recorded into an
+ * ordered event buffer the Python driver replays on span exit.
+ *
+ * The struct layout below is mirrored field-for-field by the ctypes
+ * Structure in repro/engine/compiled.py; every field is 8 bytes wide
+ * so the two cannot drift silently, and a canary word is checked at
+ * entry.  Keep the two declarations in sync.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+typedef int64_t i64;
+
+enum {
+    ST_DONE = 0,
+    ST_BOUNDARY = 1,
+    ST_WARMUP_GATE = 2,
+    ST_NEED_PYTHON_REF = 3,
+    ST_EVBUF_FULL = 4,
+    ST_ERROR = 5,
+};
+
+enum { POL_TABLED = 0, POL_UCP = 1, POL_COOP = 2 };
+
+enum { EV_FLUSH_TL = 1, EV_TFB = 2, EV_TRANS_DUR = 3 };
+
+#define NO_TAG (-1)
+#define TGT_NONE (-1)
+#define CANARY 0x5EED1DEA5EED1DEALL
+
+typedef struct {
+    /* ---- canary / abi ---- */
+    i64 canary;
+
+    /* ---- geometry / run constants ---- */
+    i64 n_cores;
+    i64 issue_shift;
+    i64 l1_latency;
+    i64 miss_latency;
+    i64 l2_latency;
+    i64 target;
+    i64 warmup;
+    i64 llc_set_mask;
+    i64 llc_set_shift;
+    i64 llc_ways;
+    i64 llc_nsets;
+    i64 policy_kind;
+    i64 has_dvfs;
+    i64 mem_latency;
+    i64 mem_nbanks;
+    i64 mem_bank_busy;
+    i64 mem_bank_shift;
+    i64 flush_bucket_cycles;  /* MainMemory.flush_bucket_cycles */
+    i64 stats_bucket_cycles;  /* PolicyStats.flush_bucket_cycles */
+    i64 has_monitors;
+    i64 umon_mask;
+    i64 umon_offset;
+    i64 umon_shift;
+    i64 atd_nslots;
+    i64 last_decision_cycle;  /* -1 = None */
+    i64 l1_nsets;
+    i64 l1_ways;
+    i64 l1_mask;
+    i64 l1_shift;
+
+    /* ---- loop state (in/out) ---- */
+    i64 warmed_up;
+    i64 unfinished;
+    i64 boundary;   /* min(next_epoch, next_event) */
+    i64 bail_now;   /* out */
+    i64 bail_core;  /* out */
+
+    /* ---- per-core scalar state (in/out) ---- */
+    i64 *core_active;
+    i64 *core_time;
+    i64 *core_position;
+    i64 *core_length;
+    i64 *core_instructions;
+    i64 *core_refs_done;
+    i64 *core_window_open;
+    i64 *core_window_closed;
+    i64 *core_instr_base;
+    i64 *core_cycle_base;
+    i64 *core_frozen_instr;
+    i64 *core_frozen_cycles;
+
+    /* ---- traces (zero-copy, refreshed per span) ---- */
+    i64 **trace_gaps;
+    i64 **trace_addr;
+    int8_t **trace_writes;
+
+    /* ---- L1 columns: index [core * l1_nsets + set] ---- */
+    i64 **l1_tags;
+    i64 **l1_stamp;
+    i64 **l1_owner;
+    uint8_t **l1_dirty;
+    i64 *l1_clock;
+    i64 *l1_valid;
+    uint8_t *l1_modified;
+    i64 *l1_occ;        /* per core */
+    i64 *l1_hits;       /* per core */
+    i64 *l1_misses;     /* per core */
+    i64 *l1_writebacks; /* per core */
+
+    /* ---- LLC columns: index [set] ---- */
+    i64 **llc_tags;
+    i64 **llc_stamp;
+    i64 **llc_owner;
+    uint8_t **llc_dirty;
+    i64 *llc_clock;
+    i64 *llc_valid;
+    i64 *llc_mapped;   /* [set * ways + way] = tag mapping to way, -1 none */
+    uint8_t *llc_modified;
+    i64 *llc_occ;      /* per core */
+
+    /* ---- policy fast tables (per core) ---- */
+    i64 *probe_mask;
+    i64 *probe_count;
+    i64 *fill_count;   /* -1 = None (all ways) */
+    i64 *fill_ways;    /* [core * llc_ways + k] */
+    i64 custom_victim;
+    i64 pre_access_active;
+    i64 post_fill_active;
+
+    /* ---- statistics (per core, in/out) ---- */
+    i64 *ways_probed_sum;
+    i64 *probe_events;
+    i64 *writeback_accesses;
+    i64 *demand_accesses;
+    i64 *demand_hits;
+
+    /* ---- energy scalars (in/out) ---- */
+    i64 e_tag_probes;
+    i64 e_data_reads;
+    i64 e_data_writes;
+    i64 e_writebacks;
+    i64 e_monitor_updates;
+
+    /* ---- memory (in/out) ---- */
+    i64 *bank_free_at;
+    i64 mem_reads;
+    i64 mem_writebacks;
+    i64 mem_read_stall;
+
+    /* ---- policy-stats scalars (in/out) ---- */
+    i64 transfer_flushes;
+    i64 transitions_completed;
+    i64 tk_donor_hit;
+    i64 tk_donor_miss;
+    i64 tk_recipient_hit;
+    i64 tk_recipient_miss;
+
+    /* ---- DVFS ---- */
+    i64 *dvfs_entries; /* [core * 4 + k]: num, den, scaled_l1, miss_base */
+    i64 *dvfs_stall;   /* per core, in/out */
+
+    /* ---- ATD (valid when has_monitors) ---- */
+    i64 *atd_stack;    /* [ (core * atd_nslots + slot) * llc_ways + k ] */
+    i64 *atd_len;      /* [core * atd_nslots + slot] */
+    i64 *atd_pos_hits; /* [core * llc_ways + k] */
+    i64 *atd_misses;   /* per core */
+    i64 *atd_accesses; /* per core */
+
+    /* ---- UCP transitions ---- */
+    i64 *ucp_target;       /* per core, TGT_NONE = no target */
+    i64 ucp_known;
+    i64 *ucp_counts;       /* scratch, size ucp_known */
+    i64 *ucp_trans_active; /* per core 0/1, in/out */
+    i64 **ucp_gained;      /* per core -> gained_per_set (llc_nsets) */
+    i64 **ucp_complete;    /* per core -> complete_sets (ways_gained) */
+    i64 *ucp_ways_gained;  /* per core */
+    i64 *ucp_ways_done;    /* per core, in/out */
+    i64 *ucp_start_cycle;  /* per core */
+
+    /* ---- cooperative takeover ---- */
+    i64 engine_active;
+    i64 *coop_donor_count; /* per core */
+    i64 *coop_donor_ways;  /* [core * llc_ways + k] */
+    i64 *coop_rs_count;    /* per core */
+    i64 *coop_rs_donor;    /* [core * n_cores + k] */
+    i64 *coop_rs_nways;    /* [core * n_cores + k] */
+    i64 *coop_rs_ways;     /* [(core * n_cores + k) * llc_ways + j] */
+    i64 *coop_recv_count;  /* per core */
+    i64 *coop_recv_ways;   /* [core * llc_ways + j] */
+    uint8_t **coop_vec_bits; /* per donor core (NULL when absent) */
+    i64 *coop_vec_count;   /* per donor core, in/out */
+
+    /* ---- ordered event buffer (out) ---- */
+    i64 *evbuf;     /* triples (type, value, count) */
+    i64 evbuf_cap;  /* capacity in triples */
+    i64 evbuf_len;  /* in: 0; out: triples used */
+
+    /* ---- prewarm sweep (repro_warm_sweep only) ---- */
+    i64 **warm_lines; /* per core: resident lines to touch */
+    i64 *warm_len;    /* per core */
+    i64 warm_round;   /* resume cursor after an evbuf bail */
+    i64 warm_core;
+} Ctx;
+
+/* ------------------------------------------------------------------ */
+static void ev_push(Ctx *c, i64 type, i64 value)
+{
+    i64 n = c->evbuf_len;
+    if (n > 0 && type != EV_TRANS_DUR) {
+        i64 *last = c->evbuf + (n - 1) * 3;
+        if (last[0] == type && last[1] == value) {
+            last[2]++;
+            return;
+        }
+    }
+    i64 *e = c->evbuf + n * 3;
+    e[0] = type;
+    e[1] = value;
+    e[2] = 1;
+    c->evbuf_len = n + 1;
+}
+
+/* MainMemory.writeback(): bank occupancy + counters + flush timeline */
+static void memory_writeback(Ctx *c, i64 addr, i64 now)
+{
+    i64 bank = (addr >> c->mem_bank_shift) % c->mem_nbanks;
+    i64 start = c->bank_free_at[bank];
+    if (now > start)
+        start = now;
+    c->bank_free_at[bank] = start + c->mem_bank_busy;
+    c->mem_writebacks++;
+    ev_push(c, EV_FLUSH_TL, now / c->flush_bucket_cycles);
+}
+
+/* Python floor division (the numerator can be negative: an access
+ * issued before the stamped decision cycle lands in bucket -1). */
+static i64 floordiv(i64 num, i64 den)
+{
+    i64 q = num / den;
+    if (num % den != 0 && (num < 0) != (den < 0))
+        q--;
+    return q;
+}
+
+/* PolicyStats.note_transfer_flush() */
+static void note_transfer_flush(Ctx *c, i64 now)
+{
+    c->transfer_flushes++;
+    if (c->last_decision_cycle >= 0)
+        ev_push(c, EV_TFB,
+                floordiv(now - c->last_decision_cycle,
+                         c->stats_bucket_cycles));
+}
+
+/* TakeoverEngine._flush_ways_in_set() */
+static void flush_ways_in_set(Ctx *c, const i64 *ways, i64 n, i64 set, i64 now)
+{
+    i64 *tags = c->llc_tags[set];
+    uint8_t *dirty = c->llc_dirty[set];
+    for (i64 k = 0; k < n; k++) {
+        i64 way = ways[k];
+        i64 tag = tags[way];
+        if (tag == NO_TAG || !dirty[way])
+            continue;
+        dirty[way] = 0;
+        memory_writeback(c, (tag << c->llc_set_shift) | set, now);
+        c->e_writebacks++;
+        note_transfer_flush(c, now);
+    }
+}
+
+/* TakeoverEngine.on_access(), minus completion (pre-checked away) */
+static void coop_on_access(Ctx *c, i64 core, i64 set, int hit, i64 now)
+{
+    i64 dn = c->coop_donor_count[core];
+    if (dn > 0) {
+        uint8_t *bits = c->coop_vec_bits[core];
+        if (bits[set] == 0) {
+            bits[set] = 1;
+            c->coop_vec_count[core]++;
+            flush_ways_in_set(c, c->coop_donor_ways + core * c->llc_ways,
+                              dn, set, now);
+            if (hit)
+                c->tk_donor_hit++;
+            else
+                c->tk_donor_miss++;
+        }
+    }
+    i64 rs = c->coop_rs_count[core];
+    for (i64 k = 0; k < rs; k++) {
+        i64 idx = core * c->n_cores + k;
+        i64 donor = c->coop_rs_donor[idx];
+        uint8_t *bits = c->coop_vec_bits[donor];
+        if (bits[set] == 0) {
+            bits[set] = 1;
+            c->coop_vec_count[donor]++;
+            flush_ways_in_set(c, c->coop_rs_ways + idx * c->llc_ways,
+                              c->coop_rs_nways[idx], set, now);
+            if (hit)
+                c->tk_recipient_hit++;
+            else
+                c->tk_recipient_miss++;
+        }
+    }
+}
+
+/* AuxiliaryTagDirectory.record() */
+static void atd_record(Ctx *c, i64 core, i64 set, i64 tag)
+{
+    i64 W = c->llc_ways;
+    i64 slot = set >> c->umon_shift;
+    i64 base = core * c->atd_nslots + slot;
+    i64 *stack = c->atd_stack + base * W;
+    i64 len = c->atd_len[base];
+    c->atd_accesses[core]++;
+    i64 pos = -1;
+    for (i64 i = 0; i < len; i++) {
+        if (stack[i] == tag) {
+            pos = i;
+            break;
+        }
+    }
+    if (pos < 0) {
+        c->atd_misses[core]++;
+        i64 nl = len < W ? len + 1 : W;
+        memmove(stack + 1, stack, (size_t)(nl - 1) * sizeof(i64));
+        stack[0] = tag;
+        c->atd_len[base] = nl;
+        return;
+    }
+    memmove(stack + 1, stack, (size_t)pos * sizeof(i64));
+    stack[0] = tag;
+    c->atd_pos_hits[core * W + pos]++;
+}
+
+/* CacheSet.victim(ways): fc < 0 means "all ways" */
+static i64 set_victim(Ctx *c, i64 set, i64 fc, const i64 *fw)
+{
+    i64 W = c->llc_ways;
+    i64 *tags = c->llc_tags[set];
+    i64 *stamp = c->llc_stamp[set];
+    if (fc < 0) {
+        if (c->llc_valid[set] != W) {
+            for (i64 w = 0; w < W; w++)
+                if (tags[w] == NO_TAG)
+                    return w;
+        }
+        i64 best = 0;
+        i64 bs = stamp[0];
+        for (i64 w = 1; w < W; w++) {
+            if (stamp[w] < bs) {
+                bs = stamp[w];
+                best = w;
+            }
+        }
+        return best;
+    }
+    if (c->llc_valid[set] != W) {
+        for (i64 k = 0; k < fc; k++)
+            if (tags[fw[k]] == NO_TAG)
+                return fw[k];
+    }
+    i64 best = -1;
+    i64 bs = 0;
+    for (i64 k = 0; k < fc; k++) {
+        i64 s = stamp[fw[k]];
+        if (best < 0 || s < bs) {
+            best = fw[k];
+            bs = s;
+        }
+    }
+    return best; /* -1 only for an empty way set: caller errors out */
+}
+
+/* PartitionAwareVictimSelector.select() (UCP) */
+static i64 ucp_select(Ctx *c, i64 core, i64 set, i64 fc, const i64 *fw)
+{
+    i64 W = c->llc_ways;
+    i64 *tags = c->llc_tags[set];
+    i64 n = fc < 0 ? W : fc;
+    if (c->llc_valid[set] != W) {
+        for (i64 k = 0; k < n; k++) {
+            i64 w = fc < 0 ? k : fw[k];
+            if (tags[w] == NO_TAG)
+                return w;
+        }
+    }
+    i64 *owner = c->llc_owner[set];
+    i64 *stamp = c->llc_stamp[set];
+    i64 known = c->ucp_known;
+    i64 *counts = c->ucp_counts;
+    for (i64 i = 0; i < known; i++)
+        counts[i] = 0;
+    for (i64 w = 0; w < W; w++) {
+        if (tags[w] != NO_TAG) {
+            i64 o = owner[w];
+            if (o >= 0 && o < known)
+                counts[o]++;
+        }
+    }
+    i64 tgt = core < known ? c->ucp_target[core] : TGT_NONE;
+    if (tgt != TGT_NONE && counts[core] < tgt) {
+        i64 best = -1;
+        i64 bs = 0;
+        for (i64 k = 0; k < n; k++) {
+            i64 w = fc < 0 ? k : fw[k];
+            if (tags[w] == NO_TAG)
+                continue;
+            i64 o = owner[w];
+            if (o >= 0 && o < known) {
+                i64 ot = c->ucp_target[o];
+                if (ot != TGT_NONE && counts[o] <= ot)
+                    continue;
+            }
+            i64 s = stamp[w];
+            if (best < 0 || s < bs) {
+                best = w;
+                bs = s;
+            }
+        }
+        if (best >= 0)
+            return best;
+    }
+    i64 best = -1;
+    i64 bs = 0;
+    for (i64 k = 0; k < n; k++) {
+        i64 w = fc < 0 ? k : fw[k];
+        if (tags[w] != NO_TAG && owner[w] == core) {
+            i64 s = stamp[w];
+            if (best < 0 || s < bs) {
+                best = w;
+                bs = s;
+            }
+        }
+    }
+    if (best >= 0)
+        return best;
+    return set_victim(c, set, fc, fw);
+}
+
+/* CooperativePartitioningPolicy._select_victim() */
+static i64 coop_select(Ctx *c, i64 core, i64 set, i64 fc, const i64 *fw)
+{
+    if (fc < 0)
+        return set_victim(c, set, -1, 0);
+    if (c->engine_active) {
+        i64 n = c->coop_recv_count[core];
+        const i64 *rw = c->coop_recv_ways + core * c->llc_ways;
+        i64 *owner = c->llc_owner[set];
+        for (i64 k = 0; k < n; k++)
+            if (owner[rw[k]] != core)
+                return rw[k];
+    }
+    return set_victim(c, set, fc, fw);
+}
+
+/* UCPPolicy._post_fill() */
+static void ucp_post_fill(Ctx *c, i64 core, i64 set, i64 evicted_owner,
+                          i64 evicted_dirty, i64 now)
+{
+    if (!c->ucp_trans_active[core])
+        return;
+    if (evicted_owner == core || evicted_owner == -1)
+        return;
+    if (evicted_dirty)
+        note_transfer_flush(c, now);
+    /* _Transition.record_gain() */
+    i64 *gained = c->ucp_gained[core];
+    i64 level = gained[set];
+    int way_done = 0;
+    if (level < c->ucp_ways_gained[core]) {
+        gained[set] = level + 1;
+        i64 *comp = c->ucp_complete[core];
+        comp[level]++;
+        if (comp[level] == c->llc_nsets && level == c->ucp_ways_done[core]) {
+            c->ucp_ways_done[core]++;
+            way_done = 1;
+        }
+    }
+    if (way_done) {
+        ev_push(c, EV_TRANS_DUR, now - c->ucp_start_cycle[core]);
+        c->transitions_completed++;
+    }
+    if (c->ucp_ways_done[core] >= c->ucp_ways_gained[core]) {
+        c->ucp_trans_active[core] = 0;
+        i64 any = 0;
+        for (i64 i = 0; i < c->n_cores; i++)
+            any |= c->ucp_trans_active[i];
+        c->post_fill_active = any;
+    }
+}
+
+/* BaseSharedCachePolicy.access_fast(); returns memory latency, or -1
+ * on an internal error (no victim way). */
+static i64 llc_access(Ctx *c, i64 core, i64 addr, int is_write, i64 now)
+{
+    i64 W = c->llc_ways;
+    i64 set = addr & c->llc_set_mask;
+    i64 tag = addr >> c->llc_set_shift;
+    i64 *mapped = c->llc_mapped + set * W;
+    i64 pm = c->probe_mask[core];
+    i64 np = c->probe_count[core];
+    i64 way = -1;
+    for (i64 w = 0; w < W; w++) {
+        if (mapped[w] == tag) {
+            way = w;
+            break;
+        }
+    }
+    if (way >= 0 && !((pm >> way) & 1))
+        way = -1;
+    int hit = way >= 0;
+
+    c->e_tag_probes += np;
+    if (hit)
+        c->e_data_reads++;
+    c->ways_probed_sum[core] += np;
+    c->probe_events[core]++;
+    if (is_write) {
+        c->writeback_accesses[core]++;
+    } else {
+        c->demand_accesses[core]++;
+        if (hit)
+            c->demand_hits[core]++;
+        if (c->has_monitors && (set & c->umon_mask) == c->umon_offset) {
+            atd_record(c, core, set, tag);
+            c->e_monitor_updates++;
+        }
+    }
+
+    if (c->pre_access_active)
+        coop_on_access(c, core, set, hit, now);
+
+    i64 *tags = c->llc_tags[set];
+    if (hit) {
+        if (!c->pre_access_active || tags[way] == tag) {
+            c->llc_stamp[set][way] = c->llc_clock[set]++;
+            if (is_write) {
+                c->llc_dirty[set][way] = 1;
+                c->e_data_writes++;
+            }
+        }
+        return 0;
+    }
+
+    i64 memory_latency = 0;
+    if (!is_write) {
+        i64 bank = (addr >> c->mem_bank_shift) % c->mem_nbanks;
+        i64 start = c->bank_free_at[bank];
+        if (now > start)
+            start = now;
+        c->bank_free_at[bank] = start + c->mem_bank_busy;
+        i64 queueing = start - now;
+        c->mem_reads++;
+        c->mem_read_stall += queueing;
+        memory_latency = queueing + c->mem_latency;
+    }
+
+    i64 fc = c->fill_count[core];
+    const i64 *fw = c->fill_ways + core * W;
+    i64 victim;
+    if (c->custom_victim) {
+        if (c->policy_kind == POL_UCP)
+            victim = ucp_select(c, core, set, fc, fw);
+        else
+            victim = coop_select(c, core, set, fc, fw);
+    } else {
+        victim = set_victim(c, set, fc, fw);
+    }
+    if (victim < 0)
+        return -1;
+
+    /* Inline fill (mirrors access_fast / SetAssociativeCache.fill). */
+    i64 old_tag = tags[victim];
+    uint8_t *dirty = c->llc_dirty[set];
+    i64 *owner = c->llc_owner[set];
+    i64 evicted_dirty = 0;
+    i64 evicted_owner = -1;
+    if (old_tag != NO_TAG) {
+        evicted_dirty = dirty[victim];
+        evicted_owner = owner[victim];
+        if (mapped[victim] == old_tag)
+            mapped[victim] = NO_TAG;
+        if (evicted_owner >= 0)
+            c->llc_occ[evicted_owner]--;
+    } else {
+        c->llc_valid[set]++;
+    }
+    /* dict overwrite: clear a stale mapping of `tag` left in a way
+     * its owner no longer probes (tag_map[tag] = victim). */
+    for (i64 w = 0; w < W; w++) {
+        if (mapped[w] == tag) {
+            mapped[w] = NO_TAG;
+            break;
+        }
+    }
+    tags[victim] = tag;
+    mapped[victim] = tag;
+    dirty[victim] = is_write ? 1 : 0;
+    owner[victim] = core;
+    c->llc_stamp[set][victim] = c->llc_clock[set]++;
+    c->llc_occ[core]++;
+    c->e_data_writes++;
+    c->llc_modified[set] = 1;
+    if (evicted_dirty) {
+        i64 vaddr = (old_tag << c->llc_set_shift) | set;
+        i64 bank = (vaddr >> c->mem_bank_shift) % c->mem_nbanks;
+        i64 start = c->bank_free_at[bank];
+        if (now > start)
+            start = now;
+        c->bank_free_at[bank] = start + c->mem_bank_busy;
+        c->mem_writebacks++;
+        ev_push(c, EV_FLUSH_TL, now / c->flush_bucket_cycles);
+        c->e_writebacks++;
+    }
+    if (c->post_fill_active)
+        ucp_post_fill(c, core, set, evicted_owner, evicted_dirty, now);
+    return memory_latency;
+}
+
+/* Would this access complete a takeover vector?  A completion must be
+ * finalised by Python (permission withdrawal, power gating), so the
+ * reference bails out *before* any state is mutated. */
+static int vec_completes(Ctx *c, i64 donor, i64 s1, i64 s2)
+{
+    uint8_t *bits = c->coop_vec_bits[donor];
+    i64 marks = bits[s1] == 0 ? 1 : 0;
+    if (s2 >= 0 && s2 != s1 && bits[s2] == 0)
+        marks++;
+    return c->coop_vec_count[donor] + marks >= c->llc_nsets;
+}
+
+static int coop_would_complete(Ctx *c, i64 core, i64 addr, i64 sidx, i64 lset)
+{
+    i64 s1 = addr & c->llc_set_mask;
+    /* Would the L1 miss also write back a dirty victim?  The victim
+     * choice is deterministic, so compute it read-only. */
+    i64 s2 = -1;
+    i64 *ltags = c->l1_tags[sidx];
+    i64 victim = -1;
+    if (c->l1_valid[sidx] != c->l1_ways) {
+        for (i64 w = 0; w < c->l1_ways; w++) {
+            if (ltags[w] == NO_TAG) {
+                victim = w;
+                break;
+            }
+        }
+    }
+    if (victim < 0) {
+        i64 *st = c->l1_stamp[sidx];
+        i64 bs = st[0];
+        victim = 0;
+        for (i64 w = 1; w < c->l1_ways; w++) {
+            if (st[w] < bs) {
+                bs = st[w];
+                victim = w;
+            }
+        }
+    }
+    if (ltags[victim] != NO_TAG && c->l1_dirty[sidx][victim])
+        s2 = ((ltags[victim] << c->l1_shift) | lset) & c->llc_set_mask;
+
+    if (c->coop_donor_count[core] > 0 && vec_completes(c, core, s1, s2))
+        return 1;
+    i64 rs = c->coop_rs_count[core];
+    for (i64 k = 0; k < rs; k++) {
+        if (vec_completes(c, c->coop_rs_donor[core * c->n_cores + k], s1, s2))
+            return 1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+i64 repro_abi_size(void)
+{
+    return (i64)sizeof(Ctx);
+}
+
+i64 repro_run_span(Ctx *c)
+{
+    if (c->canary != CANARY)
+        return ST_ERROR;
+    i64 n = c->n_cores;
+    for (;;) {
+        /* Worst-case events for one reference: every in-flight way of
+         * every relevant takeover vector flushing on both the demand
+         * and the writeback access stays well under this headroom. */
+        if (c->evbuf_len > c->evbuf_cap - 2048)
+            return ST_EVBUF_FULL;
+
+        /* Scheduler: min (time, core_id) over active cores — the heap
+         * tie-break (earliest time, lowest id) by strict <. */
+        i64 now = 0;
+        i64 ci = -1;
+        for (i64 i = 0; i < n; i++) {
+            if (!c->core_active[i])
+                continue;
+            i64 t = c->core_time[i];
+            if (ci < 0 || t < now) {
+                now = t;
+                ci = i;
+            }
+        }
+        if (ci < 0) {
+            c->bail_now = c->boundary;
+            return ST_BOUNDARY;
+        }
+        if (now >= c->boundary) {
+            c->bail_now = now;
+            return ST_BOUNDARY;
+        }
+
+        i64 pos = c->core_position[ci];
+        i64 gap = c->trace_gaps[ci][pos];
+        i64 addr = c->trace_addr[ci][pos];
+        i64 is_write = c->trace_writes[ci][pos];
+        i64 issue_time, hit_latency, miss_base;
+        if (!c->has_dvfs) {
+            issue_time = now + (gap >> c->issue_shift);
+            hit_latency = c->l1_latency;
+            miss_base = c->miss_latency;
+        } else {
+            i64 *e = c->dvfs_entries + ci * 4;
+            issue_time = now + ((gap >> c->issue_shift) * e[0]) / e[1];
+            hit_latency = e[2];
+            miss_base = e[3];
+        }
+
+        i64 lset = addr & c->l1_mask;
+        i64 ltag = addr >> c->l1_shift;
+        i64 sidx = ci * c->l1_nsets + lset;
+        i64 *ltags = c->l1_tags[sidx];
+        i64 lway = -1;
+        for (i64 w = 0; w < c->l1_ways; w++) {
+            if (ltags[w] == ltag) {
+                lway = w;
+                break;
+            }
+        }
+        if (lway >= 0) {
+            c->l1_stamp[sidx][lway] = c->l1_clock[sidx]++;
+            if (is_write)
+                c->l1_dirty[sidx][lway] = 1;
+            c->l1_hits[ci]++;
+            c->core_time[ci] = issue_time + hit_latency;
+        } else {
+            if (c->engine_active &&
+                coop_would_complete(c, ci, addr, sidx, lset)) {
+                c->bail_now = now;
+                c->bail_core = ci;
+                return ST_NEED_PYTHON_REF;
+            }
+            c->l1_misses[ci]++;
+            i64 mem_lat = llc_access(c, ci, addr, 0, issue_time);
+            if (mem_lat < 0)
+                return ST_ERROR;
+            /* L1 victim: plain LRU over the full set. */
+            i64 victim = -1;
+            if (c->l1_valid[sidx] != c->l1_ways) {
+                for (i64 w = 0; w < c->l1_ways; w++) {
+                    if (ltags[w] == NO_TAG) {
+                        victim = w;
+                        break;
+                    }
+                }
+            }
+            if (victim < 0) {
+                i64 *st = c->l1_stamp[sidx];
+                i64 bs = st[0];
+                victim = 0;
+                for (i64 w = 1; w < c->l1_ways; w++) {
+                    if (st[w] < bs) {
+                        bs = st[w];
+                        victim = w;
+                    }
+                }
+            }
+            i64 old_tag = ltags[victim];
+            i64 evicted_dirty = 0;
+            if (old_tag != NO_TAG) {
+                evicted_dirty = c->l1_dirty[sidx][victim];
+            } else {
+                c->l1_valid[sidx]++;
+                c->l1_occ[ci]++;
+            }
+            ltags[victim] = ltag;
+            c->l1_dirty[sidx][victim] = is_write ? 1 : 0;
+            c->l1_owner[sidx][victim] = ci;
+            c->l1_stamp[sidx][victim] = c->l1_clock[sidx]++;
+            c->l1_modified[sidx] = 1;
+            if (evicted_dirty) {
+                c->l1_writebacks[ci]++;
+                if (llc_access(c, ci, (old_tag << c->l1_shift) | lset, 1,
+                               issue_time) < 0)
+                    return ST_ERROR;
+            }
+            c->core_time[ci] = issue_time + miss_base + mem_lat;
+            if (c->has_dvfs)
+                c->dvfs_stall[ci] += c->l2_latency + mem_lat;
+        }
+
+        c->core_instructions[ci] += gap + 1;
+        pos++;
+        c->core_position[ci] = pos == c->core_length[ci] ? 0 : pos;
+        c->core_refs_done[ci]++;
+
+        if (c->core_refs_done[ci] == c->warmup && !c->core_window_open[ci]) {
+            /* CoreState.start_measurement() */
+            c->core_instr_base[ci] = c->core_instructions[ci];
+            c->core_cycle_base[ci] = c->core_time[ci];
+            c->core_window_open[ci] = 1;
+            if (!c->warmed_up) {
+                c->bail_now = now;
+                c->bail_core = ci;
+                return ST_WARMUP_GATE;
+            }
+        }
+        if (c->core_refs_done[ci] == c->target && !c->core_window_closed[ci]) {
+            /* CoreState.freeze() */
+            c->core_frozen_instr[ci] =
+                c->core_instructions[ci] - c->core_instr_base[ci];
+            c->core_frozen_cycles[ci] =
+                c->core_time[ci] - c->core_cycle_base[ci];
+            c->core_window_closed[ci] = 1;
+            if (--c->unfinished == 0)
+                return ST_DONE;
+        }
+    }
+}
+
+/* CMPSimulator._prewarm(): pre-touch each core's resident working set
+ * through the real L1/LLC access path, one line per core per round
+ * (the Python sweep's interleave).  No windows or reference counting
+ * — warm traffic only ages the caches and advances core time.
+ * Resumes from (warm_round, warm_core) after an ST_EVBUF_FULL bail. */
+i64 repro_warm_sweep(Ctx *c)
+{
+    if (c->canary != CANARY)
+        return ST_ERROR;
+    i64 n = c->n_cores;
+    i64 max_len = 0;
+    for (i64 i = 0; i < n; i++) {
+        if (c->core_active[i] && c->warm_len[i] > max_len)
+            max_len = c->warm_len[i];
+    }
+    for (i64 r = c->warm_round; r < max_len; r++) {
+        for (i64 ci = c->warm_core; ci < n; ci++) {
+            if (!c->core_active[ci] || r >= c->warm_len[ci])
+                continue;
+            if (c->evbuf_len > c->evbuf_cap - 2048) {
+                c->warm_round = r;
+                c->warm_core = ci;
+                return ST_EVBUF_FULL;
+            }
+            i64 now = c->core_time[ci];
+            i64 addr = c->warm_lines[ci][r];
+            i64 lset = addr & c->l1_mask;
+            i64 ltag = addr >> c->l1_shift;
+            i64 sidx = ci * c->l1_nsets + lset;
+            i64 *ltags = c->l1_tags[sidx];
+            i64 lway = -1;
+            for (i64 w = 0; w < c->l1_ways; w++) {
+                if (ltags[w] == ltag) {
+                    lway = w;
+                    break;
+                }
+            }
+            if (lway >= 0) {
+                c->l1_stamp[sidx][lway] = c->l1_clock[sidx]++;
+                c->l1_hits[ci]++;
+                c->core_time[ci] = now +
+                    (c->has_dvfs ? c->dvfs_entries[ci * 4 + 2]
+                                 : c->l1_latency);
+                continue;
+            }
+            c->l1_misses[ci]++;
+            i64 mem_lat = llc_access(c, ci, addr, 0, now);
+            if (mem_lat < 0)
+                return ST_ERROR;
+            i64 victim = -1;
+            if (c->l1_valid[sidx] != c->l1_ways) {
+                for (i64 w = 0; w < c->l1_ways; w++) {
+                    if (ltags[w] == NO_TAG) {
+                        victim = w;
+                        break;
+                    }
+                }
+            }
+            if (victim < 0) {
+                i64 *st = c->l1_stamp[sidx];
+                i64 bs = st[0];
+                victim = 0;
+                for (i64 w = 1; w < c->l1_ways; w++) {
+                    if (st[w] < bs) {
+                        bs = st[w];
+                        victim = w;
+                    }
+                }
+            }
+            i64 old_tag = ltags[victim];
+            i64 evicted_dirty = 0;
+            if (old_tag != NO_TAG) {
+                evicted_dirty = c->l1_dirty[sidx][victim];
+            } else {
+                c->l1_valid[sidx]++;
+                c->l1_occ[ci]++;
+            }
+            ltags[victim] = ltag;
+            c->l1_dirty[sidx][victim] = 0;
+            c->l1_owner[sidx][victim] = ci;
+            c->l1_stamp[sidx][victim] = c->l1_clock[sidx]++;
+            c->l1_modified[sidx] = 1;
+            if (evicted_dirty) {
+                c->l1_writebacks[ci]++;
+                if (llc_access(c, ci, (old_tag << c->l1_shift) | lset, 1,
+                               now) < 0)
+                    return ST_ERROR;
+            }
+            if (!c->has_dvfs) {
+                c->core_time[ci] = now + c->miss_latency + mem_lat;
+            } else {
+                c->dvfs_stall[ci] += c->l2_latency + mem_lat;
+                c->core_time[ci] = now + c->dvfs_entries[ci * 4 + 3] + mem_lat;
+            }
+        }
+        c->warm_core = 0;
+    }
+    return ST_DONE;
+}

@@ -134,6 +134,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: $REPRO_JOBS or CPU count)",
     )
     sweep.add_argument(
+        "--engine", default=None, metavar="NAME",
+        choices=("auto", "python", "batched", "compiled"),
+        help="execution backend every task (workers included) runs on "
+             "(default: $REPRO_ENGINE, then auto); every backend is "
+             "bit-identical, this only changes speed",
+    )
+    sweep.add_argument(
         "--metric", choices=(*_METRICS, "all"), default="speedup",
         help="which normalised table(s) to print (default: speedup)",
     )
@@ -163,6 +170,12 @@ def _build_parser() -> argparse.ArgumentParser:
     alone.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes (default: $REPRO_JOBS or CPU count)",
+    )
+    alone.add_argument(
+        "--engine", default=None, metavar="NAME",
+        choices=("auto", "python", "batched", "compiled"),
+        help="execution backend every task (workers included) runs on "
+             "(default: $REPRO_ENGINE, then auto)",
     )
     alone.set_defaults(handler=_cmd_alone)
 
@@ -273,6 +286,21 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--tolerance", type=float, default=0.20, metavar="F",
         help="allowed fractional throughput drop for --check (default 0.20)",
+    )
+    bench.add_argument(
+        "--engine", default=None, metavar="NAME",
+        choices=["auto", "python", "batched", "compiled"],
+        help="execution backend to time: auto (default; fastest "
+             "available, also honours $REPRO_ENGINE), python, batched "
+             "or compiled — an explicit request this machine cannot "
+             "satisfy is an error, never a silent fallback",
+    )
+    bench.add_argument(
+        "--profile", default=None, metavar="OUT.prof",
+        help="run the matrix under cProfile and write pstats data to "
+             "OUT.prof (inspect with `python -m pstats OUT.prof` or "
+             "snakeviz); timings include profiler overhead, so the "
+             "payload is not written and --check is unavailable",
     )
     bench.set_defaults(handler=_cmd_bench)
 
@@ -468,6 +496,22 @@ def _render_tables(
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _executor_from(options: argparse.Namespace, store: ResultStore) -> SweepExecutor:
+    """Build the sweep executor, mapping an unavailable ``--engine``
+    request to a clean CLI error instead of a traceback."""
+    from repro.engine import EngineUnavailableError
+
+    try:
+        return SweepExecutor(
+            store,
+            resolve_jobs(options.jobs),
+            progress=_progress,
+            engine=getattr(options, "engine", None),
+        )
+    except EngineUnavailableError as error:
+        raise SystemExit(str(error))
+
+
 def _cmd_sweep(options: argparse.Namespace) -> int:
     if options.spec:
         return _cmd_sweep_spec(options)
@@ -476,9 +520,7 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
     policies = _policies_from(options)
     governor = _governor_from(options)
     store = _store_from(options)
-    executor = SweepExecutor(
-        store, resolve_jobs(options.jobs), progress=_progress
-    )
+    executor = _executor_from(options, store)
     started = time.perf_counter()
     experiments = Experiment.grid(config, groups, policies, governor=governor)
     if options.dry_run:
@@ -551,9 +593,7 @@ def _cmd_sweep_spec(options: argparse.Namespace) -> int:
     except (KeyError, TypeError, ValueError) as error:
         raise SystemExit(f"bad experiment spec in {options.spec}: {error}")
     store = _store_from(options)
-    executor = SweepExecutor(
-        store, resolve_jobs(options.jobs), progress=_progress
-    )
+    executor = _executor_from(options, store)
     if options.dry_run:
         return _render_dry_run(executor, experiments, store)
     started = time.perf_counter()
@@ -598,9 +638,7 @@ def _cmd_alone(options: argparse.Namespace) -> int:
             f"{', '.join(sorted(BENCHMARK_PROFILES))}"
         )
     store = _store_from(options)
-    executor = SweepExecutor(
-        store, resolve_jobs(options.jobs), progress=_progress
-    )
+    executor = _executor_from(options, store)
     results = executor.alone_many(config, names)
     print(f"\n=== alone runs on {config.l2.describe()} ===")
     print(f"{'benchmark':<12}{'paper MPKI':>12}{'measured':>12}{'IPC':>8}{'class':>9}")
@@ -908,12 +946,15 @@ def _cmd_bench(options: argparse.Namespace) -> int:
 
     from repro.bench.harness import (
         bench_matrix,
+        carry_trajectory,
         compare_to_baseline,
         load_payload,
         run_benchmarks,
         speedup_over,
         write_payload,
     )
+
+    from repro.engine import EngineUnavailableError, resolve_engine
 
     repeats = options.repeats
     if repeats is None:
@@ -922,9 +963,35 @@ def _cmd_bench(options: argparse.Namespace) -> int:
         raise SystemExit(f"--repeats must be positive, got {repeats}")
     if not 0.0 <= options.tolerance < 1.0:
         raise SystemExit(f"--tolerance must be in [0, 1), got {options.tolerance}")
+    try:
+        engine = resolve_engine(options.engine)
+    except EngineUnavailableError as exc:
+        raise SystemExit(str(exc))
     cases = bench_matrix(quick=options.quick)
-    print(f"timing {len(cases)} cases, best of {repeats} runs each:")
-    payload = run_benchmarks(cases, repeats=repeats, progress=print)
+    print(f"timing {len(cases)} cases on the {engine} engine, "
+          f"best of {repeats} runs each:")
+
+    if options.profile:
+        # Profiling answers "where does the time go", not "how fast is
+        # it": the instrumented numbers are not comparable to normal
+        # payloads, so nothing is persisted or checked.
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        payload = run_benchmarks(
+            cases, repeats=repeats, progress=print, engine=engine
+        )
+        profiler.disable()
+        profiler.dump_stats(options.profile)
+        print(
+            f"aggregate: {payload['aggregate_refs_per_sec']:,.0f} refs/s "
+            f"(geomean; includes profiler overhead)"
+        )
+        print(f"wrote profile data to {options.profile}")
+        return 0
+
+    payload = run_benchmarks(cases, repeats=repeats, progress=print, engine=engine)
     print(f"aggregate: {payload['aggregate_refs_per_sec']:,.0f} refs/s (geomean)")
 
     if options.baseline and Path(options.baseline).exists():
@@ -938,7 +1005,8 @@ def _cmd_bench(options: argparse.Namespace) -> int:
 
     output = options.output if options.output is not None else BENCH_FILENAME
     if output != "-":
-        write_payload(payload, output)
+        previous = load_payload(output) if Path(output).exists() else None
+        write_payload(carry_trajectory(payload, previous), output)
         print(f"wrote {output}")
 
     if options.check:

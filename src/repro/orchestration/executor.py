@@ -10,14 +10,21 @@ spec's label.  The parent then assembles the figure tables entirely
 from cache hits, which guarantees the numbers are bit-identical to a
 serial in-process run.
 
-Scheduling is two-phase:
+Scheduling is two-phase with per-spec dependency gating:
 
 1. **alone runs** — every spec's :meth:`Experiment.
    alone_dependencies` (group members for weighted speedup, arrival
    benchmarks for profile-driven schemes) plus any alone specs passed
-   directly — computing them first means no main task ever duplicates
-   one;
-2. **main runs** — the group and scenario specs themselves.
+   directly — scheduling them first means no main task ever
+   duplicates one;
+2. **main runs** — the group and scenario specs themselves.  A main
+   spec is submitted as soon as *its own* alone dependencies have
+   completed (no global barrier between the phases), so main work
+   overlaps the tail of the slowest alone runs.
+
+An ``engine`` pin (``SweepExecutor(engine=...)``) propagates the
+parent's resolved execution backend to every worker, so a sharded
+sweep times the same engine a serial run would.
 
 Third-party policies keep working under sharding: each task carries
 the module that registered its policy class, and the worker imports
@@ -38,7 +45,7 @@ completed tasks by key without changing any result.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterable
 
 from repro.experiment import Experiment
@@ -97,6 +104,7 @@ def _worker_run(
     experiment: Experiment,
     policy_module: str,
     governor_module: str | None = None,
+    engine: str | None = None,
 ) -> str:
     # Importing the registering module re-runs its @register_policy
     # decorator in this process — a no-op for built-ins (the registry
@@ -108,6 +116,10 @@ def _worker_run(
     importlib.import_module(policy_module)
     if governor_module is not None:
         importlib.import_module(governor_module)
+    if engine is not None:
+        # Pin the parent's resolved execution backend; this is a
+        # private worker process, so the env write leaks nowhere.
+        os.environ["REPRO_ENGINE"] = engine
     runner = ExperimentRunner(store=ResultStore(store_root))
     runner.run(experiment)
     return experiment.label
@@ -140,7 +152,11 @@ class SweepExecutor:
     """Shards experiment specs across worker processes.
 
     ``progress`` (optional) receives one human-readable line per
-    completed task — the CLI points it at stderr.
+    completed task — the CLI points it at stderr.  ``engine``
+    (optional) pins the execution backend every task runs on —
+    workers and inline parent runs alike; it is resolved eagerly so
+    an unavailable explicit engine fails here, once, instead of in
+    every worker.
     """
 
     def __init__(
@@ -149,13 +165,18 @@ class SweepExecutor:
         max_workers: int | None = None,
         runner: ExperimentRunner | None = None,
         progress: Callable[[str], None] | None = None,
+        engine: str | None = None,
     ) -> None:
+        from repro.engine import resolve_engine
+
         self.store = store
         self.max_workers = resolve_jobs(max_workers)
         #: assembles final results; shares the same store, so every
         #: artifact a worker persists is a cache hit here
         self.runner = runner if runner is not None else ExperimentRunner(store=store)
         self.progress = progress
+        #: resolved backend name, or None to let each run pick its own
+        self.engine = None if engine is None else resolve_engine(engine)
 
     # ------------------------------------------------------------------
     # Task planning
@@ -226,8 +247,7 @@ class SweepExecutor:
         """
         alone_pending, main_pending, total = self.plan(tasks)
         computed = len(alone_pending) + len(main_pending)
-        self._run_phase(alone_pending)
-        self._run_phase(main_pending)
+        self._run_phases(alone_pending, main_pending)
         return computed, total - computed
 
     def sweep(
@@ -263,43 +283,120 @@ class SweepExecutor:
         return {b: self.runner.alone(b, config) for b in benchmarks}
 
     # ------------------------------------------------------------------
-    def _run_phase(self, experiments: list[Experiment]) -> None:
-        """Run one phase's specs, in the pool or inline when tiny.
+    def _run_phases(
+        self, alone: list[Experiment], main: list[Experiment]
+    ) -> None:
+        """Run both scheduling phases with per-spec dependency gating.
+
+        Alone runs are mutually independent, so all of them fan out
+        immediately.  A main spec launches the moment *its own*
+        pending alone dependencies land — not behind a global
+        alone-phase barrier — so main work overlaps the tail of the
+        slowest alone runs.  Scheduling affects wall-clock only:
+        every task persists under its key and assembly reads the same
+        artifacts a serial run produces.
 
         Specs whose policy class lives in ``__main__`` cannot be
-        rebuilt by a spawned worker and run inline in the parent.
+        rebuilt by a spawned worker and run inline in the parent:
+        inline alone specs first (they may unblock pooled main
+        specs), inline main specs after the pool drains (by which
+        point every alone dependency exists in the store).
         """
-        if not experiments:
+        total = len(alone) + len(main)
+        if not total:
             return
-        pooled = [e for e in experiments if _pool_safe(e)]
-        inline = [e for e in experiments if not _pool_safe(e)]
-        total = len(experiments)
-        done = 0
+        pooled = [e for e in (*alone, *main) if _pool_safe(e)]
         workers = min(self.max_workers, len(pooled))
+        done = 0
         if workers <= 1:
-            inline = pooled + inline
-            pooled = []
-        if pooled:
-            store_root = str(self.store.root)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(
-                        _worker_run,
-                        store_root,
-                        experiment,
-                        _policy_module(experiment),
-                        _governor_module(experiment),
-                    ): experiment
-                    for experiment in pooled
-                }
-                for future in as_completed(futures):
+            # Serial fallback: alone-then-main order satisfies every
+            # dependency by construction.
+            for experiment in (*alone, *main):
+                self._run_inline(experiment)
+                done += 1
+                self._report(done, total, experiment.label)
+            return
+        pending_alone = {e.task_key() for e in alone}
+        inline_alone = [e for e in alone if not _pool_safe(e)]
+        inline_main = [e for e in main if not _pool_safe(e)]
+        #: pool-safe main specs gated on alone deps still pending
+        blocked: list[tuple[Experiment, set[str]]] = []
+        ready_main: list[Experiment] = []
+        for experiment in main:
+            if not _pool_safe(experiment):
+                continue
+            deps = {
+                d.task_key() for d in experiment.alone_dependencies()
+            } & pending_alone
+            if deps:
+                blocked.append((experiment, deps))
+            else:
+                ready_main.append(experiment)
+        store_root = str(self.store.root)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: dict = {}
+            outstanding: set = set()
+
+            def submit(experiment: Experiment) -> None:
+                future = pool.submit(
+                    _worker_run,
+                    store_root,
+                    experiment,
+                    _policy_module(experiment),
+                    _governor_module(experiment),
+                    self.engine,
+                )
+                futures[future] = experiment
+                outstanding.add(future)
+
+            def unblock(key: str) -> None:
+                still: list[tuple[Experiment, set[str]]] = []
+                for experiment, deps in blocked:
+                    deps.discard(key)
+                    if deps:
+                        still.append((experiment, deps))
+                    else:
+                        submit(experiment)
+                blocked[:] = still
+
+            for experiment in alone:
+                if _pool_safe(experiment):
+                    submit(experiment)
+            for experiment in ready_main:
+                submit(experiment)
+            for experiment in inline_alone:
+                self._run_inline(experiment)
+                done += 1
+                self._report(done, total, experiment.label)
+                unblock(experiment.task_key())
+            while outstanding:
+                completed, _ = wait(outstanding, return_when=FIRST_COMPLETED)
+                outstanding -= completed
+                for future in completed:
                     future.result()  # surface worker exceptions immediately
+                    experiment = futures[future]
                     done += 1
-                    self._report(done, total, futures[future].label)
-        for experiment in inline:
-            self.runner.run(experiment)
+                    self._report(done, total, experiment.label)
+                    unblock(experiment.task_key())
+        for experiment in inline_main:
+            self._run_inline(experiment)
             done += 1
             self._report(done, total, experiment.label)
+
+    def _run_inline(self, experiment: Experiment) -> None:
+        """Run one spec in the parent, honouring the pinned engine."""
+        if self.engine is None:
+            self.runner.run(experiment)
+            return
+        previous = os.environ.get("REPRO_ENGINE")
+        os.environ["REPRO_ENGINE"] = self.engine
+        try:
+            self.runner.run(experiment)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_ENGINE", None)
+            else:
+                os.environ["REPRO_ENGINE"] = previous
 
     def _report(self, done: int, total: int, label: str) -> None:
         if self.progress is not None:

@@ -19,6 +19,7 @@ writeback traffic it causes.  This module tracks both.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from repro.cache.replacement import PartitionAwareVictimSelector
@@ -35,14 +36,16 @@ class _Transition:
     ways_gained: int
     start_cycle: int
     num_sets: int
-    gained_per_set: list[int] = field(default_factory=list)
+    gained_per_set: array = field(default_factory=lambda: array("q"))
     #: ``complete_sets[k]`` = sets that have yielded at least ``k+1`` blocks
-    complete_sets: list[int] = field(default_factory=list)
+    complete_sets: array = field(default_factory=lambda: array("q"))
     ways_done: int = 0
 
     def __post_init__(self) -> None:
-        self.gained_per_set = [0] * self.num_sets
-        self.complete_sets = [0] * self.ways_gained
+        # ``array('q')`` rather than lists so engines can view the
+        # migration counters zero-copy; index semantics are identical.
+        self.gained_per_set = array("q", bytes(8 * self.num_sets))
+        self.complete_sets = array("q", bytes(8 * self.ways_gained))
 
     def record_gain(self, set_index: int) -> bool:
         """Record a block gained in ``set_index``; True if a way completed."""

@@ -280,11 +280,44 @@ class CMPSimulator:
         )
 
     # ------------------------------------------------------------------
-    def run(self) -> RunResult:
-        """Execute the run protocol and return the collected results."""
+    def run(self, engine: str | None = None) -> RunResult:
+        """Execute the run protocol and return the collected results.
+
+        ``engine`` picks the execution backend: ``"python"`` (the
+        reference scalar loop below), ``"batched"`` (numpy hit-run
+        batching), ``"compiled"`` (the C kernel) or ``"auto"``/``None``
+        (fastest available, overridable via ``$REPRO_ENGINE``).  Every
+        backend produces a bit-identical :class:`RunResult` — the
+        golden suite pins all of them against the same fixtures.
+        """
+        from repro.engine import BATCHED, COMPILED, resolve_engine
+
+        name = resolve_engine(engine)
+        if name == COMPILED:
+            from repro.engine.compiled import run_compiled
+
+            return run_compiled(self)
+        if name == BATCHED:
+            from repro.engine.batched import run_batched
+
+            return run_batched(self)
+        return self._run_python()
+
+    # ------------------------------------------------------------------
+    def _begin_run(
+        self, prewarm: Callable[[], None] | None = None
+    ) -> tuple[int, int, bool, int, int, list[CoreState]]:
+        """Shared run prologue: warmup windows, prewarm, first epoch.
+
+        Returns ``(target, warmup, warmed_up, unfinished, next_epoch,
+        initial)``.  Every engine starts a run through here so the
+        measurement protocol is defined exactly once.  ``prewarm``
+        substitutes an engine's own cache-warming implementation (the
+        compiled kernel warms in C); it must be traffic-equivalent to
+        :meth:`_prewarm`.
+        """
         config = self.config
         cores = self.cores
-        issue_shift = max(0, config.issue_width.bit_length() - 1)
         target = config.refs_per_core
         warmup = min(config.warmup_refs, max(0, target - 1))
         self._warmup = warmup
@@ -303,16 +336,148 @@ class CMPSimulator:
             1 for arrival in self._arrival_events if arrival is not None
         )
 
-        self._prewarm()
+        (prewarm or self._prewarm)()
         # The first epoch starts after the warming traffic has drained
         # so the catch-up logic does not fire several decisions back to
         # back on sparse monitor data.
-        epoch_cycles = config.epoch_cycles
         next_epoch = (
-            max((core.time for core in initial), default=0) + epoch_cycles
+            max((core.time for core in initial), default=0)
+            + config.epoch_cycles
         )
         if warmed_up and self._timeline is not None:
             self._record_sample(0)
+        return target, warmup, warmed_up, unfinished, next_epoch, initial
+
+    def _advance_boundary(
+        self,
+        now: int,
+        clock: int,
+        next_epoch: int,
+        next_event: int,
+        event_index: int,
+        unfinished: int,
+        warmed_up: bool,
+    ) -> tuple[int, int, int, int, int, bool, bool]:
+        """Process one scheduler boundary (an epoch or schedule event).
+
+        Called when the next reference's issue instant ``now`` is at or
+        past ``next_epoch``/``next_event``.  Returns the updated
+        ``(clock, next_epoch, next_event, event_index, unfinished,
+        warmed_up, rekey)`` loop state; ``rekey`` tells the caller its
+        cached core ordering is stale (an epoch stalled the cores, or
+        an event changed scheduler membership).  Shared by every
+        engine so the boundary-side protocol exists exactly once.
+        """
+        events = self._pending_events
+        n_events = len(events)
+        warmup = self._warmup
+        rekey = False
+        if next_epoch <= next_event:
+            stamp = next_epoch if next_epoch >= clock else clock
+            rekey = self._run_epoch(stamp)
+            clock = stamp
+            next_epoch += self.config.epoch_cycles
+        else:
+            when = next_event
+            stamp = when if when >= now else now
+            if stamp < clock:
+                stamp = clock
+            last_power_event = self.energy.last_event_cycle
+            if stamp < last_power_event:
+                # An access from another core (or the flush stall it
+                # charged) overran this boundary: static energy is
+                # already integrated past it, so the event takes
+                # effect at that later instant rather than rewinding
+                # time.
+                stamp = last_power_event
+            if self.dvfs is not None:
+                # Close the energy interval at the levels the cores
+                # actually ran at before an event gates or
+                # re-activates anything.
+                self.dvfs.charge_to(stamp, self.cores, self.energy)
+            closed = 0
+            labels: list[str] = []
+            while (
+                event_index < n_events
+                and events[event_index].at_cycle == when
+            ):
+                event = events[event_index]
+                closed += self._apply_event(event, stamp)
+                labels.append(event.describe())
+                event_index += 1
+            next_event = (
+                events[event_index].at_cycle
+                if event_index < n_events
+                else _NEVER
+            )
+            unfinished -= closed
+            clock = stamp
+            stall = getattr(self.policy, "pending_stall", 0)
+            if stall:
+                for c in self.cores:
+                    if c.active:
+                        c.time += stall
+                self.policy.pending_stall = 0
+            if self._timeline is not None and self._measuring:
+                self._record_sample(stamp, labels)
+            if not warmed_up and self._warm_gate_passed(warmup):
+                self._end_warmup()
+                warmed_up = True
+                if self.energy.window_start > clock:
+                    clock = self.energy.window_start
+            rekey = True
+        return (
+            clock, next_epoch, next_event, event_index, unfinished,
+            warmed_up, rekey,
+        )
+
+    def _finish_run(self, clock: int, event_index: int) -> RunResult:
+        """Shared run epilogue: leftover events, energy close, collect."""
+        cores = self.cores
+        events = self._pending_events
+        n_events = len(events)
+        dvfs = self.dvfs
+        end_cycle = max(c.time for c in cores)
+        if event_index < n_events:
+            # Events scheduled past the last window close (only departs
+            # and phases can remain — a pending arrival holds the run
+            # open) are applied at the final instant rather than
+            # silently dropped, so the cached artifact and the timeline
+            # honestly reflect the full schedule.
+            stamp = end_cycle if end_cycle >= clock else clock
+            if dvfs is not None:
+                dvfs.charge_to(stamp, cores, self.energy)
+            labels = []
+            while event_index < n_events:
+                event = events[event_index]
+                self._apply_event(event, stamp)
+                labels.append(event.describe())
+                event_index += 1
+            if getattr(self.policy, "pending_stall", 0):
+                # A flush burst at the final instant has no run left to
+                # slow down; its energy and flush stats are recorded.
+                self.policy.pending_stall = 0
+            if self._timeline is not None and self._measuring:
+                self._record_sample(stamp, labels)
+            if stamp > end_cycle:
+                end_cycle = stamp
+        if dvfs is not None:
+            dvfs.charge_to(end_cycle, cores, self.energy)
+        self.energy.finalize(end_cycle)
+        note_pending = getattr(self.policy, "note_pending", None)
+        if note_pending is not None:
+            note_pending(end_cycle)
+        return self._collect(end_cycle)
+
+    # ------------------------------------------------------------------
+    def _run_python(self) -> RunResult:
+        """The reference scalar loop (pinned by the golden suite)."""
+        config = self.config
+        cores = self.cores
+        issue_shift = max(0, config.issue_width.bit_length() - 1)
+        (
+            target, warmup, warmed_up, unfinished, next_epoch, initial,
+        ) = self._begin_run()
 
         l1_mask = self._l1_mask
         l1_shift = self._l1_shift
@@ -333,7 +498,6 @@ class CMPSimulator:
 
         events = self._pending_events
         event_index = 0
-        n_events = len(events)
         next_event = events[0].at_cycle if events else _NEVER
         # Monotone boundary clock: events take effect at the first
         # scheduler step at or after their scheduled cycle, and no
@@ -378,64 +542,16 @@ class CMPSimulator:
                 now = next_event if next_event < next_epoch else next_epoch
 
             if now >= next_epoch or now >= next_event:
-                if next_epoch <= next_event:
-                    stamp = next_epoch if next_epoch >= clock else clock
-                    if self._run_epoch(stamp) and heap is not None:
-                        # The epoch stalled every core; re-key the heap.
-                        heap = [
-                            (c.time, c.core_id) for c in cores if c.active
-                        ]
-                        heapify(heap)
-                    clock = stamp
-                    next_epoch += epoch_cycles
-                else:
-                    when = next_event
-                    stamp = when if when >= now else now
-                    if stamp < clock:
-                        stamp = clock
-                    last_power_event = self.energy.last_event_cycle
-                    if stamp < last_power_event:
-                        # An access from another core (or the flush
-                        # stall it charged) overran this boundary:
-                        # static energy is already integrated past it,
-                        # so the event takes effect at that later
-                        # instant rather than rewinding time.
-                        stamp = last_power_event
-                    if dvfs is not None:
-                        # Close the energy interval at the levels the
-                        # cores actually ran at before an event gates
-                        # or re-activates anything.
-                        dvfs.charge_to(stamp, cores, self.energy)
-                    closed = 0
-                    labels: list[str] = []
-                    while (
-                        event_index < n_events
-                        and events[event_index].at_cycle == when
-                    ):
-                        event = events[event_index]
-                        closed += self._apply_event(event, stamp)
-                        labels.append(event.describe())
-                        event_index += 1
-                    next_event = (
-                        events[event_index].at_cycle
-                        if event_index < n_events
-                        else _NEVER
-                    )
-                    unfinished -= closed
-                    clock = stamp
-                    stall = getattr(self.policy, "pending_stall", 0)
-                    if stall:
-                        for c in cores:
-                            if c.active:
-                                c.time += stall
-                        self.policy.pending_stall = 0
-                    if self._timeline is not None and self._measuring:
-                        self._record_sample(stamp, labels)
-                    if not warmed_up and self._warm_gate_passed(warmup):
-                        self._end_warmup()
-                        warmed_up = True
-                        if self.energy.window_start > clock:
-                            clock = self.energy.window_start
+                (
+                    clock, next_epoch, next_event, event_index,
+                    unfinished, warmed_up, rekey,
+                ) = self._advance_boundary(
+                    now, clock, next_epoch, next_event, event_index,
+                    unfinished, warmed_up,
+                )
+                if rekey and heap is not None:
+                    # The boundary stalled cores or changed scheduler
+                    # membership; re-key the heap.
                     heap = [(c.time, c.core_id) for c in cores if c.active]
                     heapify(heap)
                 continue
@@ -536,37 +652,7 @@ class CMPSimulator:
                 core.freeze()
                 unfinished -= 1
 
-        end_cycle = max(c.time for c in cores)
-        if event_index < n_events:
-            # Events scheduled past the last window close (only departs
-            # and phases can remain — a pending arrival holds the run
-            # open) are applied at the final instant rather than
-            # silently dropped, so the cached artifact and the timeline
-            # honestly reflect the full schedule.
-            stamp = end_cycle if end_cycle >= clock else clock
-            if dvfs is not None:
-                dvfs.charge_to(stamp, cores, self.energy)
-            labels = []
-            while event_index < n_events:
-                event = events[event_index]
-                self._apply_event(event, stamp)
-                labels.append(event.describe())
-                event_index += 1
-            if getattr(self.policy, "pending_stall", 0):
-                # A flush burst at the final instant has no run left to
-                # slow down; its energy and flush stats are recorded.
-                self.policy.pending_stall = 0
-            if self._timeline is not None and self._measuring:
-                self._record_sample(stamp, labels)
-            if stamp > end_cycle:
-                end_cycle = stamp
-        if dvfs is not None:
-            dvfs.charge_to(end_cycle, cores, self.energy)
-        self.energy.finalize(end_cycle)
-        note_pending = getattr(self.policy, "note_pending", None)
-        if note_pending is not None:
-            note_pending(end_cycle)
-        return self._collect(end_cycle)
+        return self._finish_run(clock, event_index)
 
     # ------------------------------------------------------------------
     def _apply_event(self, event: ScenarioEvent, when: int) -> int:

@@ -22,9 +22,15 @@ import random
 import zlib
 from array import array
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.cache.geometry import CacheGeometry
 from repro.workloads.profiles import BenchmarkProfile
+
+try:  # trace generation vectorizes with numpy but must not require it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
 
 #: bits reserved for one ring's address region
 RING_REGION_BITS = 24
@@ -139,25 +145,75 @@ def generate_trace(
     # Phase schedule: a list of (duration, cumulative-weight table).
     phases = _phase_tables(profile, rings)
 
-    gaps: list[int] = []
-    addresses: list[int] = []
-    writes: list[bool] = []
-    stream_cursor = 0
+    # The per-reference work splits into two independent streams: the
+    # weighted round-robin category pick consumes no randomness, and
+    # the RNG words consumed per reference depend only on the category
+    # (a rejection-sampled index draw for hot/uniform references, none
+    # otherwise, then two uniforms for gap and write flag).  Computing
+    # all categories first therefore leaves the Mersenne Twister word
+    # stream untouched, and the column fill can replay that stream
+    # either scalar (no numpy) or in bulk (vectorized) — byte-identical
+    # traces by construction.
+    categories = _category_sequence(phases, len(rings) + 2, n_refs)
+
+    if _np is not None:
+        gaps, addresses, writes = _fill_columns_numpy(
+            profile, rng, categories, rings, hot_addresses, hot_lines, mean_gap
+        )
+    else:
+        gaps, addresses, writes = _fill_columns_python(
+            profile, rng, categories, rings, hot_addresses, hot_lines, mean_gap
+        )
+
+    warm_lines: list[int] = list(hot_addresses)
+    for ring in rings:
+        warm_lines.extend(ring.addresses)
+
+    return Trace(
+        name=profile.name,
+        gaps=gaps,
+        line_addresses=addresses,
+        writes=writes,
+        warm_lines=array("q", warm_lines),
+    )
+
+
+def _category_sequence(
+    phases: list[tuple[int, list[float]]],
+    n_categories: int,
+    n_refs: int,
+) -> tuple[int, ...]:
+    """Per-reference category picks: 0 = hot, 1..n = rings, last = stream.
+
+    Smooth weighted round-robin over categories (hot region, each
+    ring, stream).  Deterministic interleaving keeps every
+    component's rate exact and gives cyclic rings knife-edge reuse
+    distances, which is what makes the UMON utility curves saturate
+    sharply — the behaviour the paper's threshold lookahead relies
+    on.  An iid category draw would smear each working-set knee over
+    several ways (Poisson interleaving noise).
+
+    The pick sequence depends only on the phase weight tables and the
+    length — not on the seed, the cache geometry, or the L1 size — so
+    one computed sequence serves a whole sweep's worth of traces for
+    the same profile (see the cache on the inner helper).
+    """
+    key = tuple((duration, tuple(weights)) for duration, weights in phases)
+    return _category_sequence_cached(key, n_categories, n_refs)
+
+
+@lru_cache(maxsize=16)
+def _category_sequence_cached(
+    phases: tuple[tuple[int, tuple[float, ...]], ...],
+    n_categories: int,
+    n_refs: int,
+) -> tuple[int, ...]:
+    credits = [0.0] * n_categories
+    categories: list[int] = []
+    append = categories.append
     phase_index = 0
     refs_left_in_phase = phases[0][0]
-    choose = rng.random
-    randrange = rng.randrange
-
-    # Smooth weighted round-robin over categories (hot region, each
-    # ring, stream).  Deterministic interleaving keeps every
-    # component's rate exact and gives cyclic rings knife-edge reuse
-    # distances, which is what makes the UMON utility curves saturate
-    # sharply — the behaviour the paper's threshold lookahead relies
-    # on.  An iid category draw would smear each working-set knee over
-    # several ways (Poisson interleaving noise).
-    n_categories = len(rings) + 2  # hot + rings + stream
-    credits = [0.0] * n_categories
-
+    category_range = range(1, n_categories)
     for _ in range(n_refs):
         if refs_left_in_phase <= 0:
             phase_index = (phase_index + 1) % len(phases)
@@ -168,14 +224,36 @@ def generate_trace(
         best = 0
         best_credit = credits[0] + weights[0]
         credits[0] = best_credit
-        for index in range(1, n_categories):
+        for index in category_range:
             credit = credits[index] + weights[index]
             credits[index] = credit
             if credit > best_credit:
                 best = index
                 best_credit = credit
         credits[best] -= 1.0
+        append(best)
+    return tuple(categories)
 
+
+def _fill_columns_python(
+    profile: BenchmarkProfile,
+    rng: random.Random,
+    categories: "tuple[int, ...]",
+    rings: list["_RingState"],
+    hot_addresses: list[int],
+    hot_lines: int,
+    mean_gap: float,
+) -> tuple["array[int]", "array[int]", "array[int]"]:
+    """Scalar column fill — the no-numpy fallback and semantic reference."""
+    n_categories = len(rings) + 2
+    gaps: list[int] = []
+    addresses: list[int] = []
+    writes: list[bool] = []
+    stream_cursor = 0
+    choose = rng.random
+    randrange = rng.randrange
+
+    for best in categories:
         if best == 0:
             address = hot_addresses[randrange(hot_lines)]
         elif best == n_categories - 1:  # streaming component
@@ -196,17 +274,155 @@ def generate_trace(
         addresses.append(address)
         writes.append(choose() < profile.write_ratio)
 
-    warm_lines: list[int] = list(hot_addresses)
-    for ring in rings:
-        warm_lines.extend(ring.addresses)
+    return array("q", gaps), array("q", addresses), array("b", writes)
 
-    return Trace(
-        name=profile.name,
-        gaps=array("q", gaps),
-        line_addresses=array("q", addresses),
-        writes=array("b", writes),
-        warm_lines=array("q", warm_lines),
+
+class _WordStream:
+    """Bulk access to CPython's Mersenne Twister output stream.
+
+    ``Random.randbytes(4 * k)`` emits exactly ``k`` generator words,
+    each stored little-endian — the identical word sequence
+    ``getrandbits(32)`` (and hence ``random()``/``randrange``) would
+    consume, but produced by one C call instead of ``k`` Python-level
+    ones.  The words are exposed twice over the same byte buffer: as
+    an ``array('I')`` for cheap scalar indexing in the rejection-
+    sampling resolution loop, and as a numpy view for the vectorized
+    column math.  Only whole words are ever requested, so the buffer
+    stays word-aligned with the generator state.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._buffer = bytearray()
+        self.words: "array[int]" = array("I")
+
+    def ensure(self, count: int) -> None:
+        """Grow the emitted-word buffer to at least ``count`` words."""
+        have = len(self.words)
+        if have < count:
+            need = max(count - have, 4096)
+            chunk = self._rng.randbytes(4 * need)
+            self._buffer += chunk
+            self.words.frombytes(chunk)
+
+    def asarray(self, count: int) -> "_np.ndarray":
+        """The first ``count`` words as one uint32 array (buffer view)."""
+        self.ensure(count)
+        return _np.frombuffer(self._buffer, dtype="<u4", count=count)
+
+
+def _fill_columns_numpy(
+    profile: BenchmarkProfile,
+    rng: random.Random,
+    categories: "tuple[int, ...]",
+    rings: list["_RingState"],
+    hot_addresses: list[int],
+    hot_lines: int,
+    mean_gap: float,
+) -> tuple["array[int]", "array[int]", "array[int]"]:
+    """Vectorized column fill, bit-identical to the scalar path.
+
+    Word accounting: each reference consumes its category's index draw
+    (``randrange``, i.e. rejection sampling over ``bit_length``-wide
+    words — zero or more words) followed by exactly four words (two
+    per ``random()`` call, for the gap and the write flag).  Rejection
+    lengths are data-dependent, so the draws resolve in one tight
+    scalar pass over the pregenerated word list; everything downstream
+    of the resulting offsets — gap arithmetic, write thresholds,
+    address table lookups, stream/cyclic cursors — is pure array math.
+    """
+    n_refs = len(categories)
+    n_categories = len(rings) + 2
+
+    # Per-category draw modulus (0 = the category consumes no draw).
+    moduli = [hot_lines]
+    for ring in rings:
+        moduli.append(0 if ring.cyclic else ring.lines)
+    moduli.append(0)
+    shifts = [32 - m.bit_length() if m else 0 for m in moduli]
+
+    words = _WordStream(rng)
+    words.ensure(4 * n_refs + 624)
+    emitted = words.words
+    ensure = words.ensure
+    available = len(emitted)
+
+    draw_words = [0] * n_refs
+    draw_values = [0] * n_refs
+    extra = 0
+    base = 0
+    for index, category in enumerate(categories):
+        modulus = moduli[category]
+        if modulus:
+            shift = shifts[category]
+            position = base + extra
+            if position >= available:
+                ensure(position + 624)
+                available = len(emitted)
+            value = emitted[position] >> shift
+            while value >= modulus:
+                position += 1
+                if position >= available:
+                    ensure(position + 624)
+                    available = len(emitted)
+                value = emitted[position] >> shift
+            consumed = position + 1 - base - extra
+            draw_words[index] = consumed
+            draw_values[index] = value
+            extra += consumed
+        base += 4
+
+    total_words = 4 * n_refs + extra
+    word_arr = words.asarray(total_words)
+
+    consumed_arr = _np.asarray(draw_words, dtype=_np.int64)
+    offsets = _np.arange(n_refs, dtype=_np.int64) * 4
+    offsets[1:] += _np.cumsum(consumed_arr)[:-1]
+    gap_index = offsets + consumed_arr  # first post-draw word per ref
+
+    # CPython random(): ((a >> 5) * 2**26 + (b >> 6)) * 2**-53 over two
+    # consecutive words — exact in float64, so numpy reproduces it.
+    def uniform(at: "_np.ndarray") -> "_np.ndarray":
+        high = (word_arr[at] >> _np.uint32(5)).astype(_np.float64)
+        low = (word_arr[at + 1] >> _np.uint32(6)).astype(_np.float64)
+        return (high * 67108864.0 + low) * (1.0 / 9007199254740992.0)
+
+    gaps_np = _np.trunc(uniform(gap_index) * 2.0 * mean_gap + 0.5).astype(
+        _np.int64
     )
+    writes_np = (uniform(gap_index + 2) < profile.write_ratio).astype(_np.int8)
+
+    addresses_np = _np.empty(n_refs, dtype=_np.int64)
+    category_arr = _np.asarray(categories, dtype=_np.int64)
+    value_arr = _np.asarray(draw_values, dtype=_np.int64)
+
+    hot_mask = category_arr == 0
+    addresses_np[hot_mask] = _np.asarray(hot_addresses, dtype=_np.int64)[
+        value_arr[hot_mask]
+    ]
+    stream_mask = category_arr == n_categories - 1
+    addresses_np[stream_mask] = STREAM_BASE + _np.arange(
+        int(stream_mask.sum()), dtype=_np.int64
+    )
+    for ring_index, ring in enumerate(rings):
+        mask = category_arr == ring_index + 1
+        table = _np.asarray(ring.addresses, dtype=_np.int64)
+        if ring.cyclic:
+            count = int(mask.sum())
+            addresses_np[mask] = table[
+                _np.arange(count, dtype=_np.int64) % ring.lines
+            ]
+            ring.cursor = count % ring.lines
+        else:
+            addresses_np[mask] = table[value_arr[mask]]
+
+    gaps = array("q")
+    gaps.frombytes(gaps_np.tobytes())
+    addresses = array("q")
+    addresses.frombytes(addresses_np.tobytes())
+    writes = array("b")
+    writes.frombytes(writes_np.tobytes())
+    return gaps, addresses, writes
 
 
 def _phase_tables(
