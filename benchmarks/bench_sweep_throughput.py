@@ -1,0 +1,37 @@
+"""Orchestration throughput: warm persistent workers vs spawned ones.
+
+Unlike the per-figure benchmarks, this one measures the sweep
+*machinery*, not the simulated system: how many (small) tasks per
+second each pool backend pushes through the result store.  It is the
+pytest face of ``repro bench --sweep`` — same workload, same cases —
+so the numbers land next to the figure benchmarks in one session.
+
+The committed reference payload lives in
+``BENCH_sweep_throughput.json`` (regenerate with ``repro bench
+--sweep``); CI's sweep-scale job gates quick runs against it.
+"""
+
+from repro.bench.sweep_throughput import run_sweep_benchmarks
+
+
+def test_sweep_throughput(benchmark):
+    lines: list[str] = []
+    payload = benchmark.pedantic(
+        lambda: run_sweep_benchmarks(quick=True, progress=lines.append),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Sweep throughput (quick workload, tasks/s) ===")
+    for line in lines:
+        print(line)
+    print(f"warm over spawn: {payload['warm_over_spawn']:.2f}x")
+    cases = {c["name"]: c for c in payload["cases"]}
+    # Every case must have actually run the whole workload...
+    assert all(c["tasks"] == c["computed"] + c["cached"] for c in cases.values())
+    # ...the resume case entirely from cache...
+    assert cases["resume-warm-quick"]["computed"] == 0
+    # ...and warm workers must not lose meaningfully to spawn-per-task.
+    # The committed full-size payload carries the ≥2x headline; the
+    # quick workload is too small to amortise worker start-up, so this
+    # only rejects a warm pool that got slower than what it replaced.
+    assert payload["warm_over_spawn"] > 0.8

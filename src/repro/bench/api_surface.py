@@ -36,8 +36,10 @@ SURFACE_PATH = Path("tests") / "api_surface.json"
 #: snapshot layout version; bump on incompatible format changes
 #: (2: added the DVFS governor registry, GovernorSpec and the
 #: TimelineSample field list; 3: added the scenario generator, the
-#: committed-corpus name grid and the differential-suite entry points)
-SURFACE_SCHEMA = 3
+#: committed-corpus name grid and the differential-suite entry points;
+#: 4: added the orchestration layer — pool backends, the wire types,
+#: the result store, the sweep executor and the serve daemon)
+SURFACE_SCHEMA = 4
 
 
 def _signature_of(function: Any) -> list[dict[str, Any]]:
@@ -150,6 +152,43 @@ def _scenarios_surface() -> dict[str, Any]:
     }
 
 
+def _orchestration_surface() -> dict[str, Any]:
+    """The pool layer, store, executor and serve-daemon entry points."""
+    import repro.orchestration as orchestration
+    from repro.orchestration.executor import SweepExecutor
+    from repro.orchestration.pools import (
+        POOL_NAMES,
+        WIRE_SCHEMA,
+        Pool,
+        PoolResult,
+        PoolTask,
+        remote_main,
+        resolve_pool,
+        resolve_pool_name,
+    )
+    from repro.orchestration.serve import SweepServer
+    from repro.orchestration.store import ResultStore
+
+    return {
+        "all": sorted(orchestration.__all__),
+        "pool_names": list(POOL_NAMES),
+        "wire_schema": WIRE_SCHEMA,
+        "pool": _public_methods(Pool),
+        "pool_task": {
+            "fields": [field.name for field in dataclasses.fields(PoolTask)],
+        },
+        "pool_result": {
+            "fields": [field.name for field in dataclasses.fields(PoolResult)],
+        },
+        "store": _public_methods(ResultStore),
+        "executor": _public_methods(SweepExecutor),
+        "server": _public_methods(SweepServer),
+        "resolve_pool": _signature_of(resolve_pool),
+        "resolve_pool_name": _signature_of(resolve_pool_name),
+        "remote_main": _signature_of(remote_main),
+    }
+
+
 def compute_surface() -> dict[str, Any]:
     """The current public-API surface as a JSON-stable document."""
     import repro
@@ -189,6 +228,7 @@ def compute_surface() -> dict[str, Any]:
         "policies": _registry_surface(),
         "governors": _governor_surface(),
         "scenarios": _scenarios_surface(),
+        "orchestration": _orchestration_surface(),
     }
 
 

@@ -1,17 +1,24 @@
-"""Sweep orchestration: durable results, parallel execution, CLI.
+"""Sweep orchestration: durable results, pluggable pools, a daemon, CLI.
 
 This package turns the in-process :class:`~repro.sim.runner.
-ExperimentRunner` into a batch system in three layers:
+ExperimentRunner` into a batch system in four layers:
 
 * :mod:`~repro.orchestration.serialize` — lossless JSON round-trips
   for run artifacts and stable content-addressed task keys;
 * :mod:`~repro.orchestration.store` — the on-disk
-  :class:`ResultStore` (atomic writes, self-healing on corruption);
-* :mod:`~repro.orchestration.executor` — the process-pool
-  :class:`SweepExecutor` sharding (group × scheme × geometry) tasks
-  across workers, and :func:`orchestrated_runner`, the one-liner that
-  wires a runner to both.
+  :class:`ResultStore` (atomic writes, per-shard append-only index,
+  meta-only probes, self-healing on corruption);
+* :mod:`~repro.orchestration.pools` — where tasks run: the
+  :class:`Pool` backends (``warm`` persistent workers, ``spawn``
+  per-task processes, ``ssh`` remote fan-out, ``serial`` inline) plus
+  the wire types they share;
+* :mod:`~repro.orchestration.executor` — the :class:`SweepExecutor`
+  planning (group × scheme × geometry) tasks against the store and
+  sharding them across a pool, and :func:`orchestrated_runner`, the
+  one-liner that wires a runner to both.
 
+:mod:`~repro.orchestration.serve` runs it as a service — the
+``repro serve`` HTTP job queue (see ``docs/distributed.md``) — and
 :mod:`~repro.orchestration.cli` exposes all of it as the ``repro``
 console script (``python -m repro`` from a source checkout).
 """
@@ -20,6 +27,17 @@ from repro.orchestration.executor import (
     SweepExecutor,
     orchestrated_runner,
     resolve_jobs,
+)
+from repro.orchestration.pools import (
+    Pool,
+    PoolResult,
+    PoolTask,
+    SerialPool,
+    SpawnPool,
+    SSHPool,
+    SweepTaskError,
+    WarmPool,
+    resolve_pool,
 )
 from repro.orchestration.serialize import (
     SCHEMA_VERSION,
@@ -31,12 +49,21 @@ from repro.orchestration.store import ResultStore, default_store_path
 
 __all__ = [
     "SCHEMA_VERSION",
+    "Pool",
+    "PoolResult",
+    "PoolTask",
     "ResultStore",
+    "SSHPool",
+    "SerialPool",
+    "SpawnPool",
     "SweepExecutor",
+    "SweepTaskError",
+    "WarmPool",
     "alone_task_key",
     "default_store_path",
     "group_task_key",
     "orchestrated_runner",
     "resolve_jobs",
+    "resolve_pool",
     "task_key",
 ]

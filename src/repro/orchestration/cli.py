@@ -1,6 +1,6 @@
 """``repro`` — the command-line front end of the reproduction.
 
-Six subcommands drive the whole evaluation through the orchestrator:
+Seven subcommands drive the whole evaluation through the orchestrator:
 
 * ``repro sweep``    — run a (group × scheme) cross-product in
   parallel, persisting every result; re-running is a cache-hit no-op.
@@ -24,15 +24,24 @@ Six subcommands drive the whole evaluation through the orchestrator:
 * ``repro bench``    — time the simulation engine on the fixed
   workload matrix, write ``BENCH_sim_throughput.json`` and (with
   ``--check``) fail on throughput regressions against a committed
-  baseline (see ``docs/performance.md``).
+  baseline (see ``docs/performance.md``).  ``--sweep`` instead times
+  the orchestration layer — tasks/s of a many-small-task sweep on the
+  warm vs spawn pools plus the cached-resume path — writing
+  ``BENCH_sweep_throughput.json``.
+* ``repro serve``    — run the sweep-as-a-service daemon: accept spec
+  JSON over HTTP, schedule jobs against the store, stream progress,
+  and survive restarts via resume-from-store (see
+  ``docs/distributed.md``).
 * ``repro clean``    — drop the store.
 
 Every run-shaped command accepts ``--cores``, ``--refs-per-core``,
 ``--groups``, ``--policies`` and ``--threshold`` to select the slice
 of the evaluation, ``--governor``/``--governor-param`` to run it
-under a DVFS governor (see ``docs/energy.md``), plus ``--store`` and
-``--jobs`` for the orchestration knobs (``$REPRO_STORE`` /
-``$REPRO_JOBS`` set the defaults).  Installed as a console script by ``setup.py``;
+under a DVFS governor (see ``docs/energy.md``), plus ``--store``,
+``--jobs``, ``--pool`` and ``--hosts`` for the orchestration knobs
+(``$REPRO_STORE`` / ``$REPRO_JOBS`` / ``$REPRO_POOL`` /
+``$REPRO_HOSTS`` set the defaults; see ``docs/distributed.md`` for
+the pool backends).  Installed as a console script by ``setup.py``;
 ``python -m repro`` is the equivalent for source checkouts.
 """
 
@@ -87,6 +96,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="result store directory (default: $REPRO_STORE or .repro/store)",
     )
 
+    pooling = argparse.ArgumentParser(add_help=False)
+    pooling.add_argument(
+        "--pool", default=None, metavar="NAME",
+        choices=("warm", "spawn", "ssh", "serial"),
+        help="execution pool backend: warm (persistent workers; the "
+             "default), spawn (one process per task), ssh (remote "
+             "fan-out over --hosts) or serial (inline); default: "
+             "$REPRO_POOL, or ssh when hosts are configured",
+    )
+    pooling.add_argument(
+        "--hosts", default=None, metavar="LIST",
+        help="comma-separated ssh hosts for --pool ssh (the name "
+             "'local' runs the same protocol in a local subprocess); "
+             "default: $REPRO_HOSTS",
+    )
+
     selection = argparse.ArgumentParser(add_help=False)
     selection.add_argument(
         "--cores", type=int, choices=(2, 4), default=2,
@@ -126,7 +151,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sweep = commands.add_parser(
-        "sweep", parents=[common, selection],
+        "sweep", parents=[common, selection, pooling],
         help="run a group x scheme sweep in parallel and print the figure tables",
     )
     sweep.add_argument(
@@ -160,7 +185,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(handler=_cmd_sweep)
 
     alone = commands.add_parser(
-        "alone", parents=[common, selection],
+        "alone", parents=[common, selection, pooling],
         help="profile benchmarks in isolation (Table 3's MPKI classification)",
     )
     alone.add_argument(
@@ -302,7 +327,44 @@ def _build_parser() -> argparse.ArgumentParser:
              "snakeviz); timings include profiler overhead, so the "
              "payload is not written and --check is unavailable",
     )
+    bench.add_argument(
+        "--sweep", action="store_true",
+        help="time the orchestration layer instead of the engine: "
+             "tasks/s of a many-small-task sweep on the warm vs spawn "
+             "pools plus the cached-resume path, written to "
+             "BENCH_sweep_throughput.json (--check compares against a "
+             "committed sweep payload)",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="--sweep mode: worker processes per pool "
+             "(default: $REPRO_JOBS or CPU count)",
+    )
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve", parents=[common, pooling],
+        help="run the sweep-as-a-service daemon (HTTP job queue over the store)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8321, metavar="PORT",
+        help="port to bind; 0 picks an ephemeral port (default: 8321)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per job (default: $REPRO_JOBS or CPU count)",
+    )
+    serve.add_argument(
+        "--engine", default=None, metavar="NAME",
+        choices=("auto", "python", "batched", "compiled"),
+        help="execution backend jobs run on unless their submission "
+             "pins one (default: $REPRO_ENGINE, then auto)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     clean = commands.add_parser(
         "clean", parents=[common], help="delete every stored artifact"
@@ -498,7 +560,8 @@ def _render_tables(
 # ----------------------------------------------------------------------
 def _executor_from(options: argparse.Namespace, store: ResultStore) -> SweepExecutor:
     """Build the sweep executor, mapping an unavailable ``--engine``
-    request to a clean CLI error instead of a traceback."""
+    request or a bad ``--pool``/``--hosts`` selection to a clean CLI
+    error instead of a traceback."""
     from repro.engine import EngineUnavailableError
 
     try:
@@ -507,8 +570,10 @@ def _executor_from(options: argparse.Namespace, store: ResultStore) -> SweepExec
             resolve_jobs(options.jobs),
             progress=_progress,
             engine=getattr(options, "engine", None),
+            pool=getattr(options, "pool", None),
+            hosts=getattr(options, "hosts", None),
         )
-    except EngineUnavailableError as error:
+    except (EngineUnavailableError, ValueError) as error:
         raise SystemExit(str(error))
 
 
@@ -526,6 +591,7 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
     if options.dry_run:
         return _render_dry_run(executor, experiments, store)
     computed, cached = executor.prefetch(experiments)
+    executor.close()  # workers are done; assembly is cache hits
     # Assemble directly through the runner: the prefetch above already
     # materialised every artifact, so re-running each spec is a pure
     # cache hit.
@@ -545,7 +611,8 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
         f"\n{len(experiments)} group runs over {len(groups)} groups x "
         f"{len(policies)} schemes; {computed} tasks computed, {cached} "
         f"cached in {store.root} (alone-run dependencies included; "
-        f"{elapsed:.1f}s, {executor.max_workers} workers)"
+        f"{elapsed:.1f}s, {executor.max_workers} workers, "
+        f"{executor.pool_name} pool)"
     )
     return 0
 
@@ -598,6 +665,7 @@ def _cmd_sweep_spec(options: argparse.Namespace) -> int:
         return _render_dry_run(executor, experiments, store)
     started = time.perf_counter()
     computed, cached = executor.prefetch(experiments)
+    executor.close()  # workers are done; assembly is cache hits
     print(f"{'kind':<10}{'experiment':<38}{'key':<14}{'headline':<40}")
     for experiment in experiments:
         result = executor.runner.run(experiment)
@@ -617,7 +685,7 @@ def _cmd_sweep_spec(options: argparse.Namespace) -> int:
     print(
         f"\n{len(experiments)} spec(s); {computed} tasks computed, "
         f"{cached} cached in {store.root} ({elapsed:.1f}s, "
-        f"{executor.max_workers} workers)"
+        f"{executor.max_workers} workers, {executor.pool_name} pool)"
     )
     return 0
 
@@ -640,6 +708,7 @@ def _cmd_alone(options: argparse.Namespace) -> int:
     store = _store_from(options)
     executor = _executor_from(options, store)
     results = executor.alone_many(config, names)
+    executor.close()
     print(f"\n=== alone runs on {config.l2.describe()} ===")
     print(f"{'benchmark':<12}{'paper MPKI':>12}{'measured':>12}{'IPC':>8}{'class':>9}")
     for name in names:
@@ -942,6 +1011,8 @@ def _run_scenario_suite(options: argparse.Namespace) -> int:
 
 
 def _cmd_bench(options: argparse.Namespace) -> int:
+    if options.sweep:
+        return _cmd_bench_sweep(options)
     from pathlib import Path
 
     from repro.bench.harness import (
@@ -1029,6 +1100,95 @@ def _cmd_bench(options: argparse.Namespace) -> int:
                 print(f"  {line}", file=sys.stderr)
             return 1
         print(f"no regression vs {options.check} (tolerance {options.tolerance:.0%})")
+    return 0
+
+
+def _cmd_bench_sweep(options: argparse.Namespace) -> int:
+    """``repro bench --sweep``: orchestration tasks/s, not engine refs/s."""
+    from pathlib import Path
+
+    from repro.bench.harness import carry_trajectory, load_payload, write_payload
+    from repro.bench.sweep_throughput import (
+        SWEEP_BENCH_FILENAME,
+        compare_sweep_to_baseline,
+        run_sweep_benchmarks,
+    )
+    from repro.engine import EngineUnavailableError
+
+    if options.profile:
+        raise SystemExit("--profile applies to the engine matrix, not --sweep")
+    if not 0.0 <= options.tolerance < 1.0:
+        raise SystemExit(f"--tolerance must be in [0, 1), got {options.tolerance}")
+    size = "quick" if options.quick else "full"
+    print(f"timing the {size} many-small-task sweep (warm vs spawn pools):")
+    try:
+        payload = run_sweep_benchmarks(
+            quick=options.quick,
+            jobs=options.jobs,
+            engine=options.engine,
+            progress=print,
+        )
+    except EngineUnavailableError as error:
+        raise SystemExit(str(error))
+    print(
+        f"warm over spawn: {payload['warm_over_spawn']:.2f}x "
+        f"({payload['jobs']} workers, {payload['engine']} engine)"
+    )
+
+    output = options.output if options.output is not None else SWEEP_BENCH_FILENAME
+    if output != "-":
+        previous = load_payload(output) if Path(output).exists() else None
+        write_payload(carry_trajectory(payload, previous), output)
+        print(f"wrote {output}")
+
+    if options.check:
+        reference = load_payload(options.check)
+        regressions = compare_sweep_to_baseline(
+            payload, reference, options.tolerance
+        )
+        if regressions:
+            print(
+                f"\nsweep-throughput regression vs {options.check}:",
+                file=sys.stderr,
+            )
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {options.check} (tolerance {options.tolerance:.0%})")
+    return 0
+
+
+def _cmd_serve(options: argparse.Namespace) -> int:
+    """``repro serve``: the HTTP job-queue daemon."""
+    from repro.orchestration.serve import SweepServer
+
+    store = _store_from(options)
+    try:
+        server = SweepServer(
+            store,
+            host=options.host,
+            port=options.port,
+            max_workers=resolve_jobs(options.jobs),
+            engine=options.engine,
+            pool=options.pool,
+            hosts=options.hosts,
+        )
+        server.start()
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot serve: {error}")
+    print(
+        f"serving sweeps on {server.url} (store {store.root}, "
+        f"{server.max_workers} workers); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    print("stopped", file=sys.stderr)
     return 0
 
 

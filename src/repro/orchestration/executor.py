@@ -1,14 +1,23 @@
-"""Process-pool sweep execution over the result store.
+"""Sweep execution over the result store and a pluggable pool.
 
 A sweep is a set of independent :class:`~repro.experiment.Experiment`
 specs — each spec touches no shared mutable state — so the executor
-shards them across worker processes and lets the store mediate all
-communication: a worker simulates its spec with a private
-store-backed :class:`~repro.sim.runner.ExperimentRunner`, persists
-the artifact under :meth:`Experiment.task_key`, and returns only the
-spec's label.  The parent then assembles the figure tables entirely
+shards them across a :class:`~repro.orchestration.pools.Pool` backend
+and lets the store mediate all communication: a worker simulates its
+spec with a private store-backed
+:class:`~repro.sim.runner.ExperimentRunner`, persists the artifact
+under :meth:`Experiment.task_key`, and reports only the spec's label
+and wall time.  The parent then assembles the figure tables entirely
 from cache hits, which guarantees the numbers are bit-identical to a
-serial in-process run.
+serial in-process run — on every backend.
+
+Where tasks run is the pool's business (see
+:mod:`repro.orchestration.pools`): ``warm`` persistent workers by
+default, ``spawn`` per-task processes, ``ssh`` remote fan-out, or
+``serial`` inline.  Warm and ssh pools persist across phases and
+:meth:`SweepExecutor.prefetch` calls — reuse one executor (it is a
+context manager) to amortise worker start-up and per-worker trace
+caches across waves of a large sweep.
 
 Scheduling is two-phase with per-spec dependency gating:
 
@@ -21,6 +30,11 @@ Scheduling is two-phase with per-spec dependency gating:
    spec is submitted as soon as *its own* alone dependencies have
    completed (no global barrier between the phases), so main work
    overlaps the tail of the slowest alone runs.
+
+Planning is probe-based: :meth:`SweepExecutor.plan` asks the store
+whether each key is present via :meth:`ResultStore.probe` — one index
+lookup plus one ``stat``, no payload parse — so a fully-cached resume
+costs O(index read) regardless of artifact size or count.
 
 An ``engine`` pin (``SweepExecutor(engine=...)``) propagates the
 parent's resolved execution backend to every worker, so a sharded
@@ -45,10 +59,12 @@ completed tasks by key without changing any result.
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
 from typing import Callable, Iterable
 
 from repro.experiment import Experiment
+from repro.orchestration import pools
+from repro.orchestration.pools import PoolTask, SweepTaskError
 from repro.orchestration.store import ResultStore, default_store_path
 from repro.sim.config import SystemConfig
 from repro.sim.runner import ALL_POLICIES, ExperimentRunner
@@ -76,7 +92,7 @@ def orchestrated_runner(
     store_path: str | os.PathLike | None = None,
     max_workers: int | None = None,
 ) -> ExperimentRunner:
-    """A runner wired to the on-disk store and the process pool.
+    """A runner wired to the on-disk store and the worker pool.
 
     The one-liner the examples and benchmark harness use: results
     persist under :func:`~repro.orchestration.store.default_store_path`
@@ -94,35 +110,6 @@ def normalize_task(task: "Experiment | tuple") -> Experiment:
         return task
     group, policy, config = task
     return Experiment(group, policy, config)
-
-
-# ----------------------------------------------------------------------
-# Worker entry point (top-level so it pickles under spawn too)
-# ----------------------------------------------------------------------
-def _worker_run(
-    store_root: str,
-    experiment: Experiment,
-    policy_module: str,
-    governor_module: str | None = None,
-    engine: str | None = None,
-) -> str:
-    # Importing the registering module re-runs its @register_policy
-    # decorator in this process — a no-op for built-ins (the registry
-    # auto-imports those) but required for third-party policies when
-    # workers start via spawn and inherit nothing.  The same applies
-    # to a third-party @register_governor module.
-    import importlib
-
-    importlib.import_module(policy_module)
-    if governor_module is not None:
-        importlib.import_module(governor_module)
-    if engine is not None:
-        # Pin the parent's resolved execution backend; this is a
-        # private worker process, so the env write leaks nowhere.
-        os.environ["REPRO_ENGINE"] = engine
-    runner = ExperimentRunner(store=ResultStore(store_root))
-    runner.run(experiment)
-    return experiment.label
 
 
 def _policy_module(experiment: Experiment) -> str:
@@ -149,14 +136,23 @@ def _pool_safe(experiment: Experiment) -> bool:
 
 
 class SweepExecutor:
-    """Shards experiment specs across worker processes.
+    """Shards experiment specs across a pool of workers.
 
     ``progress`` (optional) receives one human-readable line per
-    completed task — the CLI points it at stderr.  ``engine``
-    (optional) pins the execution backend every task runs on —
-    workers and inline parent runs alike; it is resolved eagerly so
-    an unavailable explicit engine fails here, once, instead of in
-    every worker.
+    completed task — ``[done/total] label (seconds, backend)`` — the
+    CLI points it at stderr.  ``engine`` (optional) pins the
+    execution backend every task runs on — workers and inline parent
+    runs alike; it is resolved eagerly so an unavailable explicit
+    engine fails here, once, instead of in every worker.  ``pool``
+    selects the execution backend (``warm``/``spawn``/``ssh``/
+    ``serial``; default ``$REPRO_POOL`` or ``warm``) and ``hosts``
+    feeds the ssh pool; both are validated eagerly too.
+
+    Warm/ssh pools are persistent: the executor keeps one instance
+    alive across :meth:`prefetch` calls and closes it in
+    :meth:`close` (or on ``with`` exit).  Exiting the process without
+    closing is safe — workers are daemonic — but closing promptly
+    releases them.
     """
 
     def __init__(
@@ -166,6 +162,8 @@ class SweepExecutor:
         runner: ExperimentRunner | None = None,
         progress: Callable[[str], None] | None = None,
         engine: str | None = None,
+        pool: str | None = None,
+        hosts: "Iterable[str] | str | None" = None,
     ) -> None:
         from repro.engine import resolve_engine
 
@@ -177,21 +175,49 @@ class SweepExecutor:
         self.progress = progress
         #: resolved backend name, or None to let each run pick its own
         self.engine = None if engine is None else resolve_engine(engine)
+        #: resolved pool backend + host list (fails fast on bad input)
+        self.pool_name, self.hosts = pools.resolve_pool_name(pool, hosts)
+        self._pool: pools.Pool | None = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent pool's workers; idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _phase_pool(self, workers: int) -> tuple[pools.Pool, bool]:
+        """The pool to run one phase batch on, plus whether it is
+        ephemeral (spawn rebuilds per phase — that *is* its shape;
+        warm/ssh/serial persist on the executor)."""
+        if self.pool_name == pools.SPAWN:
+            return pools.SpawnPool(self.store, workers, engine=self.engine), True
+        if self._pool is None:
+            self._pool = pools.resolve_pool(
+                self.pool_name,
+                store=self.store,
+                max_workers=self.max_workers,
+                engine=self.engine,
+                hosts=self.hosts,
+            )
+        return self._pool, False
 
     # ------------------------------------------------------------------
     # Task planning
     # ------------------------------------------------------------------
-    def plan(
+    def _bucket(
         self, tasks: Iterable["Experiment | tuple"]
-    ) -> tuple[list[Experiment], list[Experiment], int]:
-        """Split ``tasks`` into pending (alone-phase, main-phase) specs
-        plus the total number of distinct task keys involved.
-
-        ``runner.cached()`` both validates each artifact (a corrupt
-        one reads as a miss and gets healed by a worker now, not
-        re-simulated serially during assembly) and warms the runner's
-        in-memory cache, so each artifact is parsed once per sweep.
-        """
+    ) -> tuple[dict[str, Experiment], dict[str, Experiment]]:
+        """Distinct (alone, main) specs keyed by task key, dependencies
+        included."""
         alone: dict[str, Experiment] = {}
         main: dict[str, Experiment] = {}
         for task in tasks:
@@ -200,16 +226,32 @@ class SweepExecutor:
             bucket.setdefault(experiment.task_key(), experiment)
             for dependency in experiment.alone_dependencies():
                 alone.setdefault(dependency.task_key(), dependency)
+        return alone, main
+
+    def plan(
+        self, tasks: Iterable["Experiment | tuple"]
+    ) -> tuple[list[Experiment], list[Experiment], int]:
+        """Split ``tasks`` into pending (alone-phase, main-phase) specs
+        plus the total number of distinct task keys involved.
+
+        Presence is decided by :meth:`ExperimentRunner.probe` — an
+        index lookup and a ``stat`` per key, no payload parse — so
+        planning a fully-cached thousand-task sweep is O(index read).
+        A corrupt artifact that survives the size check surfaces at
+        assembly time instead, where the store heals it and the
+        runner recomputes inline.
+        """
+        alone, main = self._bucket(tasks)
         total = len(alone) + len(main)
         alone_pending = [
             experiment
             for experiment in alone.values()
-            if self.runner.cached(experiment) is None
+            if not self.runner.probe(experiment)
         ]
         main_pending = [
             experiment
             for experiment in main.values()
-            if self.runner.cached(experiment) is None
+            if not self.runner.probe(experiment)
         ]
         return alone_pending, main_pending, total
 
@@ -220,18 +262,12 @@ class SweepExecutor:
 
         Returns ``(experiment, cached)`` pairs in execution order —
         alone-phase dependencies first, then the main specs — without
-        running anything.  ``repro sweep --dry-run`` renders this.
+        running anything or parsing any artifact.  ``repro sweep
+        --dry-run`` renders this; on a warm store it is near-instant.
         """
-        alone: dict[str, Experiment] = {}
-        main: dict[str, Experiment] = {}
-        for task in tasks:
-            experiment = normalize_task(task)
-            bucket = alone if experiment.kind == "alone" else main
-            bucket.setdefault(experiment.task_key(), experiment)
-            for dependency in experiment.alone_dependencies():
-                alone.setdefault(dependency.task_key(), dependency)
+        alone, main = self._bucket(tasks)
         return [
-            (experiment, self.runner.cached(experiment) is not None)
+            (experiment, self.runner.probe(experiment))
             for experiment in (*alone.values(), *main.values())
         ]
 
@@ -243,7 +279,7 @@ class SweepExecutor:
 
         Returns ``(computed, cached)`` task counts, alone runs
         included.  Safe to call with everything already cached — a
-        resumed sweep costs one key probe per task.
+        resumed sweep costs one index probe per task.
         """
         alone_pending, main_pending, total = self.plan(tasks)
         computed = len(alone_pending) + len(main_pending)
@@ -297,34 +333,55 @@ class SweepExecutor:
         artifacts a serial run produces.
 
         Specs whose policy class lives in ``__main__`` cannot be
-        rebuilt by a spawned worker and run inline in the parent:
-        inline alone specs first (they may unblock pooled main
-        specs), inline main specs after the pool drains (by which
-        point every alone dependency exists in the store).
+        rebuilt by a worker and run inline in the parent: inline
+        alone specs first (they may unblock pooled main specs),
+        inline main specs after the pool drains (by which point every
+        alone dependency exists in the store).
         """
         total = len(alone) + len(main)
         if not total:
             return
-        pooled = [e for e in (*alone, *main) if _pool_safe(e)]
-        workers = min(self.max_workers, len(pooled))
-        done = 0
-        if workers <= 1:
-            # Serial fallback: alone-then-main order satisfies every
+        pooled_alone = [e for e in alone if _pool_safe(e)]
+        pooled_main = [e for e in main if _pool_safe(e)]
+        pooled = len(pooled_alone) + len(pooled_main)
+        workers = min(self.max_workers, pooled)
+        if (
+            self.pool_name == pools.SERIAL
+            or not pooled
+            or (self.pool_name in (pools.WARM, pools.SPAWN) and workers <= 1)
+        ):
+            # Inline fallback: alone-then-main order satisfies every
             # dependency by construction.
+            done = 0
             for experiment in (*alone, *main):
-                self._run_inline(experiment)
+                seconds = self._run_inline(experiment)
                 done += 1
-                self._report(done, total, experiment.label)
+                self._report(done, total, experiment.label, seconds, pools.SERIAL)
             return
+        try:
+            self._run_pooled(alone, main, pooled_alone, pooled_main, workers)
+        finally:
+            # Workers appended to the on-disk index behind our back;
+            # the next plan()/probe must see their artifacts.
+            self.store.refresh()
+
+    def _run_pooled(
+        self,
+        alone: list[Experiment],
+        main: list[Experiment],
+        pooled_alone: list[Experiment],
+        pooled_main: list[Experiment],
+        workers: int,
+    ) -> None:
+        total = len(alone) + len(main)
+        done = 0
         pending_alone = {e.task_key() for e in alone}
         inline_alone = [e for e in alone if not _pool_safe(e)]
         inline_main = [e for e in main if not _pool_safe(e)]
         #: pool-safe main specs gated on alone deps still pending
         blocked: list[tuple[Experiment, set[str]]] = []
         ready_main: list[Experiment] = []
-        for experiment in main:
-            if not _pool_safe(experiment):
-                continue
+        for experiment in pooled_main:
             deps = {
                 d.task_key() for d in experiment.alone_dependencies()
             } & pending_alone
@@ -332,62 +389,56 @@ class SweepExecutor:
                 blocked.append((experiment, deps))
             else:
                 ready_main.append(experiment)
-        store_root = str(self.store.root)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures: dict = {}
-            outstanding: set = set()
+        pool, ephemeral = self._phase_pool(workers)
 
-            def submit(experiment: Experiment) -> None:
-                future = pool.submit(
-                    _worker_run,
-                    store_root,
-                    experiment,
-                    _policy_module(experiment),
-                    _governor_module(experiment),
-                    self.engine,
-                )
-                futures[future] = experiment
-                outstanding.add(future)
+        def unblock(key: str) -> None:
+            still: list[tuple[Experiment, set[str]]] = []
+            for experiment, deps in blocked:
+                deps.discard(key)
+                if deps:
+                    still.append((experiment, deps))
+                else:
+                    pool.submit(PoolTask.from_experiment(experiment))
+            blocked[:] = still
 
-            def unblock(key: str) -> None:
-                still: list[tuple[Experiment, set[str]]] = []
-                for experiment, deps in blocked:
-                    deps.discard(key)
-                    if deps:
-                        still.append((experiment, deps))
-                    else:
-                        submit(experiment)
-                blocked[:] = still
-
-            for experiment in alone:
-                if _pool_safe(experiment):
-                    submit(experiment)
-            for experiment in ready_main:
-                submit(experiment)
+        try:
+            pool.start()
+            pool.submit_many(
+                PoolTask.from_experiment(e) for e in (*pooled_alone, *ready_main)
+            )
             for experiment in inline_alone:
-                self._run_inline(experiment)
+                seconds = self._run_inline(experiment)
                 done += 1
-                self._report(done, total, experiment.label)
+                self._report(done, total, experiment.label, seconds, pools.SERIAL)
                 unblock(experiment.task_key())
-            while outstanding:
-                completed, _ = wait(outstanding, return_when=FIRST_COMPLETED)
-                outstanding -= completed
-                for future in completed:
-                    future.result()  # surface worker exceptions immediately
-                    experiment = futures[future]
-                    done += 1
-                    self._report(done, total, experiment.label)
-                    unblock(experiment.task_key())
+            while pool.outstanding:
+                result = pool.wait_one()
+                if result.error is not None:
+                    raise SweepTaskError(
+                        result.key, result.label, pool.name, result.error
+                    )
+                done += 1
+                self._report(done, total, result.label, result.seconds, pool.name)
+                unblock(result.key)
+        except BaseException:
+            self.close()
+            if ephemeral:
+                pool.close()
+            raise
+        if ephemeral:
+            pool.close()
         for experiment in inline_main:
-            self._run_inline(experiment)
+            seconds = self._run_inline(experiment)
             done += 1
-            self._report(done, total, experiment.label)
+            self._report(done, total, experiment.label, seconds, pools.SERIAL)
 
-    def _run_inline(self, experiment: Experiment) -> None:
-        """Run one spec in the parent, honouring the pinned engine."""
+    def _run_inline(self, experiment: Experiment) -> float:
+        """Run one spec in the parent, honouring the pinned engine;
+        returns the wall time."""
+        start = time.perf_counter()
         if self.engine is None:
             self.runner.run(experiment)
-            return
+            return time.perf_counter() - start
         previous = os.environ.get("REPRO_ENGINE")
         os.environ["REPRO_ENGINE"] = self.engine
         try:
@@ -397,7 +448,12 @@ class SweepExecutor:
                 os.environ.pop("REPRO_ENGINE", None)
             else:
                 os.environ["REPRO_ENGINE"] = previous
+        return time.perf_counter() - start
 
-    def _report(self, done: int, total: int, label: str) -> None:
+    def _report(
+        self, done: int, total: int, label: str, seconds: float, backend: str
+    ) -> None:
         if self.progress is not None:
-            self.progress(f"[{done}/{total}] {label}")
+            self.progress(
+                f"[{done}/{total}] {label} ({seconds:.2f}s, {backend})"
+            )

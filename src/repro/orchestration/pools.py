@@ -1,0 +1,807 @@
+"""Pluggable execution pools: where sweep tasks actually run.
+
+:class:`~repro.orchestration.executor.SweepExecutor` plans *what* to
+run and in which dependency order; a :class:`Pool` decides *where*.
+Every backend honours the same contract — tasks arrive as
+JSON-serialisable :class:`PoolTask` specs, results are persisted into
+the shared :class:`~repro.orchestration.store.ResultStore` under the
+task key, and :meth:`Pool.wait_one` hands back one
+:class:`PoolResult` (label, wall time, error) per completed task —
+so results are bit-identical across backends and the executor's
+scheduling logic never changes.
+
+Backends, in ``auto``-preference order:
+
+``warm``
+    Long-lived worker processes.  Each worker imports :mod:`repro`
+    once, resolves (and, for the compiled engine, builds/loads the C
+    kernel) once, and keeps one store-backed
+    :class:`~repro.sim.runner.ExperimentRunner` alive for its whole
+    lifetime — so per-(benchmark, geometry) traces are generated once
+    per worker instead of once per task.  Workers pull *batches* of
+    task specs over a queue, amortising pickling and dispatch for
+    tiny tasks.  The default backend.
+``spawn``
+    The historical one-process-per-task ``ProcessPoolExecutor``
+    shape: a fresh pool per phase, a fresh runner per task.  Kept as
+    the conservative fallback and as the bench baseline the warm
+    pool is measured against.
+``ssh``
+    Fan-out to remote hosts.  Batches of task specs (plus the alone
+    artifacts they depend on) ship as one JSON document over a
+    :class:`Transport`; the remote side — ``python -m
+    repro.orchestration.pools`` reading stdin — replays them into a
+    temporary store and answers with the computed artifact envelopes,
+    which the local side syncs into the shared store.  The special
+    host name ``local`` substitutes a subprocess for the ssh hop
+    (single-machine fan-out, CI, tests).
+``serial``
+    Everything inline in the calling process — the semantic baseline
+    the parallel backends are tested against.
+
+Selection: an explicit ``pool=``/``--pool`` wins, else ``$REPRO_POOL``,
+else ``ssh`` when hosts are given (``--hosts``/``$REPRO_HOSTS``) and
+``warm`` otherwise.
+
+Failure surfacing: a task that raises in a worker never kills the
+pool silently — the worker catches it, and the executor re-raises it
+as a :class:`SweepTaskError` naming the task label, key and backend.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import shlex
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.experiment import Experiment
+from repro.orchestration.store import ResultStore
+from repro.sim.runner import ExperimentRunner
+
+#: environment variable selecting the pool backend
+POOL_ENV = "REPRO_POOL"
+#: environment variable listing ssh hosts (comma-separated)
+HOSTS_ENV = "REPRO_HOSTS"
+
+WARM = "warm"
+SPAWN = "spawn"
+SSH = "ssh"
+SERIAL = "serial"
+
+#: every backend name, default-preference order first
+POOL_NAMES = (WARM, SPAWN, SSH, SERIAL)
+
+#: version of the ssh/serve wire format (request/response documents)
+WIRE_SCHEMA = 1
+
+
+class SweepTaskError(RuntimeError):
+    """A sweep task failed in a pool worker.
+
+    Carries enough context to act on — the failing task's label and
+    store key plus the backend it ran on — instead of a bare pool
+    traceback.
+    """
+
+    def __init__(self, key: str, label: str, backend: str, error: str) -> None:
+        super().__init__(
+            f"sweep task {label!r} (key {key[:12]}…) failed on the "
+            f"{backend} pool: {error}"
+        )
+        self.key = key
+        self.label = label
+        self.backend = backend
+        self.error = error
+
+
+# ----------------------------------------------------------------------
+# Wire types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PoolTask:
+    """One sweep task in wire form: everything a worker — local
+    process or remote host — needs to run the spec and persist its
+    artifact under ``key``."""
+
+    key: str
+    label: str
+    #: the :meth:`Experiment.to_dict` document
+    spec: dict[str, Any]
+    #: module whose import registers the policy class (spawn workers
+    #: inherit nothing)
+    policy_module: str
+    governor_module: str | None = None
+    #: task keys of the alone runs this spec reads (the ssh pool
+    #: ships their artifacts alongside the spec)
+    dependencies: tuple[str, ...] = ()
+
+    @classmethod
+    def from_experiment(cls, experiment: Experiment) -> "PoolTask":
+        return cls(
+            key=experiment.task_key(),
+            label=experiment.label,
+            spec=experiment.to_dict(),
+            policy_module=experiment.policy.info.cls.__module__,
+            governor_module=(
+                experiment.governor.info.cls.__module__
+                if experiment.governor is not None
+                else None
+            ),
+            dependencies=tuple(
+                dependency.task_key()
+                for dependency in experiment.alone_dependencies()
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "spec": self.spec,
+            "policy_module": self.policy_module,
+            "governor_module": self.governor_module,
+            "dependencies": list(self.dependencies),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PoolTask":
+        return cls(
+            key=data["key"],
+            label=data["label"],
+            spec=data["spec"],
+            policy_module=data["policy_module"],
+            governor_module=data.get("governor_module"),
+            dependencies=tuple(data.get("dependencies") or ()),
+        )
+
+
+@dataclass(frozen=True)
+class PoolResult:
+    """One completed task: its identity, wall time and outcome."""
+
+    key: str
+    label: str
+    seconds: float
+    error: str | None = None
+
+
+def run_pool_task(task: PoolTask, runner: ExperimentRunner) -> None:
+    """Execute one wire-form task against ``runner`` (and its store).
+
+    Importing the registering modules re-runs their
+    ``@register_policy``/``@register_governor`` decorators, which a
+    spawned or remote process needs before :meth:`Experiment.from_dict`
+    can rebuild the spec.
+    """
+    import importlib
+
+    importlib.import_module(task.policy_module)
+    if task.governor_module is not None:
+        importlib.import_module(task.governor_module)
+    runner.run(Experiment.from_dict(task.spec))
+
+
+def _attempt(task: PoolTask, runner: ExperimentRunner) -> PoolResult:
+    """Run one task, folding any exception into the result."""
+    start = time.perf_counter()
+    try:
+        run_pool_task(task, runner)
+        error = None
+    except BaseException as exc:  # noqa: BLE001 — workers must survive
+        error = f"{type(exc).__name__}: {exc}"
+    return PoolResult(task.key, task.label, time.perf_counter() - start, error)
+
+
+# ----------------------------------------------------------------------
+# The Pool contract
+# ----------------------------------------------------------------------
+class Pool:
+    """Where tasks run.  Subclasses implement :meth:`start`,
+    :meth:`submit` and :meth:`wait_one`; results always travel
+    through the shared store, never through the pool itself."""
+
+    #: backend name shown in progress lines and errors
+    name: str = "pool"
+
+    def __init__(self, store: ResultStore, engine: str | None = None) -> None:
+        self.store = store
+        #: resolved engine pin propagated to every worker (None lets
+        #: each worker resolve ``$REPRO_ENGINE``/auto itself)
+        self.engine = engine
+        self.outstanding = 0
+
+    def start(self) -> None:
+        """Bring workers up; idempotent."""
+
+    def submit(self, task: PoolTask) -> None:
+        raise NotImplementedError
+
+    def submit_many(self, tasks: Iterable[PoolTask]) -> int:
+        """Submit a batch; returns how many were submitted.  Backends
+        with per-dispatch overhead override this to coalesce."""
+        count = 0
+        for task in tasks:
+            self.submit(task)
+            count += 1
+        return count
+
+    def wait_one(self) -> PoolResult:
+        """Block until any outstanding task completes."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear workers down; idempotent."""
+
+    def __enter__(self) -> "Pool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# serial — the in-process baseline
+# ----------------------------------------------------------------------
+class SerialPool(Pool):
+    """Runs every task inline at submit time.  The semantic baseline:
+    every other backend must reproduce its artifacts bit-identically."""
+
+    name = SERIAL
+
+    def __init__(self, store: ResultStore, engine: str | None = None) -> None:
+        super().__init__(store, engine)
+        self._runner = ExperimentRunner(store=store)
+        self._completed: deque[PoolResult] = deque()
+
+    def submit(self, task: PoolTask) -> None:
+        previous = os.environ.get("REPRO_ENGINE")
+        if self.engine is not None:
+            os.environ["REPRO_ENGINE"] = self.engine
+        try:
+            self._completed.append(_attempt(task, self._runner))
+        finally:
+            if self.engine is not None:
+                if previous is None:
+                    os.environ.pop("REPRO_ENGINE", None)
+                else:
+                    os.environ["REPRO_ENGINE"] = previous
+        self.outstanding += 1
+
+    def wait_one(self) -> PoolResult:
+        if not self._completed:
+            raise RuntimeError("wait_one() with no outstanding tasks")
+        self.outstanding -= 1
+        return self._completed.popleft()
+
+
+# ----------------------------------------------------------------------
+# spawn — one process per task (the historical shape)
+# ----------------------------------------------------------------------
+def _spawn_task(store_root: str, task_doc: dict, engine: str | None) -> dict:
+    """Top-level worker body (pickles under the spawn start method)."""
+    if engine is not None:
+        # Private worker process: the env write leaks nowhere.
+        os.environ["REPRO_ENGINE"] = engine
+    runner = ExperimentRunner(store=ResultStore(store_root))
+    result = _attempt(PoolTask.from_dict(task_doc), runner)
+    return {
+        "key": result.key,
+        "label": result.label,
+        "seconds": result.seconds,
+        "error": result.error,
+    }
+
+
+class SpawnPool(Pool):
+    """A fresh ``ProcessPoolExecutor`` and a fresh runner per task —
+    the conservative fallback, and the baseline the warm pool's bench
+    case is measured against."""
+
+    name = SPAWN
+
+    def __init__(
+        self,
+        store: ResultStore,
+        max_workers: int,
+        engine: str | None = None,
+    ) -> None:
+        super().__init__(store, engine)
+        self.max_workers = max(1, max_workers)
+        self._executor: ProcessPoolExecutor | None = None
+        self._futures: set = set()
+        self._completed: deque[PoolResult] = deque()
+
+    def start(self) -> None:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def submit(self, task: PoolTask) -> None:
+        self.start()
+        assert self._executor is not None
+        future = self._executor.submit(
+            _spawn_task, str(self.store.root), task.to_dict(), self.engine
+        )
+        self._futures.add(future)
+        self.outstanding += 1
+
+    def wait_one(self) -> PoolResult:
+        while not self._completed:
+            if not self._futures:
+                raise RuntimeError("wait_one() with no outstanding tasks")
+            done, self._futures = wait(self._futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                record = future.result()  # worker bodies never raise
+                self._completed.append(
+                    PoolResult(
+                        record["key"],
+                        record["label"],
+                        record["seconds"],
+                        record["error"],
+                    )
+                )
+        self.outstanding -= 1
+        return self._completed.popleft()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+            self._futures.clear()
+
+
+# ----------------------------------------------------------------------
+# warm — persistent workers, batched dispatch
+# ----------------------------------------------------------------------
+def _warm_worker(
+    store_root: str,
+    engine: str | None,
+    tasks: "multiprocessing.Queue",
+    results: "multiprocessing.Queue",
+) -> None:
+    """Long-lived worker body: one import, one engine resolution, one
+    runner — then batches of tasks until the ``None`` sentinel."""
+    if engine is not None:
+        os.environ["REPRO_ENGINE"] = engine
+    try:
+        # Resolve (and for the compiled engine, build + load the C
+        # kernel) exactly once per worker, not once per task.
+        from repro.engine import resolve_engine
+
+        resolve_engine(engine)
+    except Exception:
+        pass  # per-task attempts will surface the real error
+    runner = ExperimentRunner(store=ResultStore(store_root))
+    while True:
+        batch = tasks.get()
+        if batch is None:
+            return
+        for task_doc in batch:
+            result = _attempt(PoolTask.from_dict(task_doc), runner)
+            results.put(
+                {
+                    "key": result.key,
+                    "label": result.label,
+                    "seconds": result.seconds,
+                    "error": result.error,
+                }
+            )
+
+
+class WarmPool(Pool):
+    """Persistent worker processes fed batches of specs over a queue.
+
+    Each worker holds one store-backed runner for its whole lifetime,
+    so traces (and the loaded engine kernel) amortise across every
+    task it runs — the difference that makes many-tiny-task sweeps
+    scale.  Safe to keep open across phases; the executor reuses one
+    instance for a whole sweep.
+    """
+
+    name = WARM
+
+    #: max tasks per queue message: big enough to amortise pickling,
+    #: small enough to keep late workers from starving
+    max_batch = 8
+
+    def __init__(
+        self,
+        store: ResultStore,
+        max_workers: int,
+        engine: str | None = None,
+    ) -> None:
+        super().__init__(store, engine)
+        self.max_workers = max(1, max_workers)
+        self._workers: list[multiprocessing.Process] = []
+        self._tasks: multiprocessing.Queue | None = None
+        self._results: multiprocessing.Queue | None = None
+
+    def start(self) -> None:
+        if self._workers:
+            return
+        context = multiprocessing.get_context()
+        self._tasks = context.Queue()
+        self._results = context.Queue()
+        for _ in range(self.max_workers):
+            process = context.Process(
+                target=_warm_worker,
+                args=(str(self.store.root), self.engine, self._tasks, self._results),
+                daemon=True,  # never outlive the parent
+            )
+            process.start()
+            self._workers.append(process)
+
+    def submit(self, task: PoolTask) -> None:
+        self.submit_many([task])
+
+    def submit_many(self, tasks: Iterable[PoolTask]) -> int:
+        self.start()
+        assert self._tasks is not None
+        docs = [task.to_dict() for task in tasks]
+        if not docs:
+            return 0
+        # Batch size balances dispatch amortisation against load
+        # balance: every worker should see several batches.
+        size = max(1, min(self.max_batch, len(docs) // (self.max_workers * 2) or 1))
+        for begin in range(0, len(docs), size):
+            self._tasks.put(docs[begin : begin + size])
+        self.outstanding += len(docs)
+        return len(docs)
+
+    def wait_one(self) -> PoolResult:
+        if self.outstanding <= 0:
+            raise RuntimeError("wait_one() with no outstanding tasks")
+        assert self._results is not None
+        while True:
+            try:
+                record = self._results.get(timeout=0.2)
+                break
+            except queue_module.Empty:
+                if not any(process.is_alive() for process in self._workers):
+                    raise SweepTaskError(
+                        "?" * 12,
+                        "<unknown>",
+                        self.name,
+                        "every warm worker died without reporting a result "
+                        "(killed or crashed hard); rerun with --pool spawn "
+                        "to isolate the failing task",
+                    ) from None
+        self.outstanding -= 1
+        return PoolResult(
+            record["key"], record["label"], record["seconds"], record["error"]
+        )
+
+    def close(self) -> None:
+        if not self._workers:
+            return
+        assert self._tasks is not None
+        for _ in self._workers:
+            self._tasks.put(None)
+        for process in self._workers:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+        self._workers.clear()
+        self._tasks = self._results = None
+
+
+# ----------------------------------------------------------------------
+# ssh — remote fan-out over a transport
+# ----------------------------------------------------------------------
+class SSHTransport:
+    """Ships one request document to ``host`` over ``ssh`` and returns
+    the response.  Assumes non-interactive auth and a ``repro``
+    importable by ``python3`` on the remote side."""
+
+    def __init__(self, host: str, python: str = "python3") -> None:
+        self.host = host
+        self.python = python
+
+    def run(self, request: bytes) -> bytes:
+        command = shlex.join([self.python, "-m", "repro.orchestration.pools"])
+        proc = subprocess.run(
+            ["ssh", "-o", "BatchMode=yes", self.host, command],
+            input=request,
+            capture_output=True,
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.decode("utf-8", "replace").strip()
+            raise RuntimeError(f"ssh to {self.host} failed: {detail or proc.returncode}")
+        return proc.stdout
+
+
+class LocalTransport:
+    """The ssh pool with the network removed: runs the same remote
+    worker protocol in a local subprocess.  Used by tests, CI and
+    single-machine fan-out (host name ``local``)."""
+
+    def run(self, request: bytes) -> bytes:
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.orchestration.pools"],
+            input=request,
+            capture_output=True,
+            env=env,
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.decode("utf-8", "replace").strip()
+            raise RuntimeError(f"local transport failed: {detail or proc.returncode}")
+        return proc.stdout
+
+
+def transport_for(host: str) -> "SSHTransport | LocalTransport":
+    """``local`` → a subprocess stub, anything else → real ssh."""
+    return LocalTransport() if host == "local" else SSHTransport(host)
+
+
+class SSHPool(Pool):
+    """Fans batches of tasks out to remote hosts.
+
+    One feeder thread per host pulls tasks off a local queue, bundles
+    them (plus the alone artifacts they depend on) into a request
+    document, runs it through the host's transport, and syncs the
+    returned artifact envelopes into the local store — so by the time
+    :meth:`wait_one` reports a task done, its artifact reads locally.
+    """
+
+    name = SSH
+
+    #: max tasks per request: one ssh round-trip per batch
+    max_batch = 8
+
+    def __init__(
+        self,
+        store: ResultStore,
+        hosts: Iterable[str],
+        engine: str | None = None,
+        transport_factory: Callable[[str], Any] = transport_for,
+    ) -> None:
+        super().__init__(store, engine)
+        self.hosts = tuple(hosts)
+        if not self.hosts:
+            raise ValueError("the ssh pool needs at least one host")
+        self._transport_factory = transport_factory
+        self._inbox: queue_module.Queue = queue_module.Queue()
+        self._done: queue_module.Queue = queue_module.Queue()
+        self._threads: list[threading.Thread] = []
+        self._store_lock = threading.Lock()
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for host in self.hosts:
+            thread = threading.Thread(
+                target=self._serve_host,
+                args=(self._transport_factory(host), host),
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, task: PoolTask) -> None:
+        self.start()
+        self._inbox.put(task)
+        self.outstanding += 1
+
+    def _serve_host(self, transport: Any, host: str) -> None:
+        while True:
+            first = self._inbox.get()
+            if first is None:
+                return
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    task = self._inbox.get_nowait()
+                except queue_module.Empty:
+                    break
+                if task is None:
+                    self._inbox.put(None)  # re-post for this thread's exit
+                    break
+                batch.append(task)
+            try:
+                response = json.loads(transport.run(self._encode_request(batch)))
+                self._ingest(response)
+                records = response["results"]
+            except Exception as exc:  # noqa: BLE001 — feeders must survive
+                records = [
+                    {
+                        "key": task.key,
+                        "label": task.label,
+                        "seconds": 0.0,
+                        "error": f"host {host}: {type(exc).__name__}: {exc}",
+                    }
+                    for task in batch
+                ]
+            for record in records:
+                self._done.put(record)
+
+    def _encode_request(self, batch: list[PoolTask]) -> bytes:
+        """The wire request: specs plus the dependency artifacts the
+        remote store must be seeded with (deduped across the batch)."""
+        artifacts = []
+        seen: set[str] = set()
+        with self._store_lock:
+            for task in batch:
+                for key in task.dependencies:
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    envelope = self.store.get_envelope(key)
+                    if envelope is not None:
+                        artifacts.append(envelope)
+        request = {
+            "schema": WIRE_SCHEMA,
+            "engine": self.engine,
+            "tasks": [task.to_dict() for task in batch],
+            "artifacts": artifacts,
+        }
+        return json.dumps(request, separators=(",", ":")).encode("utf-8")
+
+    def _ingest(self, response: dict) -> None:
+        """Sync computed artifact envelopes into the local store."""
+        if response.get("schema") != WIRE_SCHEMA:
+            raise RuntimeError(
+                f"wire schema {response.get('schema')!r} != {WIRE_SCHEMA}"
+            )
+        rows = [
+            (e["key"], e["payload"], e["kind"], e.get("meta") or {})
+            for e in response.get("artifacts", ())
+        ]
+        if rows:
+            with self._store_lock:
+                self.store.put_many(rows)
+
+    def wait_one(self) -> PoolResult:
+        if self.outstanding <= 0:
+            raise RuntimeError("wait_one() with no outstanding tasks")
+        record = self._done.get()
+        self.outstanding -= 1
+        return PoolResult(
+            record["key"], record["label"], record["seconds"], record["error"]
+        )
+
+    def close(self) -> None:
+        if not self._threads:
+            return
+        for _ in self._threads:
+            self._inbox.put(None)
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self._threads.clear()
+
+
+# ----------------------------------------------------------------------
+# Remote worker protocol (python -m repro.orchestration.pools)
+# ----------------------------------------------------------------------
+def remote_main(stdin: Any = None, stdout: Any = None) -> int:
+    """Execute one wire request: read the JSON document on stdin, run
+    its tasks against a temporary store seeded with the shipped
+    dependency artifacts, answer with results + computed envelopes.
+
+    This is what an :class:`SSHPool` host (or a
+    :class:`LocalTransport` subprocess) runs.
+    """
+    stdin = stdin if stdin is not None else sys.stdin.buffer
+    stdout = stdout if stdout is not None else sys.stdout.buffer
+    request = json.loads(stdin.read())
+    if request.get("schema") != WIRE_SCHEMA:
+        raise SystemExit(
+            f"wire schema {request.get('schema')!r} != {WIRE_SCHEMA}; "
+            "local and remote repro versions disagree"
+        )
+    engine = request.get("engine")
+    if engine is not None:
+        os.environ["REPRO_ENGINE"] = engine
+    results: list[dict] = []
+    computed: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-remote-") as scratch:
+        store = ResultStore(Path(scratch) / "store")
+        rows = [
+            (e["key"], e["payload"], e["kind"], e.get("meta") or {})
+            for e in request.get("artifacts", ())
+        ]
+        if rows:
+            store.put_many(rows)
+        runner = ExperimentRunner(store=store)
+        for task_doc in request.get("tasks", ()):
+            task = PoolTask.from_dict(task_doc)
+            result = _attempt(task, runner)
+            results.append(
+                {
+                    "key": result.key,
+                    "label": result.label,
+                    "seconds": result.seconds,
+                    "error": result.error,
+                }
+            )
+            if result.error is None:
+                computed.append(task.key)
+        artifacts = [
+            envelope
+            for envelope in (store.get_envelope(key) for key in computed)
+            if envelope is not None
+        ]
+    response = {"schema": WIRE_SCHEMA, "results": results, "artifacts": artifacts}
+    stdout.write(json.dumps(response, separators=(",", ":")).encode("utf-8"))
+    stdout.flush()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+def resolve_hosts(hosts: "Iterable[str] | str | None" = None) -> tuple[str, ...]:
+    """Host list: explicit argument, else ``$REPRO_HOSTS`` (comma-
+    separated), else empty."""
+    if hosts is None:
+        hosts = os.environ.get(HOSTS_ENV, "")
+    if isinstance(hosts, str):
+        hosts = [h.strip() for h in hosts.split(",") if h.strip()]
+    return tuple(hosts)
+
+
+def resolve_pool_name(
+    name: str | None = None, hosts: "Iterable[str] | str | None" = None
+) -> tuple[str, tuple[str, ...]]:
+    """Resolve the backend name and host list without building a pool.
+
+    An explicit ``name`` wins, else ``$REPRO_POOL``, else ``ssh``
+    when hosts are configured and ``warm`` otherwise.  Asking for
+    ``ssh`` without hosts is an error.
+    """
+    resolved_hosts = resolve_hosts(hosts)
+    if name is None:
+        name = os.environ.get(POOL_ENV, "").strip().lower() or None
+    else:
+        name = name.strip().lower()
+    if name is None:
+        name = SSH if resolved_hosts else WARM
+    if name not in POOL_NAMES:
+        raise ValueError(
+            f"unknown pool {name!r}; expected one of {', '.join(POOL_NAMES)}"
+        )
+    if name == SSH and not resolved_hosts:
+        raise ValueError(
+            "the ssh pool needs hosts: pass --hosts/hosts= or set $REPRO_HOSTS"
+        )
+    return name, resolved_hosts
+
+
+def resolve_pool(
+    name: str | None = None,
+    *,
+    store: ResultStore,
+    max_workers: int = 1,
+    engine: str | None = None,
+    hosts: "Iterable[str] | str | None" = None,
+) -> Pool:
+    """Build (but do not start) the selected pool backend."""
+    name, resolved_hosts = resolve_pool_name(name, hosts)
+    if name == SERIAL:
+        return SerialPool(store, engine=engine)
+    if name == SPAWN:
+        return SpawnPool(store, max_workers, engine=engine)
+    if name == WARM:
+        return WarmPool(store, max_workers, engine=engine)
+    return SSHPool(store, resolved_hosts, engine=engine)
+
+
+if __name__ == "__main__":
+    raise SystemExit(remote_main())

@@ -11,12 +11,29 @@ a small JSON envelope::
 geometry) so the store can be inspected with ``jq`` or ``repro
 report``; ``payload`` is the serialised result.
 
+Each shard additionally carries an **append-only index**
+(``<root>/<shard>/.index.jsonl``): one compact JSON line per
+artifact write recording ``{"key", "size", "kind", "meta"}``.  The
+index is what makes the store cheap at sweep scale — :meth:`probe`
+answers "is this key present and plausibly valid?" with one index
+lookup plus one ``stat`` (no payload parse), so a fully-cached resume
+of a thousand-task sweep costs O(index read) instead of O(artifacts
+parsed).  The index is advisory, never authoritative: the artifact
+files are the truth, every reader keeps a brute-force fallback for
+unindexed artifacts (and repairs the index when it takes it), and a
+deleted or corrupt index only costs speed, not correctness.
+
 Durability rules:
 
 * writes are atomic (temp file + ``os.replace``), so a killed sweep
   never leaves a half-written artifact behind — concurrent workers
   that race on the same deterministic task simply replace each
   other's identical bytes;
+* index appends are single ``write`` calls on an ``O_APPEND``
+  descriptor, so lines from many concurrent writer processes
+  interleave whole, never torn; duplicate lines for one key are fine
+  (last wins) and malformed lines are skipped, so racing writers
+  always converge;
 * reads treat *any* malformed artifact (truncated JSON, wrong schema,
   missing payload) as a cache miss and delete the file, so a
   corrupted store heals itself on the next run instead of crashing
@@ -28,12 +45,15 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.orchestration.serialize import SCHEMA_VERSION
 
 #: environment variable overriding the default store location
 STORE_ENV = "REPRO_STORE"
+
+#: per-shard index filename (dotted: never mistaken for an artifact)
+INDEX_FILENAME = ".index.jsonl"
 
 
 def default_store_path() -> Path:
@@ -46,6 +66,9 @@ class ResultStore:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        #: lazily-loaded {key: {"size", "kind", "meta"}} view of the
+        #: on-disk shard indexes; dropped by :meth:`refresh`
+        self._index: dict[str, dict[str, Any]] | None = None
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -65,13 +88,25 @@ class ResultStore:
         rewrites it; losing one cache entry is always safe because
         every artifact is reproducible from its task description.
         """
+        envelope = self.get_envelope(key)
+        return None if envelope is None else envelope["payload"]
+
+    def get_envelope(self, key: str) -> dict[str, Any] | None:
+        """The full artifact envelope (``kind``/``meta``/``payload``)
+        for ``key``, or None on miss/corruption.
+
+        Same healing contract as :meth:`get`: malformed artifacts are
+        discarded, transient I/O trouble is a plain miss.
+        """
         path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                envelope = json.load(handle)
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            envelope = json.loads(raw)
             if envelope["schema"] != SCHEMA_VERSION:
                 raise ValueError(f"schema {envelope['schema']} != {SCHEMA_VERSION}")
-            return envelope["payload"]
+            envelope["payload"]  # malformed without one
+            return envelope
         except FileNotFoundError:
             return None
         except OSError:
@@ -82,6 +117,41 @@ class ResultStore:
             self._discard(path)
             return None
 
+    def probe(self, key: str) -> bool:
+        """Whether ``key`` holds a plausibly-valid artifact — **without
+        parsing the payload**.
+
+        The fast path is one index lookup plus one ``stat``: an
+        indexed artifact whose on-disk byte size matches the size
+        recorded at write time is taken as valid (truncation and
+        overwrite corruption change the size; the write itself was
+        atomic).  Unindexed artifacts fall back to a full
+        :meth:`get_envelope` parse once and are folded into the index,
+        so repeated probes of a pre-index store converge to the fast
+        path.
+        """
+        path = self.path_for(key)
+        entry = self._load_index().get(key)
+        if entry is not None:
+            try:
+                return os.path.getsize(path) == entry["size"]
+            except OSError:
+                return False
+        envelope = self.get_envelope(key)
+        if envelope is None:
+            return False
+        # Brute-force fallback took the slow path; repair the index so
+        # the next probe (any process) is O(1).
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return False
+        self._remember(
+            key, size, envelope.get("kind", ""), envelope.get("meta") or {}
+        )
+        return True
+
+    # ------------------------------------------------------------------
     def put(
         self,
         key: str,
@@ -90,28 +160,203 @@ class ResultStore:
         meta: dict[str, Any] | None = None,
     ) -> Path:
         """Atomically persist ``payload`` under ``key``; returns the path."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        envelope = {
-            "schema": SCHEMA_VERSION,
-            "kind": kind,
-            "key": key,
-            "meta": meta or {},
-            "payload": payload,
-        }
-        temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(envelope, handle, separators=(",", ":"))
-        os.replace(temporary, path)
-        return path
+        return self.put_many([(key, payload, kind, meta)])[0]
+
+    def put_many(
+        self,
+        artifacts: Iterable[tuple[str, dict[str, Any], str, dict[str, Any] | None]],
+    ) -> list[Path]:
+        """Atomically persist a batch of ``(key, payload, kind, meta)``
+        artifacts; returns their paths.
+
+        Each artifact write is individually atomic (temp + rename, as
+        :meth:`put`), but the index appends are batched into one
+        ``write`` per shard, so a thousand-artifact flush costs a
+        thousand renames and a handful of index appends instead of a
+        thousand of each.
+        """
+        paths: list[Path] = []
+        lines_by_shard: dict[Path, list[bytes]] = {}
+        for key, payload, kind, meta in artifacts:
+            path = self.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            envelope = {
+                "schema": SCHEMA_VERSION,
+                "kind": kind,
+                "key": key,
+                "meta": meta or {},
+                "payload": payload,
+            }
+            blob = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+            temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            with open(temporary, "wb") as handle:
+                handle.write(blob)
+            os.replace(temporary, path)
+            paths.append(path)
+            line = self._index_line(key, len(blob), kind, meta or {})
+            lines_by_shard.setdefault(path.parent, []).append(line)
+            if self._index is not None:
+                self._index[key] = {
+                    "size": len(blob), "kind": kind, "meta": meta or {},
+                }
+        for shard, lines in lines_by_shard.items():
+            self._append_index(shard / INDEX_FILENAME, b"".join(lines))
+        return paths
+
+    # ------------------------------------------------------------------
+    # Index plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _index_line(
+        key: str, size: int, kind: str, meta: dict[str, Any]
+    ) -> bytes:
+        record = {"key": key, "size": size, "kind": kind, "meta": meta}
+        return (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+
+    @staticmethod
+    def _append_index(path: Path, blob: bytes) -> None:
+        """Append ``blob`` with plain O_APPEND writes.
+
+        Concurrent appenders interleave at write() granularity, so
+        whole lines land intact; a torn line (partial write on a
+        crashed process) is skipped by the reader and repaired by the
+        next probe of its key.
+        """
+        try:
+            descriptor = os.open(
+                path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        except OSError:
+            return  # index is advisory: failing to append costs speed only
+        try:
+            while blob:
+                written = os.write(descriptor, blob)
+                blob = blob[written:]
+        finally:
+            os.close(descriptor)
+
+    def _load_index(self) -> dict[str, dict[str, Any]]:
+        """The merged shard indexes ({key: entry}), loaded lazily.
+
+        Malformed lines are skipped; duplicate keys keep the last
+        line (rewrites append a fresh entry).  Load order is
+        shard-sorted then file order, which :meth:`keys` relies on
+        for a stable stream.
+        """
+        if self._index is not None:
+            return self._index
+        index: dict[str, dict[str, Any]] = {}
+        if self.root.is_dir():
+            for shard in sorted(self._shards()):
+                try:
+                    with open(shard / INDEX_FILENAME, "rb") as handle:
+                        raw_lines = handle.read().splitlines()
+                except OSError:
+                    continue
+                for raw in raw_lines:
+                    try:
+                        record = json.loads(raw)
+                        index[record["key"]] = {
+                            "size": record["size"],
+                            "kind": record.get("kind", ""),
+                            "meta": record.get("meta") or {},
+                        }
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        continue  # torn or legacy line: fall back per key
+        self._index = index
+        return index
+
+    def _remember(
+        self, key: str, size: int, kind: str, meta: dict[str, Any]
+    ) -> None:
+        """Fold one artifact into the in-memory and on-disk index."""
+        if self._index is not None:
+            self._index[key] = {"size": size, "kind": kind, "meta": meta}
+        shard = self.path_for(key).parent
+        if shard.is_dir():
+            self._append_index(
+                shard / INDEX_FILENAME, self._index_line(key, size, kind, meta)
+            )
+
+    def refresh(self) -> None:
+        """Drop the in-memory index view.
+
+        Call after another process may have written artifacts (a
+        worker pool, a remote sync): the next :meth:`probe` reloads
+        the shard indexes from disk and sees their appends.
+        """
+        self._index = None
+
+    def reindex(self) -> int:
+        """Rebuild every shard index from the artifacts on disk.
+
+        Parses every envelope once (the one deliberately O(artifacts)
+        operation), rewrites each ``.index.jsonl`` atomically and
+        returns the number of indexed artifacts.  Heals indexes that
+        drifted (deleted artifacts, torn lines, pre-index stores).
+        """
+        self._index = None
+        indexed = 0
+        for shard in self._shards():
+            lines: list[bytes] = []
+            for name in sorted(os.listdir(shard)):
+                if not name.endswith(".json") or name.startswith("."):
+                    continue
+                key = name[: -len(".json")]
+                envelope = self.get_envelope(key)
+                if envelope is None:
+                    continue
+                size = os.path.getsize(shard / name)
+                lines.append(
+                    self._index_line(
+                        key, size, envelope.get("kind", ""),
+                        envelope.get("meta") or {},
+                    )
+                )
+                indexed += 1
+            temporary = shard / f"{INDEX_FILENAME}.{os.getpid()}.tmp"
+            temporary.write_bytes(b"".join(lines))
+            os.replace(temporary, shard / INDEX_FILENAME)
+        return indexed
+
+    def _shards(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return [
+            entry
+            for entry in self.root.iterdir()
+            if entry.is_dir() and not entry.name.startswith(".")
+        ]
 
     # ------------------------------------------------------------------
     def keys(self) -> Iterator[str]:
-        """Keys of every artifact currently on disk."""
+        """Keys of every artifact currently on disk.
+
+        Streams from the shard indexes (skipping entries whose file
+        has since been deleted), then brute-force scans each shard
+        directory for artifacts the index missed — so the common path
+        never materialises a global sorted listing, and an absent or
+        stale index only changes the order, never the set.
+        """
         if not self.root.is_dir():
             return
-        for path in sorted(self.root.glob("*/*.json")):
-            yield path.stem
+        on_disk: dict[str, set[str]] = {}
+        for shard in sorted(self._shards()):
+            stems = {
+                name[: -len(".json")]
+                for name in os.listdir(shard)
+                if name.endswith(".json") and not name.startswith(".")
+            }
+            if stems:
+                on_disk[shard.name] = stems
+        yielded: set[str] = set()
+        for key in self._load_index():
+            if key in on_disk.get(key[:2], ()) and key not in yielded:
+                yielded.add(key)
+                yield key
+        for shard_name in sorted(on_disk):
+            for key in sorted(on_disk[shard_name] - yielded):
+                yield key
 
     def count(self) -> int:
         """Number of artifacts on disk."""
@@ -121,9 +366,11 @@ class ResultStore:
         """Delete every artifact; returns how many were removed.
 
         Also sweeps up ``.tmp`` leftovers of writes that were killed
-        between dump and rename (they are not counted as artifacts).
+        between dump and rename, plus the shard indexes (they describe
+        nothing once the artifacts are gone).
         """
         removed = 0
+        self._index = None
         if not self.root.is_dir():
             return removed
         for path in self.root.glob("*/*.json"):
@@ -131,6 +378,8 @@ class ResultStore:
             removed += 1
         for orphan in self.root.glob("*/.*.tmp"):
             self._discard(orphan)
+        for index in self.root.glob(f"*/{INDEX_FILENAME}"):
+            self._discard(index)
         for shard in self.root.iterdir():
             if shard.is_dir():
                 try:

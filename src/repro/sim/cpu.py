@@ -98,13 +98,8 @@ class CoreState:
         offset = (self.core_id + 1) << CORE_ADDRESS_SPACE_BITS
         self.benchmark = trace.name
         self.gaps = trace.gaps
-        self.addresses = array(
-            "q", (address + offset for address in trace.line_addresses)
-        )
+        self.addresses, self.warm_lines = trace.for_core(offset)
         self.writes = trace.writes
-        self.warm_lines = array(
-            "q", (address + offset for address in trace.warm_lines)
-        )
         self.length = len(trace.line_addresses)
         self.position = 0
 

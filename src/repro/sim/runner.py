@@ -152,6 +152,22 @@ class ExperimentRunner:
                 self._results[experiment] = result
         return result
 
+    def probe(self, experiment: Experiment) -> bool:
+        """Whether this spec's result is already available — without
+        parsing it.
+
+        An in-memory hit answers immediately; otherwise the store's
+        index is consulted (:meth:`ResultStore.probe`: one index
+        lookup plus one ``stat``, no payload read).  This is what the
+        sweep executor's planning pass uses, so resuming a fully
+        cached sweep never deserialises an artifact.
+        """
+        if experiment in self._results:
+            return True
+        if self.store is None:
+            return False
+        return self.store.probe(experiment.task_key())
+
     def sweep(
         self,
         experiments: "Iterable[Experiment] | SystemConfig",

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 import zlib
 from array import array
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.cache.geometry import CacheGeometry
@@ -61,6 +61,11 @@ class Trace:
     line_addresses: "array[int]"
     writes: "array[int]"
     warm_lines: "array[int]"
+    #: per-offset views built by :meth:`for_core`; never compared or
+    #: shown — it is a cache, not part of the trace's identity
+    _offset_views: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.line_addresses)
@@ -69,6 +74,38 @@ class Trace:
     def instructions(self) -> int:
         """Total instructions represented by the trace."""
         return sum(self.gaps) + len(self.gaps)
+
+    def for_core(self, offset: int) -> "tuple[array[int], array[int]]":
+        """``(line_addresses, warm_lines)`` shifted into a core's region.
+
+        The simulator keeps multiprogrammed address spaces disjoint by
+        offsetting whole traces per core slot.  The shifted columns
+        are cached per offset: the arrays are read-only to every
+        consumer (the interpreter indexes them, the kernels read them
+        through buffer pointers), so one copy serves every run that
+        places this trace in the same slot — which makes re-running a
+        cached trace, e.g. across a threshold sweep in a persistent
+        worker, skip the whole-trace rebuild it used to pay.
+        """
+        views = self._offset_views.get(offset)
+        if views is None:
+            views = (
+                _shifted(self.line_addresses, offset),
+                _shifted(self.warm_lines, offset),
+            )
+            self._offset_views[offset] = views
+        return views
+
+
+def _shifted(values: "array[int]", offset: int) -> "array[int]":
+    """A copy of ``values`` with ``offset`` added to every element."""
+    if _np is not None and len(values):
+        out = array("q")
+        out.frombytes(
+            (_np.frombuffer(values, dtype=_np.int64) + offset).tobytes()
+        )
+        return out
+    return array("q", (value + offset for value in values))
 
 
 def _spread_addresses(base: int, lines: int, num_sets: int) -> list[int]:

@@ -1,0 +1,304 @@
+"""The pool layer: backend equivalence, the wire protocol, failure
+surfacing, and concurrent writers racing on one store."""
+
+import json
+import subprocess
+import sys
+from io import BytesIO
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiment import Experiment
+from repro.orchestration.executor import SweepExecutor
+from repro.orchestration.pools import (
+    WIRE_SCHEMA,
+    LocalTransport,
+    PoolTask,
+    SSHPool,
+    SSHTransport,
+    SweepTaskError,
+    WarmPool,
+    remote_main,
+    resolve_pool,
+    resolve_pool_name,
+    transport_for,
+)
+from repro.orchestration.store import ResultStore
+from repro.sim.runner import ExperimentRunner
+
+GROUPS = ["G2-4", "G2-8"]
+POLICIES = ("ucp", "cooperative")
+
+
+def _specs(config):
+    return [Experiment(g, p, config) for g in GROUPS for p in POLICIES]
+
+
+def _sweep_into(root, config, pool, **kwargs):
+    store = ResultStore(root)
+    with SweepExecutor(store, max_workers=2, pool=pool, **kwargs) as executor:
+        computed, cached = executor.prefetch(_specs(config))
+    store.refresh()
+    return store, computed, cached
+
+
+class TestBackendEquivalence:
+    """Every backend must persist bit-identical artifacts."""
+
+    def test_warm_spawn_ssh_match_serial(self, tmp_path, tiny_two_core):
+        reference, computed, _ = _sweep_into(
+            tmp_path / "serial", tiny_two_core, "serial"
+        )
+        assert computed > 0
+        expected = {key: reference.get(key) for key in reference.keys()}
+
+        for pool, kwargs in [
+            ("warm", {}),
+            ("spawn", {}),
+            ("ssh", {"hosts": ["local"]}),
+        ]:
+            store, _, _ = _sweep_into(
+                tmp_path / pool, tiny_two_core, pool, **kwargs
+            )
+            actual = {key: store.get(key) for key in store.keys()}
+            assert actual == expected, f"{pool} artifacts diverge from serial"
+
+
+class TestPoolTask:
+    def test_wire_round_trip(self, tiny_two_core):
+        experiment = Experiment("G2-4", "cooperative", tiny_two_core)
+        task = PoolTask.from_experiment(experiment)
+        clone = PoolTask.from_dict(json.loads(json.dumps(task.to_dict())))
+        assert clone == task
+        assert clone.key == experiment.task_key()
+        # Group tasks carry their alone dependencies (the ssh pool
+        # ships those artifacts alongside the spec).
+        assert len(clone.dependencies) == 2
+        assert Experiment.from_dict(clone.spec) == experiment
+
+    def test_alone_task_has_no_dependencies(self, tiny_two_core):
+        alone = Experiment("G2-4", "cooperative", tiny_two_core)
+        dep = alone.alone_dependencies()[0]
+        assert PoolTask.from_experiment(dep).dependencies == ()
+
+
+class TestErrorSurfacing:
+    def test_worker_failure_names_the_task(self, tmp_path, tiny_two_core):
+        experiment = Experiment("G2-4", "cooperative", tiny_two_core)
+        good = PoolTask.from_experiment(experiment)
+        bad = PoolTask(
+            key=good.key,
+            label=good.label,
+            spec={**good.spec, "workload": {"kind": "group", "name": "G2-999"}},
+            policy_module=good.policy_module,
+        )
+        pool = WarmPool(ResultStore(tmp_path / "store"), max_workers=1)
+        with pool:
+            pool.submit(bad)
+            result = pool.wait_one()
+        assert result.error is not None
+        assert result.key == good.key
+        # the worker survives the failure and still runs later tasks
+        # (close() above proves the sentinel round-trip worked)
+
+    def test_sweep_task_error_message(self):
+        error = SweepTaskError("a" * 64, "group G2-4 ucp", "warm", "KeyError: x")
+        assert "group G2-4 ucp" in str(error)
+        assert "a" * 12 in str(error)
+        assert "warm" in str(error)
+        assert error.backend == "warm"
+
+    def test_executor_raises_sweep_task_error(self, tmp_path, tiny_two_core):
+        import dataclasses
+
+        store = ResultStore(tmp_path / "store")
+        executor = SweepExecutor(store, max_workers=2, pool="warm")
+        # A zero-refs config passes spec validation and fails only
+        # when the worker generates its trace — the remote-failure
+        # path the executor must translate into a SweepTaskError.
+        broken = Experiment(
+            "G2-4",
+            "cooperative",
+            dataclasses.replace(tiny_two_core, refs_per_core=0),
+        )
+        try:
+            with pytest.raises(SweepTaskError) as caught:
+                executor.prefetch([broken])
+        finally:
+            executor.close()
+        assert caught.value.backend == "warm"
+        assert caught.value.error.startswith("ValueError")
+        assert len(caught.value.key) == 64
+
+
+class TestRemoteProtocol:
+    def _request(self, tasks, artifacts=()):
+        return json.dumps(
+            {
+                "schema": WIRE_SCHEMA,
+                "engine": None,
+                "tasks": [task.to_dict() for task in tasks],
+                "artifacts": list(artifacts),
+            }
+        ).encode("utf-8")
+
+    def test_remote_main_round_trip(self, tmp_path, tiny_two_core):
+        # Compute the alone dependencies locally; the group task ships
+        # with those artifacts and the remote side must not recompute
+        # them (its scratch store is seeded before the runner starts).
+        store = ResultStore(tmp_path / "store")
+        runner = ExperimentRunner(store=store)
+        experiment = Experiment("G2-4", "ucp", tiny_two_core)
+        for dependency in experiment.alone_dependencies():
+            runner.run(dependency)
+        store.refresh()
+        artifacts = [
+            store.get_envelope(key)
+            for key in [d.task_key() for d in experiment.alone_dependencies()]
+        ]
+        task = PoolTask.from_experiment(experiment)
+
+        out = BytesIO()
+        assert remote_main(BytesIO(self._request([task], artifacts)), out) == 0
+        response = json.loads(out.getvalue())
+        assert response["schema"] == WIRE_SCHEMA
+        assert [r["error"] for r in response["results"]] == [None]
+        # the response carries the computed group artifact only — the
+        # shipped dependencies were inputs, not results
+        assert [e["key"] for e in response["artifacts"]] == [task.key]
+
+        # and the artifact is exactly what a local runner produces
+        local = ExperimentRunner(store=ResultStore(tmp_path / "local"))
+        expected = local.run(experiment)
+        envelope = response["artifacts"][0]
+        clone = ResultStore(tmp_path / "clone")
+        clone.put_many(
+            [(envelope["key"], envelope["payload"], envelope["kind"], {})]
+        )
+        fetched = ExperimentRunner(store=clone).run(experiment)
+        assert fetched.ipcs() == expected.ipcs()
+
+    def test_remote_main_rejects_wrong_schema(self):
+        request = json.dumps({"schema": WIRE_SCHEMA + 1, "tasks": []})
+        with pytest.raises(SystemExit):
+            remote_main(BytesIO(request.encode("utf-8")), BytesIO())
+
+    def test_ssh_pool_over_stub_transport(self, tmp_path, tiny_two_core):
+        """The full SSHPool machinery — feeder threads, batching,
+        dependency shipping, artifact sync — with the transport
+        replaced by an in-process stub running the remote protocol."""
+
+        class StubTransport:
+            def run(self, request: bytes) -> bytes:
+                out = BytesIO()
+                remote_main(BytesIO(request), out)
+                return out.getvalue()
+
+        store = ResultStore(tmp_path / "store")
+        runner = ExperimentRunner(store=store)
+        specs = [Experiment(g, "ucp", tiny_two_core) for g in GROUPS]
+        for spec in specs:
+            for dependency in spec.alone_dependencies():
+                runner.run(dependency)
+        store.refresh()
+
+        pool = SSHPool(
+            store,
+            hosts=["stub-a", "stub-b"],
+            transport_factory=lambda host: StubTransport(),
+        )
+        with pool:
+            submitted = pool.submit_many(
+                PoolTask.from_experiment(spec) for spec in specs
+            )
+            results = [pool.wait_one() for _ in range(submitted)]
+        assert [r.error for r in results] == [None] * len(specs)
+        # artifacts were synced back into the local store
+        store.refresh()
+        for spec in specs:
+            assert store.has(spec.task_key())
+
+    def test_transport_selection(self):
+        assert isinstance(transport_for("local"), LocalTransport)
+        remote = transport_for("worker@farm-03")
+        assert isinstance(remote, SSHTransport)
+        assert remote.host == "worker@farm-03"
+
+
+class TestSelection:
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "spawn")
+        assert resolve_pool_name("serial") == ("serial", ())
+        assert resolve_pool_name(None)[0] == "spawn"
+
+    def test_hosts_imply_ssh(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL", raising=False)
+        name, hosts = resolve_pool_name(None, hosts="a,b")
+        assert (name, hosts) == ("ssh", ("a", "b"))
+        monkeypatch.setenv("REPRO_HOSTS", "c")
+        assert resolve_pool_name(None) == ("ssh", ("c",))
+
+    def test_default_is_warm(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL", raising=False)
+        monkeypatch.delenv("REPRO_HOSTS", raising=False)
+        assert resolve_pool_name(None) == ("warm", ())
+
+    def test_ssh_without_hosts_is_an_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HOSTS", raising=False)
+        with pytest.raises(ValueError, match="hosts"):
+            resolve_pool_name("ssh")
+
+    def test_unknown_name_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown pool"):
+            resolve_pool_name("fleet")
+
+    def test_resolve_pool_builds_each_backend(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for name in ("serial", "spawn", "warm"):
+            assert resolve_pool(name, store=store, max_workers=2).name == name
+        ssh = resolve_pool("ssh", store=store, hosts=["local"])
+        assert ssh.name == "ssh" and ssh.hosts == ("local",)
+
+
+class TestConcurrentWriters:
+    def test_racing_processes_converge(self, tmp_path):
+        """Several processes hammering ``put_many`` on one store (and
+        deliberately on one shard, so their index appends interleave)
+        must leave every artifact readable and every key probeable."""
+        root = tmp_path / "store"
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        script = (
+            "import sys\n"
+            "from repro.orchestration.store import ResultStore\n"
+            "worker = int(sys.argv[2])\n"
+            "rows = [\n"
+            "    (f'ab{worker:02d}{i:060d}', {'worker': worker, 'i': i}, 'group', {})\n"
+            "    for i in range(30)\n"
+            "]\n"
+            "store = ResultStore(sys.argv[1])\n"
+            "for row in rows:\n"
+            "    store.put_many([row])\n"
+        )
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(root), str(index)],
+                env={"PYTHONPATH": src},
+            )
+            for index in range(4)
+        ]
+        assert [worker.wait() for worker in workers] == [0, 0, 0, 0]
+
+        store = ResultStore(root)
+        keys = set(store.keys())
+        assert len(keys) == 120
+        assert store.count() == 120
+        for worker in range(4):
+            for i in range(30):
+                key = f"ab{worker:02d}{i:060d}"
+                assert store.probe(key), key
+                assert store.get(key) == {"worker": worker, "i": i}
+        # a rebuilt index agrees with the appended one
+        assert store.reindex() == 120
+        assert set(store.keys()) == keys

@@ -155,6 +155,112 @@ class TestResultStore:
         assert str(default_store_path()).endswith("store")
 
 
+class TestIndexAndProbe:
+    """The per-shard append-only index: meta-only probes, repair,
+    streaming keys."""
+
+    @staticmethod
+    def _forbid_payload_reads(store):
+        def boom(key):
+            raise AssertionError(f"payload parse for {key} on the fast path")
+
+        store.get_envelope = boom
+
+    def test_probe_fast_path_skips_payload_parse(self, store, tmp_path):
+        store.put("ab" * 32, {"x": 1}, kind="group")
+        fresh = ResultStore(tmp_path / "store")  # no in-memory state
+        self._forbid_payload_reads(fresh)
+        assert fresh.probe("ab" * 32)
+        # (an absent key is allowed to take the brute-force fallback —
+        # only present artifacts must answer from the index)
+        assert not ResultStore(tmp_path / "store").probe("cd" * 32)
+
+    def test_probe_detects_truncation(self, store, tmp_path):
+        key = "ab" * 32
+        store.put(key, {"x": list(range(100))}, kind="group")
+        path = store.path_for(key)
+        path.write_bytes(path.read_bytes()[:-20])
+        fresh = ResultStore(tmp_path / "store")
+        assert not fresh.probe(key), "size mismatch must fail the probe"
+
+    def test_probe_repairs_a_missing_index(self, store, tmp_path):
+        key = "ab" * 32
+        store.put(key, {"x": 1}, kind="group")
+        for index in (tmp_path / "store").glob("*/.index.jsonl"):
+            index.unlink()
+        # first probe takes the brute-force fallback (full parse)...
+        fallback = ResultStore(tmp_path / "store")
+        assert fallback.probe(key)
+        # ...and repairs the on-disk index, so a later process probes
+        # without ever touching the payload again
+        repaired = ResultStore(tmp_path / "store")
+        self._forbid_payload_reads(repaired)
+        assert repaired.probe(key)
+
+    def test_put_many_batch(self, store, tmp_path):
+        rows = [
+            (f"{i:02d}" + "ef" * 31, {"i": i}, "group", {"label": f"t{i}"})
+            for i in range(6)
+        ]
+        paths = store.put_many(rows)
+        assert [p.exists() for p in paths] == [True] * 6
+        fresh = ResultStore(tmp_path / "store")
+        self._forbid_payload_reads(fresh)
+        for key, _payload, _kind, _meta in rows:
+            assert fresh.probe(key)
+        assert store.get(rows[3][0]) == {"i": 3}
+
+    def test_keys_stream_matches_fallback_scan(self, store, tmp_path):
+        expected = set()
+        for i in range(8):
+            key = f"{i:02d}" + "9a" * 31
+            store.put(key, {"i": i}, kind="alone")
+            expected.add(key)
+        assert set(store.keys()) == expected
+        # deleting every index must not change the key set, only speed
+        for index in (tmp_path / "store").glob("*/.index.jsonl"):
+            index.unlink()
+        assert set(ResultStore(tmp_path / "store").keys()) == expected
+
+    def test_keys_skips_stale_index_entries(self, store, tmp_path):
+        store.put("ab" * 32, {"x": 1}, kind="group")
+        store.put("cd" * 32, {"x": 2}, kind="group")
+        store.path_for("ab" * 32).unlink()  # index line is now stale
+        fresh = ResultStore(tmp_path / "store")
+        assert set(fresh.keys()) == {"cd" * 32}
+        assert fresh.count() == 1
+
+    def test_reindex_recovers_from_garbage(self, store, tmp_path):
+        store.put("ab" * 32, {"x": 1}, kind="group")
+        index = store.path_for("ab" * 32).parent / ".index.jsonl"
+        index.write_bytes(b'{"torn line\n' + index.read_bytes() + b"garbage\n")
+        fresh = ResultStore(tmp_path / "store")
+        assert fresh.probe("ab" * 32), "torn lines must be skipped"
+        assert fresh.reindex() == 1
+        assert set(fresh.keys()) == {"ab" * 32}
+
+    def test_fully_cached_resume_costs_index_only(self, store, tiny_two_core):
+        """The acceptance path: planning a warm sweep must not parse a
+        single artifact payload — probes answer from the index."""
+        from repro.orchestration.executor import SweepExecutor
+
+        specs = [
+            Experiment("G2-4", policy, tiny_two_core)
+            for policy in ("ucp", "cooperative")
+        ]
+        with SweepExecutor(store, max_workers=1, pool="serial") as seeder:
+            computed, _ = seeder.prefetch(specs)
+        assert computed > 0
+
+        resumed_store = ResultStore(store.root)
+        TestIndexAndProbe._forbid_payload_reads(resumed_store)
+        with SweepExecutor(resumed_store, max_workers=1) as resumed:
+            alone_pending, main_pending, total = resumed.plan(specs)
+            assert (alone_pending, main_pending) == ([], [])
+            assert total == 4  # two group tasks + two alone dependencies
+            assert resumed.prefetch(specs) == (0, total)
+
+
 class TestStoreBackedRunner:
     def test_results_survive_runner_restart(self, store, tiny_two_core):
         first = ExperimentRunner(store=store)
