@@ -1,0 +1,163 @@
+"""Hot-path hygiene rules.
+
+PR 2 and PR 7 bought ~49× by hand: allocation-free inner loops,
+two-way compares instead of ``min()`` scans, attribute loads hoisted
+to locals.  Functions carrying a ``# repro: hot`` annotation are that
+audited surface; these rules keep the disciplines from silently
+rotting as the loops are edited.  They run *only* inside hot-marked
+functions — elsewhere, clarity wins.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext
+from repro.analysis.registry import Finding, register_rule
+from repro.analysis.rules.common import (
+    attribute_chain,
+    iter_loops,
+    loop_body_nodes,
+)
+
+#: builtins that allocate a fresh container per call
+_ALLOCATING_CALLS = frozenset({"list", "dict", "set", "frozenset", "sorted"})
+
+#: identical attribute chains re-looked-up at least this many times in
+#: one loop body before the rule fires
+_CHAIN_THRESHOLD = 3
+
+
+@register_rule(
+    "hot-loop-alloc",
+    category="hot-path",
+    default_severity="warning",
+    summary="allocation inside a `# repro: hot` loop",
+)
+def check_hot_loop_alloc(context: AnalysisContext) -> Iterator[Finding]:
+    """Container displays, comprehensions and ``list()/dict()/set()/
+    sorted()`` calls inside the loops of hot-marked functions allocate
+    per iteration; hoist them out or rework onto the function's
+    preallocated scratch state."""
+    for function in context.hot_functions():
+        seen: set[tuple[int, str]] = set()
+        for loop in iter_loops(function):
+            for node in loop_body_nodes(loop):
+                what = None
+                if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                    what = "a comprehension"
+                elif isinstance(node, (ast.List, ast.Set)):
+                    what = f"a {type(node).__name__.lower()} display"
+                elif isinstance(node, ast.Dict):
+                    what = "a dict display"
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _ALLOCATING_CALLS
+                ):
+                    what = f"{node.func.id}()"
+                if what is None:
+                    continue
+                key = (node.lineno, what)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Finding(
+                    rule="hot-loop-alloc",
+                    path=context.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"{what} allocates every iteration of a hot "
+                        f"loop ({function.name} is marked `# repro: "
+                        f"hot`); hoist it or reuse scratch state"
+                    ),
+                )
+
+
+@register_rule(
+    "hot-loop-minmax",
+    category="hot-path",
+    default_severity="warning",
+    summary="min()/max() scan inside a `# repro: hot` loop",
+)
+def check_hot_loop_minmax(context: AnalysisContext) -> Iterator[Finding]:
+    """``min()``/``max()`` over an iterable (or with a ``key=``)
+    inside a hot loop re-scans objects per iteration — the pattern
+    PR 2 replaced with two-way compares and the ``(time, id)`` heap.
+    Two scalar arguments compare in C and are fine."""
+    for function in context.hot_functions():
+        for loop in iter_loops(function):
+            for node in loop_body_nodes(loop):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("min", "max")
+                ):
+                    continue
+                has_key = any(k.arg == "key" for k in node.keywords)
+                if len(node.args) >= 2 and not has_key:
+                    continue  # two-way scalar compare: cheap
+                yield Finding(
+                    rule="hot-loop-minmax",
+                    path=context.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"{node.func.id}() scans an iterable inside a "
+                        f"hot loop ({function.name}); keep a running "
+                        f"best or use the scheduling heap"
+                    ),
+                )
+
+
+@register_rule(
+    "hot-attr-chain",
+    category="hot-path",
+    default_severity="warning",
+    summary="repeated attribute re-lookup inside a `# repro: hot` loop",
+)
+def check_hot_attr_chain(context: AnalysisContext) -> Iterator[Finding]:
+    """The same ``obj.attr[.attr…]`` chain loaded ≥3 times in one hot
+    loop body pays the dict lookups every iteration; bind it to a
+    local before the loop."""
+    for function in context.hot_functions():
+        reported: set[tuple[str, int]] = set()
+        for loop in iter_loops(function):
+            chains: list[tuple[str, int]] = []
+            for statement in [*loop.body, *loop.orelse]:
+                _collect_maximal_chains(statement, chains)
+            counts: dict[str, tuple[int, int]] = {}
+            for chain, line in chains:
+                count, first_line = counts.get(chain, (0, line))
+                counts[chain] = (count + 1, min(first_line, line))
+            for chain, (count, first_line) in sorted(counts.items()):
+                if count < _CHAIN_THRESHOLD:
+                    continue
+                if (chain, first_line) in reported:
+                    continue  # nested loops re-count the inner body
+                reported.add((chain, first_line))
+                yield Finding(
+                    rule="hot-attr-chain",
+                    path=context.relpath,
+                    line=first_line,
+                    message=(
+                        f"`{chain}` is re-looked-up {count}× inside a "
+                        f"hot loop ({function.name}); bind it to a "
+                        f"local before the loop"
+                    ),
+                )
+
+
+def _collect_maximal_chains(
+    node: ast.AST, out: list[tuple[str, int]]
+) -> None:
+    """Maximal ``name.attr[.attr…]`` load chains under ``node`` —
+    sub-chains of a counted chain are part of that same lookup and
+    are not counted twice."""
+    if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+        chain = attribute_chain(node)
+        if chain is not None:
+            out.append((chain, node.lineno))
+            return
+    for child in ast.iter_child_nodes(node):
+        _collect_maximal_chains(child, out)

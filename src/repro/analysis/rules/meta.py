@@ -1,0 +1,32 @@
+"""Suppression-hygiene rules — the analysis keeps itself honest."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext
+from repro.analysis.registry import Finding, is_registered, register_rule
+
+
+@register_rule(
+    "unknown-suppression",
+    category="meta",
+    default_severity="warning",
+    summary="`# repro: noqa[...]` naming an unregistered rule",
+)
+def check_unknown_suppression(context: AnalysisContext) -> Iterator[Finding]:
+    """A suppression naming a rule that does not exist suppresses
+    nothing — usually a typo that leaves the real finding live (or a
+    rule that was since renamed; update or drop the comment)."""
+    for line, rule in context.suppression_mentions:
+        if is_registered(rule):
+            continue
+        yield Finding(
+            rule="unknown-suppression",
+            path=context.relpath,
+            line=line,
+            message=(
+                f"suppression names unknown rule {rule!r}; registered "
+                f"rules are listed by `repro check --list-rules`"
+            ),
+        )

@@ -38,8 +38,11 @@ SURFACE_PATH = Path("tests") / "api_surface.json"
 #: TimelineSample field list; 3: added the scenario generator, the
 #: committed-corpus name grid and the differential-suite entry points;
 #: 4: added the orchestration layer — pool backends, the wire types,
-#: the result store, the sweep executor and the serve daemon)
-SURFACE_SCHEMA = 4
+#: the result store, the sweep executor and the serve daemon;
+#: 5: added the static-analysis layer — the rule registry with
+#: categories/severities/fixability and the ``repro check`` entry
+#: points)
+SURFACE_SCHEMA = 5
 
 
 def _signature_of(function: Any) -> list[dict[str, Any]]:
@@ -189,6 +192,38 @@ def _orchestration_surface() -> dict[str, Any]:
     }
 
 
+def _analysis_surface() -> dict[str, Any]:
+    """The rule registry and the ``repro check`` entry points."""
+    from repro.analysis import check_file, check_paths, register_rule
+    from repro.analysis.baseline import BASELINE_SCHEMA
+    from repro.analysis.cli import run_check
+    from repro.analysis.registry import (
+        CATEGORIES,
+        SEVERITIES,
+        registered_rules,
+        rule_info,
+    )
+
+    rules: dict[str, Any] = {}
+    for name in registered_rules():
+        info = rule_info(name)
+        rules[name] = {
+            "category": info.category,
+            "default_severity": info.default_severity,
+            "fixable": info.fixable,
+        }
+    return {
+        "categories": list(CATEGORIES),
+        "severities": list(SEVERITIES),
+        "baseline_schema": BASELINE_SCHEMA,
+        "rules": rules,
+        "register_rule": _signature_of(register_rule),
+        "check_file": _signature_of(check_file),
+        "check_paths": _signature_of(check_paths),
+        "run_check": _signature_of(run_check),
+    }
+
+
 def compute_surface() -> dict[str, Any]:
     """The current public-API surface as a JSON-stable document."""
     import repro
@@ -229,6 +264,7 @@ def compute_surface() -> dict[str, Any]:
         "governors": _governor_surface(),
         "scenarios": _scenarios_surface(),
         "orchestration": _orchestration_surface(),
+        "analysis": _analysis_surface(),
     }
 
 

@@ -67,7 +67,7 @@ class CacheSet:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def find(self, tag: int, ways: tuple[int, ...] | None = None) -> int:
+    def find(self, tag: int, ways: tuple[int, ...] | None = None) -> int:  # repro: hot
         """Return the way holding ``tag`` among ``ways`` (all if None).
 
         Returns :data:`NO_WAY` when the tag is absent from the searched
@@ -108,7 +108,7 @@ class CacheSet:
     # ------------------------------------------------------------------
     # Victim selection
     # ------------------------------------------------------------------
-    def victim(self, ways: tuple[int, ...] | None = None) -> int:
+    def victim(self, ways: tuple[int, ...] | None = None) -> int:  # repro: hot
         """LRU victim among ``ways`` (all ways if None).
 
         Invalid ways are returned first (fill before evict); otherwise

@@ -122,7 +122,7 @@ class TakeoverEngine:
         for move in moves:
             self.transitions[move.way] = move
         self._rebuild_indexes()
-        for donor in {move.donor for move in moves}:
+        for donor in sorted({move.donor for move in moves}):
             vector = self.vectors.get(donor)
             if vector is None:
                 self.vectors[donor] = TakeoverVector(self._num_sets)

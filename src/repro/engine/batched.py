@@ -158,7 +158,7 @@ class _Lane:
         self.spoiled = True
 
 
-def run_batched(sim):
+def run_batched(sim):  # repro: hot
     """Execute ``sim`` with hit-run batching; bit-identical results."""
     config = sim.config
     cores = sim.cores

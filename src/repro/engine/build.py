@@ -3,11 +3,27 @@
 The kernel is a single C file (``kernel.c``) compiled on first use
 with whatever C compiler the host provides (``$CC``, then ``cc``,
 ``gcc``, ``clang``).  The shared object is cached under a name derived
-from the SHA-256 of the source, so editing the kernel — or upgrading
-the package — transparently triggers a rebuild, while repeated runs
-reuse the cached binary.  Everything here raises on failure;
+from the SHA-256 of the source *and the active build flags*, so
+editing the kernel — or upgrading the package, or changing the
+sanitizer mode — transparently triggers a rebuild, while repeated
+runs reuse the cached binary.  Everything here raises on failure;
 :func:`repro.engine.compiled_available` treats any exception as "no
 compiled engine" and the simulator falls back to the portable tiers.
+
+Sanitizer builds: ``REPRO_CC_SANITIZE=address,undefined`` threads the
+matching ``-fsanitize=...`` flags (plus ``-g`` and
+``-fno-sanitize-recover`` so UBSan findings abort instead of printing
+and continuing) through the compile *and* the cache key — a
+sanitized and an optimized kernel coexist in the cache.  Loading an
+ASan kernel into a non-ASan Python requires preloading the runtime::
+
+    LD_PRELOAD=$(gcc -print-file-name=libasan.so) \
+    ASAN_OPTIONS=detect_leaks=0 \
+    REPRO_CC_SANITIZE=address,undefined python -m pytest tests/golden
+
+(leak detection is off because CPython itself holds allocations for
+the interpreter's lifetime; see docs/static-analysis.md for the CI
+recipe — the full golden suite runs byte-identical under ASan/UBSan.)
 """
 
 from __future__ import annotations
@@ -44,6 +60,25 @@ def _cache_dir() -> Path:
     return path
 
 
+def sanitize_flags() -> tuple[str, ...]:
+    """Compiler flags for ``$REPRO_CC_SANITIZE`` (empty when unset).
+
+    The variable is a comma-separated list of ``-fsanitize`` arguments
+    (``address``, ``undefined``, …).  Flags participate in the kernel
+    cache key, so switching modes rebuilds instead of reusing a
+    mismatched binary.
+    """
+    raw = os.environ.get("REPRO_CC_SANITIZE", "").strip()
+    if not raw:
+        return ()
+    kinds = [part.strip() for part in raw.split(",") if part.strip()]
+    flags = [f"-fsanitize={kind}" for kind in kinds]
+    # Debug info for usable reports; make UBSan abort on a finding so
+    # CI fails instead of scrolling diagnostics past everyone.
+    flags += ["-g", "-fno-sanitize-recover=all"]
+    return tuple(flags)
+
+
 def _find_compiler() -> str:
     candidates = []
     env_cc = os.environ.get("CC")
@@ -61,6 +96,7 @@ def _compile(source: Path, out: Path) -> None:
     compiler = _find_compiler()
     tmp = out.with_name(f".{out.name}.{os.getpid()}.tmp")
     cmd = [compiler, "-O2", "-fPIC", "-shared",
+           *sanitize_flags(),
            "-o", str(tmp), str(source)]
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -75,8 +111,13 @@ def _compile(source: Path, out: Path) -> None:
 
 
 def kernel_path() -> Path:
-    """Path of the cached shared object for the current source."""
-    digest = hashlib.sha256(_SOURCE.read_bytes()).hexdigest()[:16]
+    """Path of the cached shared object for the current source and
+    build flags (sanitizer mode included — see :func:`sanitize_flags`)."""
+    hasher = hashlib.sha256(_SOURCE.read_bytes())
+    flags = sanitize_flags()
+    if flags:
+        hasher.update("\0".join(flags).encode("utf-8"))
+    digest = hasher.hexdigest()[:16]
     return _cache_dir() / f"repro_kernel_{digest}.so"
 
 

@@ -1,6 +1,6 @@
 """``repro`` — the command-line front end of the reproduction.
 
-Seven subcommands drive the whole evaluation through the orchestrator:
+Eight subcommands drive the whole evaluation through the orchestrator:
 
 * ``repro sweep``    — run a (group × scheme) cross-product in
   parallel, persisting every result; re-running is a cache-hit no-op.
@@ -33,6 +33,10 @@ Seven subcommands drive the whole evaluation through the orchestrator:
   and survive restarts via resume-from-store (see
   ``docs/distributed.md``).
 * ``repro clean``    — drop the store.
+* ``repro check``    — run the project-invariant static analysis
+  (determinism/hot-path/concurrency rules, ``# repro: noqa[...]``
+  suppressions, the committed ``analysis/baseline.json``; see
+  ``docs/static-analysis.md``).
 
 Every run-shaped command accepts ``--cores``, ``--refs-per-core``,
 ``--groups``, ``--policies`` and ``--threshold`` to select the slice
@@ -52,6 +56,7 @@ import sys
 import time
 from typing import Sequence
 
+from repro.analysis.cli import add_check_arguments, cmd_check
 from repro.bench.harness import BENCH_FILENAME
 from repro.experiment import Experiment
 from repro.metrics.speedup import geometric_mean
@@ -370,6 +375,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "clean", parents=[common], help="delete every stored artifact"
     )
     clean.set_defaults(handler=_cmd_clean)
+
+    check = commands.add_parser(
+        "check",
+        help="run the project-invariant static analysis "
+             "(see docs/static-analysis.md)",
+    )
+    add_check_arguments(check)
+    check.set_defaults(handler=cmd_check)
     return parser
 
 

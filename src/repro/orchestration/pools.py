@@ -652,7 +652,9 @@ class SSHPool(Pool):
             "tasks": [task.to_dict() for task in batch],
             "artifacts": artifacts,
         }
-        return json.dumps(request, separators=(",", ":")).encode("utf-8")
+        return json.dumps(
+            request, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
 
     def _ingest(self, response: dict) -> None:
         """Sync computed artifact envelopes into the local store."""
@@ -739,7 +741,11 @@ def remote_main(stdin: Any = None, stdout: Any = None) -> int:
             if envelope is not None
         ]
     response = {"schema": WIRE_SCHEMA, "results": results, "artifacts": artifacts}
-    stdout.write(json.dumps(response, separators=(",", ":")).encode("utf-8"))
+    stdout.write(
+        json.dumps(
+            response, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+    )
     stdout.flush()
     return 0
 

@@ -52,10 +52,11 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from queue import Empty, Queue
-from typing import Any, Iterable
+from typing import Any, Iterable, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.experiment import Experiment
+from repro.orchestration.clock import Clock, wall_now
 from repro.orchestration.executor import SweepExecutor
 from repro.orchestration.pools import SweepTaskError
 from repro.orchestration.store import ResultStore
@@ -90,7 +91,10 @@ class SweepServer:
 
     ``port=0`` binds an ephemeral port (read :attr:`port` after
     :meth:`start`).  ``pool``/``hosts``/``engine``/``max_workers``
-    configure the executor every job runs through.
+    configure the executor every job runs through.  ``clock`` is the
+    timestamp source for job records (default: the blessed wall clock
+    from :mod:`repro.orchestration.clock`); tests inject a fake so
+    record ordering never depends on real time.
     """
 
     def __init__(
@@ -102,8 +106,10 @@ class SweepServer:
         engine: str | None = None,
         pool: str | None = None,
         hosts: "Iterable[str] | str | None" = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.store = store
+        self.clock: Clock = clock if clock is not None else wall_now
         self.jobs_dir = jobs_dir_for(store)
         self.host = host
         self.port = port
@@ -222,7 +228,7 @@ class SweepServer:
             specs = [Experiment.from_dict(doc) for doc in experiments]
             record = {
                 "id": job_id,
-                "created": time.time(),
+                "created": self.clock(),
                 "state": QUEUED,
                 "engine": engine,
                 "experiments": experiments,

@@ -187,7 +187,9 @@ class ResultStore:
                 "meta": meta or {},
                 "payload": payload,
             }
-            blob = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+            blob = json.dumps(
+                envelope, separators=(",", ":"), sort_keys=True
+            ).encode("utf-8")
             temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
             with open(temporary, "wb") as handle:
                 handle.write(blob)
@@ -211,7 +213,8 @@ class ResultStore:
         key: str, size: int, kind: str, meta: dict[str, Any]
     ) -> bytes:
         record = {"key": key, "size": size, "kind": kind, "meta": meta}
-        return (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        return (line + "\n").encode("utf-8")
 
     @staticmethod
     def _append_index(path: Path, blob: bytes) -> None:

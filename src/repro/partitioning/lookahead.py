@@ -51,6 +51,7 @@ class AllocationResult:
     rounds: list[tuple[int, int, float]] = field(default_factory=list)
 
 
+# repro: hot
 def _max_marginal_utility(
     curve: list[int], alloc: int, balance: int
 ) -> tuple[float, int]:
@@ -75,6 +76,7 @@ def _max_marginal_utility(
     return max_mu, blocks_req
 
 
+# repro: hot
 def lookahead_partition(
     miss_curves: list[list[int]],
     total_ways: int,

@@ -52,7 +52,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import zlib
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -110,16 +109,19 @@ CORPUS_EPOCH_CYCLES = 60_000
 
 
 def _rng(seed: int, n_cores: int, shape: str):
-    """The generator's deterministic RNG (CRC32-keyed like traces).
+    """The generator's deterministic RNG (CRC32-keyed like traces,
+    via the shared :mod:`repro.workloads.seeding` helper).
 
     The key deliberately excludes the cycle window: times are drawn as
     fractions, so re-scaling a schedule onto a different window keeps
     every structural draw (benchmarks, presence, event counts) intact.
+    The ``shift=32`` layout keeps the CRC and the seed in disjoint bit
+    ranges — the historical key space, pinned byte-for-byte by the
+    committed corpus.
     """
-    import random
+    from repro.workloads.seeding import stable_rng
 
-    key = f"scenario:{seed}:{n_cores}:{shape}"
-    return random.Random(zlib.crc32(key.encode("ascii")) ^ (seed << 32))
+    return stable_rng(f"scenario:{seed}:{n_cores}:{shape}", seed, shift=32)
 
 
 def generate_scenario(

@@ -470,7 +470,7 @@ class CMPSimulator:
         return self._collect(end_cycle)
 
     # ------------------------------------------------------------------
-    def _run_python(self) -> RunResult:
+    def _run_python(self) -> RunResult:  # repro: hot
         """The reference scalar loop (pinned by the golden suite)."""
         config = self.config
         cores = self.cores
@@ -732,6 +732,7 @@ class CMPSimulator:
         )
 
     # ------------------------------------------------------------------
+    # repro: hot
     def _l1_miss(
         self,
         core_id: int,

@@ -19,13 +19,13 @@ Address-space layout (line addresses):
 from __future__ import annotations
 
 import random
-import zlib
 from array import array
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.cache.geometry import CacheGeometry
 from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.seeding import stable_rng
 
 try:  # trace generation vectorizes with numpy but must not require it
     import numpy as _np
@@ -164,7 +164,7 @@ def generate_trace(
     # crc32, not hash(): str hashing is salted per process, and trace
     # identity must hold across the sweep executor's worker processes
     # (and across sessions sharing one result store).
-    rng = random.Random(zlib.crc32(profile.name.encode("utf-8")) ^ seed)
+    rng = stable_rng(profile.name, seed)
     num_sets = llc_geometry.num_sets
     rings = [
         _RingState(

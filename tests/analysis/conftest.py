@@ -1,0 +1,33 @@
+"""Fixtures for the static-analysis tests: run rules over inline
+source under a pretend path, so every rule gets positive (fires) and
+negative (stays quiet) fixtures without touching the real tree."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Optional, Sequence
+
+import pytest
+
+from repro.analysis import check_file
+
+
+@pytest.fixture
+def check_source():
+    """``check_source(source, rules=[...], path=...)`` → findings.
+
+    ``source`` is dedented, so fixtures read naturally inline; the
+    pretend ``path`` drives module-scoped rules (store-layer checks,
+    the wall-clock allowlist).
+    """
+
+    def run(
+        source: str,
+        rules: Optional[Sequence[str]] = None,
+        path: str = "src/repro/example.py",
+    ):
+        body = textwrap.dedent(source).lstrip("\n")
+        return check_file(Path(path), rules=rules, source=body)
+
+    return run

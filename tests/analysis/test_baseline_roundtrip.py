@@ -1,0 +1,171 @@
+"""Baseline mechanics: line-drift-tolerant fingerprints, the
+fresh/grandfathered/stale split, justification preservation, and the
+full ``repro check`` baseline lifecycle on a throwaway tree."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    check_paths,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.baseline import BaselineEntry, fingerprint_findings
+from repro.analysis.cli import run_check
+from repro.analysis.registry import Finding
+
+VIOLATION = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+
+def _repo(tmp_path, source=VIOLATION):
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "thing.py").write_text(source)
+    return tmp_path
+
+
+def _check(root, **kwargs):
+    return run_check(
+        ["src"],
+        root=root,
+        baseline_path=root / "analysis" / "baseline.json",
+        **kwargs,
+    )
+
+
+class TestFingerprints:
+    def test_line_number_does_not_participate(self):
+        base = Finding("wall-clock", "a.py", 10, "m")
+        moved = base.replace(line=99)
+        text = "return time.time()"
+        assert finding_fingerprint(base, text, 0) == finding_fingerprint(
+            moved, text, 0
+        )
+
+    def test_occurrence_disambiguates_identical_lines(self):
+        finding = Finding("wall-clock", "a.py", 10, "m")
+        text = "return time.time()"
+        assert finding_fingerprint(finding, text, 0) != finding_fingerprint(
+            finding, text, 1
+        )
+
+    def test_fingerprint_findings_counts_occurrences(self):
+        findings = [
+            Finding("wall-clock", "a.py", 3, "m"),
+            Finding("wall-clock", "a.py", 7, "m"),
+        ]
+        paired = fingerprint_findings(findings, lambda p, n: "t = time.time()")
+        assert len({fingerprint for _, fingerprint in paired}) == 2
+
+
+class TestSplit:
+    def test_fresh_grandfathered_stale(self):
+        known = Finding("wall-clock", "a.py", 3, "m")
+        new = Finding("salted-hash", "a.py", 9, "m")
+        paired = fingerprint_findings(
+            [known, new], lambda p, n: f"line {n}"
+        )
+        known_fp = paired[0][1]
+        baseline = Baseline(
+            [
+                BaselineEntry(known_fp, "wall-clock", "a.py", "why"),
+                BaselineEntry("feedfeedfeedfeed", "wall-clock", "b.py", "gone"),
+            ]
+        )
+        fresh, grandfathered, stale = baseline.split(paired)
+        assert fresh == [new]
+        assert grandfathered == [known]
+        assert [entry.fingerprint for entry in stale] == ["feedfeedfeedfeed"]
+
+
+class TestLoadWrite:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(load_baseline(tmp_path / "nope.json")) == 0
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 99, "findings": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_write_preserves_existing_justifications(self, tmp_path):
+        finding = Finding("wall-clock", "a.py", 3, "m", severity="error")
+        paired = fingerprint_findings([finding], lambda p, n: "x = now()")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, paired, lambda p, n: "x = now()")
+        first = load_baseline(path)
+        entry = next(iter(first.entries.values()))
+        assert entry.why == "TODO: justify"
+
+        justified = Baseline(
+            [BaselineEntry(entry.fingerprint, entry.rule, entry.path,
+                           "audited: replay clock")]
+        )
+        write_baseline(path, paired, lambda p, n: "x = now()",
+                       existing=justified)
+        again = next(iter(load_baseline(path).entries.values()))
+        assert again.why == "audited: replay clock"
+
+
+class TestLifecycle:
+    def test_violation_gates_then_baselines_then_goes_stale(
+        self, tmp_path, capsys
+    ):
+        root = _repo(tmp_path)
+        assert _check(root) == 1
+
+        assert _check(root, update_baseline=True) == 0
+        document = json.loads(
+            (root / "analysis" / "baseline.json").read_text()
+        )
+        assert [r["rule"] for r in document["findings"]] == ["wall-clock"]
+
+        # grandfathered now; the check is green
+        assert _check(root) == 0
+
+        # drift: new code above the violation moves its line but not
+        # its fingerprint
+        target = root / "src" / "repro" / "thing.py"
+        target.write_text("GRACE = 3\n" + target.read_text())
+        assert _check(root) == 0
+
+        # the violation is fixed: its entry is stale and must be
+        # removed — the baseline only shrinks honestly
+        target.write_text(
+            "def stamp(clock):\n"
+            "    return clock()\n"
+        )
+        assert _check(root) == 1
+        output = capsys.readouterr().out
+        assert "stale" in output
+
+    def test_update_keeps_only_gating_findings(self, tmp_path):
+        root = _repo(tmp_path)
+        assert _check(root, update_baseline=True) == 0
+        document = json.loads(
+            (root / "analysis" / "baseline.json").read_text()
+        )
+        for record in document["findings"]:
+            assert record["why"]
+            assert record["line_text"]
+
+    def test_baseline_disabled_still_reports(self, tmp_path):
+        root = _repo(tmp_path)
+        code = run_check(["src"], root=root, baseline_path=None)
+        assert code == 1
+
+    def test_clean_tree_is_green_without_baseline(self, tmp_path):
+        root = _repo(tmp_path, source="GRACE = 3\n")
+        assert _check(root) == 0
+        findings = check_paths([root / "src"], root=root)
+        assert findings == []

@@ -1,0 +1,171 @@
+"""The ``repro check`` front end: registry surface, output formats,
+``--fix`` idempotence, and the meta-test that the repository's own
+tree is clean under its own analysis."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CATEGORIES,
+    RULE_NAMES,
+    register_rule,
+    registered_rules,
+    rule_info,
+    unregister_rule,
+)
+from repro.analysis.cli import run_check
+from repro.orchestration.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_at_least_ten_rules_across_all_categories(self):
+        names = registered_rules()
+        assert len(names) >= 10
+        covered = {rule_info(name).category for name in names}
+        assert covered == set(CATEGORIES)
+
+    def test_every_rule_has_summary_and_valid_severity(self):
+        for name in registered_rules():
+            info = rule_info(name)
+            assert info.summary
+            assert info.default_severity in ("info", "warning", "error")
+
+    def test_unknown_rule_raises_with_catalog(self):
+        with pytest.raises(ValueError, match="unseeded-random"):
+            rule_info("definitely-not-a-rule")
+
+    def test_register_unregister_roundtrip(self):
+        @register_rule("test-only-rule", category="meta",
+                       default_severity="info")
+        def check_nothing(context):
+            """A rule that never fires."""
+            return ()
+
+        try:
+            assert "test-only-rule" in RULE_NAMES
+            with pytest.raises(ValueError, match="already registered"):
+                register_rule("test-only-rule", category="meta")(
+                    check_nothing
+                )
+        finally:
+            unregister_rule("test-only-rule")
+        assert "test-only-rule" not in RULE_NAMES
+
+    def test_bad_category_and_severity_rejected(self):
+        with pytest.raises(ValueError, match="category"):
+            register_rule("x", category="vibes")
+        with pytest.raises(ValueError, match="severity"):
+            register_rule("x", category="meta", default_severity="fatal")
+
+
+class TestRepositoryIsClean:
+    def test_repro_check_passes_on_this_repo(self, capsys):
+        """The gate CI applies: zero unbaselined gating findings and
+        zero stale baseline entries over src/."""
+        code = run_check(
+            ["src"],
+            root=REPO_ROOT,
+            baseline_path=REPO_ROOT / "analysis" / "baseline.json",
+        )
+        assert code == 0, capsys.readouterr().out
+
+    def test_baseline_entries_are_justified(self):
+        document = json.loads(
+            (REPO_ROOT / "analysis" / "baseline.json").read_text()
+        )
+        assert document["schema"] == 1
+        for record in document["findings"]:
+            assert record["why"], record["fingerprint"]
+            assert "TODO" not in record["why"], record["fingerprint"]
+
+
+class TestCliWiring:
+    def test_list_rules_subcommand(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        output = capsys.readouterr().out
+        assert "unseeded-random" in output
+        assert "registered rules" in output
+
+    def test_unknown_rule_selection_exits_2(self, capsys):
+        code = main([
+            "check", "--rules", "wall-clok", "--root", str(REPO_ROOT),
+        ])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().out
+
+    def test_check_subcommand_green_on_repo(self, capsys):
+        code = main(["check", "--root", str(REPO_ROOT)])
+        assert code == 0
+
+
+class TestFormats:
+    @pytest.fixture
+    def dirty_root(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "thing.py").write_text(
+            "import time\n\n\nSTAMP = time.time()\n"
+        )
+        return tmp_path
+
+    def test_json_document(self, dirty_root, capsys):
+        code = run_check(
+            ["src"], root=dirty_root, output_format="json",
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["counts"]["gating"] == 1
+        (finding,) = document["findings"]
+        assert finding["rule"] == "wall-clock"
+        assert finding["fingerprint"]
+
+    def test_github_annotations(self, dirty_root, capsys):
+        code = run_check(
+            ["src"], root=dirty_root, output_format="github",
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert output.startswith("::error file=src/repro/thing.py,line=4::")
+
+    def test_table_summary_line(self, dirty_root, capsys):
+        run_check(["src"], root=dirty_root)
+        output = capsys.readouterr().out
+        assert "1 finding(s) (1 gating)" in output
+
+
+class TestFix:
+    @pytest.fixture
+    def fixable_root(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "thing.py").write_text(
+            "import json\n"
+            "\n"
+            "\n"
+            "def render(payload):\n"
+            "    return json.dumps(payload)\n"
+        )
+        return tmp_path
+
+    def test_fix_applies_and_turns_green(self, fixable_root, capsys):
+        target = fixable_root / "src" / "repro" / "thing.py"
+        assert run_check(["src"], root=fixable_root) == 1
+        assert run_check(["src"], root=fixable_root, fix=True) == 0
+        assert "json.dumps(payload, sort_keys=True)" in target.read_text()
+
+    def test_fix_is_idempotent(self, fixable_root, capsys):
+        run_check(["src"], root=fixable_root, fix=True)
+        fixed_once = (
+            fixable_root / "src" / "repro" / "thing.py"
+        ).read_text()
+        code = run_check(["src"], root=fixable_root, fix=True)
+        assert code == 0
+        fixed_twice = (
+            fixable_root / "src" / "repro" / "thing.py"
+        ).read_text()
+        assert fixed_once == fixed_twice

@@ -1,0 +1,133 @@
+"""Positive and negative fixtures for the concurrency/store rules."""
+
+from __future__ import annotations
+
+#: a module on the concurrent-writer surface — the store rules only
+#: apply there
+STORE = "src/repro/orchestration/store.py"
+
+
+class TestNonatomicStoreWrite:
+    def test_flags_write_mode_open(self, check_source):
+        findings = check_source(
+            """
+            def publish(path, blob):
+                with open(path, "w") as handle:
+                    handle.write(blob)
+            """,
+            rules=["nonatomic-store-write"],
+            path=STORE,
+        )
+        assert [f.rule for f in findings] == ["nonatomic-store-write"]
+        assert findings[0].severity == "error"
+        assert "os.replace" in findings[0].message
+
+    def test_flags_write_text(self, check_source):
+        findings = check_source(
+            """
+            def publish(path, blob):
+                path.write_text(blob)
+            """,
+            rules=["nonatomic-store-write"],
+            path=STORE,
+        )
+        assert len(findings) == 1
+
+    def test_temp_target_is_clean(self, check_source):
+        # temp-file + os.replace is the sanctioned atomic recipe
+        findings = check_source(
+            """
+            import os
+
+            def publish(path, tmp, blob):
+                tmp.write_text(blob)
+                with open(str(path) + ".tmp", "w") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            """,
+            rules=["nonatomic-store-write"],
+            path=STORE,
+        )
+        assert findings == []
+
+    def test_append_and_read_modes_are_clean(self, check_source):
+        findings = check_source(
+            """
+            def publish(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line)
+                with open(path) as handle:
+                    handle.read()
+            """,
+            rules=["nonatomic-store-write"],
+            path=STORE,
+        )
+        assert findings == []
+
+    def test_other_modules_are_exempt(self, check_source):
+        # single-writer surfaces (CLI report files, docs tooling) may
+        # write in place
+        findings = check_source(
+            """
+            def report(path, text):
+                path.write_text(text)
+            """,
+            rules=["nonatomic-store-write"],
+            path="src/repro/orchestration/cli.py",
+        )
+        assert findings == []
+
+
+class TestForkSharedState:
+    def test_flags_module_scope_lock(self, check_source):
+        findings = check_source(
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            """,
+            rules=["fork-shared-state"],
+        )
+        assert [f.rule for f in findings] == ["fork-shared-state"]
+        assert "module scope" in findings[0].message
+
+    def test_flags_module_scope_rng_and_open(self, check_source):
+        findings = check_source(
+            """
+            import random
+
+            _RNG = random.Random(7)
+            _LOG = open("events.log", "a")
+            """,
+            rules=["fork-shared-state"],
+        )
+        assert len(findings) == 2
+
+    def test_flags_guarded_module_scope(self, check_source):
+        findings = check_source(
+            """
+            import threading
+
+            if True:
+                _LOCK = threading.Lock()
+            """,
+            rules=["fork-shared-state"],
+        )
+        assert len(findings) == 1
+
+    def test_function_scope_is_clean(self, check_source):
+        findings = check_source(
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+            def worker():
+                gate = threading.Event()
+                return gate
+            """,
+            rules=["fork-shared-state"],
+        )
+        assert findings == []

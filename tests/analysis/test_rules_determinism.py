@@ -1,0 +1,284 @@
+"""Positive and negative fixtures for the determinism rules."""
+
+from __future__ import annotations
+
+
+class TestUnseededRandom:
+    def test_flags_bare_random(self, check_source):
+        findings = check_source(
+            """
+            import random
+
+            rng = random.Random()
+            """,
+            rules=["unseeded-random"],
+        )
+        assert [f.rule for f in findings] == ["unseeded-random"]
+        assert findings[0].line == 3
+        assert findings[0].severity == "error"
+
+    def test_flags_global_draw(self, check_source):
+        findings = check_source(
+            """
+            import random
+
+            pick = random.randint(0, 5)
+            """,
+            rules=["unseeded-random"],
+        )
+        assert [f.rule for f in findings] == ["unseeded-random"]
+        assert "process-global" in findings[0].message
+
+    def test_flags_from_import_alias(self, check_source):
+        findings = check_source(
+            """
+            from random import shuffle
+
+            shuffle(items)
+            """,
+            rules=["unseeded-random"],
+        )
+        assert len(findings) == 1
+
+    def test_flags_system_random(self, check_source):
+        findings = check_source(
+            """
+            import random
+
+            rng = random.SystemRandom()
+            """,
+            rules=["unseeded-random"],
+        )
+        assert len(findings) == 1
+        assert "never reproduce" in findings[0].message
+
+    def test_flags_unseeded_numpy_default_rng(self, check_source):
+        findings = check_source(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """,
+            rules=["unseeded-random"],
+        )
+        assert len(findings) == 1
+
+    def test_flags_numpy_global_draw(self, check_source):
+        findings = check_source(
+            """
+            import numpy
+
+            numpy.random.shuffle(rows)
+            """,
+            rules=["unseeded-random"],
+        )
+        assert len(findings) == 1
+
+    def test_seeded_constructions_are_clean(self, check_source):
+        findings = check_source(
+            """
+            import random
+
+            import numpy as np
+
+            rng = random.Random(42)
+            gen = np.random.default_rng(7)
+            """,
+            rules=["unseeded-random"],
+        )
+        assert findings == []
+
+    def test_unimported_name_is_clean(self, check_source):
+        # A local helper that happens to be called Random resolves to
+        # no import and must not fire.
+        findings = check_source(
+            """
+            rng = Random()
+            """,
+            rules=["unseeded-random"],
+        )
+        assert findings == []
+
+
+class TestSaltedHash:
+    def test_flags_builtin_hash(self, check_source):
+        findings = check_source(
+            """
+            key = hash(name)
+            """,
+            rules=["salted-hash"],
+        )
+        assert [f.rule for f in findings] == ["salted-hash"]
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_flags_id(self, check_source):
+        findings = check_source(
+            """
+            token = id(worker)
+            """,
+            rules=["salted-hash"],
+        )
+        assert len(findings) == 1
+        assert "heap address" in findings[0].message
+
+    def test_dunder_hash_method_is_clean(self, check_source):
+        findings = check_source(
+            """
+            class Key:
+                def __hash__(self):
+                    return hash((self.group, self.policy))
+            """,
+            rules=["salted-hash"],
+        )
+        assert findings == []
+
+
+class TestWallClock:
+    def test_flags_time_time(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            stamp = time.time()
+            """,
+            rules=["wall-clock"],
+        )
+        assert [f.rule for f in findings] == ["wall-clock"]
+        assert findings[0].severity == "error"
+
+    def test_flags_datetime_now_and_from_import(self, check_source):
+        findings = check_source(
+            """
+            import datetime
+
+            from time import time
+
+            a = datetime.datetime.now()
+            b = time()
+            """,
+            rules=["wall-clock"],
+        )
+        assert len(findings) == 2
+
+    def test_monotonic_timers_are_clean(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            start = time.perf_counter()
+            later = time.monotonic()
+            """,
+            rules=["wall-clock"],
+        )
+        assert findings == []
+
+    def test_allowlisted_clock_module_is_clean(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            def wall_now():
+                return time.time()
+            """,
+            rules=["wall-clock"],
+            path="src/repro/orchestration/clock.py",
+        )
+        assert findings == []
+
+
+class TestSetIterationOrder:
+    def test_flags_for_loop_over_set(self, check_source):
+        findings = check_source(
+            """
+            for name in {"a", "b"}:
+                emit(name)
+            """,
+            rules=["set-iteration-order"],
+        )
+        assert [f.rule for f in findings] == ["set-iteration-order"]
+
+    def test_flags_join_and_list_of_set(self, check_source):
+        findings = check_source(
+            """
+            label = ",".join(set(names))
+            order = list({"x", "y"})
+            """,
+            rules=["set-iteration-order"],
+        )
+        assert len(findings) == 2
+
+    def test_sorted_set_is_clean(self, check_source):
+        findings = check_source(
+            """
+            for name in sorted({"a", "b"}):
+                emit(name)
+            """,
+            rules=["set-iteration-order"],
+        )
+        assert findings == []
+
+    def test_list_iteration_is_clean(self, check_source):
+        findings = check_source(
+            """
+            for name in ["a", "b"]:
+                emit(name)
+            """,
+            rules=["set-iteration-order"],
+        )
+        assert findings == []
+
+
+class TestJsonSortKeys:
+    def test_flags_dumps_without_sort_keys(self, check_source):
+        findings = check_source(
+            """
+            import json
+
+            blob = json.dumps(payload)
+            """,
+            rules=["json-sort-keys"],
+        )
+        assert [f.rule for f in findings] == ["json-sort-keys"]
+        line, replacement = findings[0].fix
+        assert line == 3
+        assert replacement == "blob = json.dumps(payload, sort_keys=True)"
+
+    def test_explicit_sort_keys_is_clean(self, check_source):
+        findings = check_source(
+            """
+            import json
+
+            blob = json.dumps(payload, sort_keys=True)
+            also = json.dumps(payload, sort_keys=False)
+            """,
+            rules=["json-sort-keys"],
+        )
+        assert findings == []
+
+    def test_star_kwargs_is_clean(self, check_source):
+        # **kwargs may carry sort_keys; the rule cannot see through it
+        # and must not cry wolf.
+        findings = check_source(
+            """
+            import json
+
+            blob = json.dumps(payload, **options)
+            """,
+            rules=["json-sort-keys"],
+        )
+        assert findings == []
+
+    def test_multiline_call_flagged_but_not_autofixable(self, check_source):
+        findings = check_source(
+            """
+            import json
+
+            blob = json.dumps(
+                payload,
+                indent=2,
+            )
+            """,
+            rules=["json-sort-keys"],
+        )
+        assert len(findings) == 1
+        assert findings[0].fix is None

@@ -1,0 +1,158 @@
+"""Positive and negative fixtures for the hot-path hygiene rules.
+
+The ``hot-*`` rules fire only inside functions carrying a
+``# repro: hot`` annotation — the same code without the marker is the
+negative fixture in every case.
+"""
+
+from __future__ import annotations
+
+
+class TestHotLoopAlloc:
+    def test_flags_comprehension_in_hot_loop(self, check_source):
+        findings = check_source(
+            """
+            def scan(rows):  # repro: hot
+                total = 0
+                for row in rows:
+                    vals = [value * 2 for value in row]
+                    total += len(vals)
+                return total
+            """,
+            rules=["hot-loop-alloc"],
+        )
+        assert [f.rule for f in findings] == ["hot-loop-alloc"]
+        assert findings[0].line == 4
+        assert "scan" in findings[0].message
+
+    def test_flags_display_and_allocating_call(self, check_source):
+        findings = check_source(
+            """
+            def scan(rows):  # repro: hot
+                total = 0
+                for row in rows:
+                    order = sorted(row)
+                    pair = {"low": order[0]}
+                    total += pair["low"]
+                return total
+            """,
+            rules=["hot-loop-alloc"],
+        )
+        assert len(findings) == 2
+
+    def test_unmarked_function_is_clean(self, check_source):
+        findings = check_source(
+            """
+            def scan(rows):
+                total = 0
+                for row in rows:
+                    vals = [value * 2 for value in row]
+                    total += len(vals)
+                return total
+            """,
+            rules=["hot-loop-alloc"],
+        )
+        assert findings == []
+
+    def test_allocation_outside_the_loop_is_clean(self, check_source):
+        findings = check_source(
+            """
+            def scan(rows):  # repro: hot
+                scratch = [0] * 64
+                total = 0
+                for row in rows:
+                    total += scratch[row]
+                return total
+            """,
+            rules=["hot-loop-alloc"],
+        )
+        assert findings == []
+
+
+class TestHotLoopMinmax:
+    def test_flags_iterable_scan(self, check_source):
+        findings = check_source(
+            """
+            def pick(rows):  # repro: hot
+                best = 0
+                for row in rows:
+                    best += min(row)
+                return best
+            """,
+            rules=["hot-loop-minmax"],
+        )
+        assert [f.rule for f in findings] == ["hot-loop-minmax"]
+
+    def test_flags_key_function(self, check_source):
+        findings = check_source(
+            """
+            def pick(pairs):  # repro: hot
+                out = 0
+                for row in pairs:
+                    out += max(row[0], row[1], key=abs)
+                return out
+            """,
+            rules=["hot-loop-minmax"],
+        )
+        assert len(findings) == 1
+
+    def test_two_way_scalar_compare_is_clean(self, check_source):
+        findings = check_source(
+            """
+            def pick(rows):  # repro: hot
+                best = 0
+                for a, b in rows:
+                    best += min(a, b)
+                return best
+            """,
+            rules=["hot-loop-minmax"],
+        )
+        assert findings == []
+
+
+class TestHotAttrChain:
+    def test_flags_repeated_chain(self, check_source):
+        findings = check_source(
+            """
+            def drain(job):  # repro: hot
+                total = 0
+                for _ in range(8):
+                    total += job.state.count
+                    total -= job.state.count
+                    total *= job.state.count
+                return total
+            """,
+            rules=["hot-attr-chain"],
+        )
+        assert [f.rule for f in findings] == ["hot-attr-chain"]
+        assert "job.state.count" in findings[0].message
+
+    def test_two_lookups_are_clean(self, check_source):
+        findings = check_source(
+            """
+            def drain(job):  # repro: hot
+                total = 0
+                for _ in range(8):
+                    total += job.state.count
+                    total -= job.state.count
+                return total
+            """,
+            rules=["hot-attr-chain"],
+        )
+        assert findings == []
+
+    def test_nested_loop_reported_once(self, check_source):
+        findings = check_source(
+            """
+            def drain(job):  # repro: hot
+                total = 0
+                for _ in range(8):
+                    for _ in range(8):
+                        total += job.state.count
+                        total -= job.state.count
+                        total *= job.state.count
+                return total
+            """,
+            rules=["hot-attr-chain"],
+        )
+        assert len(findings) == 1

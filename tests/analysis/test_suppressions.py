@@ -1,0 +1,137 @@
+"""Suppression grammar: line/file noqa, hot-marker placement, the
+``unknown-suppression`` hygiene rule, and parse-error reporting."""
+
+from __future__ import annotations
+
+
+class TestLineSuppression:
+    def test_noqa_silences_the_named_rule_on_its_line(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            stamp = time.time()  # repro: noqa[wall-clock]
+            other = time.time()
+            """,
+            rules=["wall-clock"],
+        )
+        assert [f.line for f in findings] == [4]
+
+    def test_noqa_lists_multiple_rules(self, check_source):
+        findings = check_source(
+            """
+            import json
+            import time
+
+            blob = json.dumps(time.time())  # repro: noqa[wall-clock,json-sort-keys]
+            """,
+            rules=["wall-clock", "json-sort-keys"],
+        )
+        assert findings == []
+
+    def test_noqa_for_a_different_rule_does_not_silence(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            stamp = time.time()  # repro: noqa[json-sort-keys]
+            """,
+            rules=["wall-clock"],
+        )
+        assert len(findings) == 1
+
+
+class TestFileSuppression:
+    def test_noqa_file_silences_everywhere(self, check_source):
+        findings = check_source(
+            """
+            # repro: noqa-file[wall-clock]
+            import time
+
+            a = time.time()
+            b = time.time()
+            """,
+            rules=["wall-clock"],
+        )
+        assert findings == []
+
+    def test_docstring_mention_is_not_a_suppression(self, check_source):
+        # Only real comment tokens parse; a docstring quoting the
+        # grammar (like this module's own documentation does) is inert.
+        findings = check_source(
+            '''
+            """Docs: write `# repro: noqa-file[wall-clock]` to opt out."""
+
+            import time
+
+            stamp = time.time()
+            ''',
+            rules=["wall-clock"],
+        )
+        assert len(findings) == 1
+
+
+class TestHotMarkerPlacement:
+    def test_marker_above_decorators(self, check_source):
+        findings = check_source(
+            """
+            # repro: hot
+            @wraps
+            def scan(rows):
+                total = 0
+                for row in rows:
+                    total += len([v for v in row])
+                return total
+            """,
+            rules=["hot-loop-alloc"],
+        )
+        assert len(findings) == 1
+
+    def test_marker_inside_string_is_inert(self, check_source):
+        findings = check_source(
+            '''
+            def scan(rows):
+                """Not hot; the marker below is just text: # repro: hot"""
+                total = 0
+                for row in rows:
+                    total += len([v for v in row])
+                return total
+            ''',
+            rules=["hot-loop-alloc"],
+        )
+        assert findings == []
+
+
+class TestUnknownSuppression:
+    def test_flags_typo(self, check_source):
+        findings = check_source(
+            """
+            import time
+
+            stamp = time.time()  # repro: noqa[wall-clok]
+            """,
+            rules=["unknown-suppression"],
+        )
+        assert [f.rule for f in findings] == ["unknown-suppression"]
+        assert "wall-clok" in findings[0].message
+
+    def test_registered_ids_are_clean(self, check_source):
+        findings = check_source(
+            """
+            # repro: noqa-file[salted-hash]
+            value = 1  # repro: noqa[wall-clock]
+            """,
+            rules=["unknown-suppression"],
+        )
+        assert findings == []
+
+
+class TestParseError:
+    def test_broken_file_reports_one_error_finding(self, check_source):
+        findings = check_source(
+            """
+            def broken(:
+            """,
+        )
+        assert [f.rule for f in findings] == ["parse-error"]
+        assert findings[0].severity == "error"

@@ -1,0 +1,42 @@
+"""Sanitizer build mode: ``REPRO_CC_SANITIZE`` must reshape both the
+compile command and the kernel cache key, so a sanitized and an
+optimized kernel never collide in the cache."""
+
+from __future__ import annotations
+
+from repro.engine import build
+
+
+class TestSanitizeFlags:
+    def test_unset_means_no_flags(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CC_SANITIZE", raising=False)
+        assert build.sanitize_flags() == ()
+
+    def test_parses_comma_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC_SANITIZE", "address,undefined")
+        flags = build.sanitize_flags()
+        assert "-fsanitize=address" in flags
+        assert "-fsanitize=undefined" in flags
+        assert "-g" in flags
+        assert "-fno-sanitize-recover=all" in flags
+
+    def test_whitespace_and_empty_parts_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC_SANITIZE", " undefined , ")
+        assert build.sanitize_flags()[0] == "-fsanitize=undefined"
+        monkeypatch.setenv("REPRO_CC_SANITIZE", "   ")
+        assert build.sanitize_flags() == ()
+
+
+class TestCacheKey:
+    def test_sanitize_mode_changes_kernel_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CC_SANITIZE", raising=False)
+        plain = build.kernel_path()
+        monkeypatch.setenv("REPRO_CC_SANITIZE", "address,undefined")
+        asan_ubsan = build.kernel_path()
+        monkeypatch.setenv("REPRO_CC_SANITIZE", "undefined")
+        ubsan = build.kernel_path()
+        assert len({plain, asan_ubsan, ubsan}) == 3
+
+    def test_key_is_stable_for_a_given_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC_SANITIZE", "undefined")
+        assert build.kernel_path() == build.kernel_path()

@@ -168,3 +168,23 @@ class TestRestartRecovery:
         assert summary, finished["events"]
         # exactly one group task (plus nothing else) was recomputed
         assert summary[-1].startswith("1 task(s) computed, ")
+
+
+class TestInjectableClock:
+    def test_job_timestamps_come_from_the_injected_clock(
+        self, store, tiny_two_core
+    ):
+        """Every job timestamp routes through one injectable clock, so
+        replays and tests control time instead of reading the wall."""
+        spec = Experiment("G2-4", "ucp", tiny_two_core)
+        server = _server(store, clock=lambda: 1234.5)
+        jobs_dir_for(store).mkdir(parents=True, exist_ok=True)
+        record, created = server.submit([spec.to_dict()])
+        assert created
+        assert record["created"] == 1234.5
+
+    def test_default_clock_is_the_blessed_wall_clock(self, store):
+        from repro.orchestration.clock import wall_now
+
+        server = _server(store)
+        assert server.clock is wall_now
