@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import ast
 from typing import Iterator
 
 from repro.analysis.engine import AnalysisContext
 from repro.analysis.registry import Finding, is_registered, register_rule
+from repro.analysis.rules.common import enclosing_function_names
 
 
 @register_rule(
@@ -28,5 +30,49 @@ def check_unknown_suppression(context: AnalysisContext) -> Iterator[Finding]:
             message=(
                 f"suppression names unknown rule {rule!r}; registered "
                 f"rules are listed by `repro check --list-rules`"
+            ),
+        )
+
+
+#: modules whose whole job is terminal I/O: CLI front-ends, script
+#: entry points, and the sanctioned progress sink itself
+_PRINT_EXEMPT_SUFFIXES = ("cli", "__main__")
+_PRINT_EXEMPT_MODULES = frozenset({"repro.obs.log"})
+
+
+@register_rule(
+    "bare-print",
+    category="meta",
+    default_severity="warning",
+    summary="bare print() in a library module",
+)
+def check_bare_print(context: AnalysisContext) -> Iterator[Finding]:
+    """Library code must not write to the terminal directly: a bare
+    ``print()`` ignores ``--quiet``/``$REPRO_QUIET`` and corrupts
+    machine-read stdout (``--format json``, the serve protocol).
+    Route progress through ``repro.obs.log.progress``.  CLI modules
+    (``*cli``, ``__main__``), ``main()`` entry-point functions, and
+    ``repro.obs.log`` itself are exempt — terminal I/O is their job."""
+    module = context.module
+    if module in _PRINT_EXEMPT_MODULES:
+        return
+    if module.rsplit(".", 1)[-1] in _PRINT_EXEMPT_SUFFIXES:
+        return
+    owner = enclosing_function_names(context.tree)
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not (isinstance(node.func, ast.Name) and node.func.id == "print"):
+            continue
+        if owner.get(node.lineno) == "main":
+            continue
+        yield Finding(
+            rule="bare-print",
+            path=context.relpath,
+            line=node.lineno,
+            message=(
+                "bare print() in library code bypasses --quiet and "
+                "pollutes structured output; use "
+                "repro.obs.log.progress (or return the text)"
             ),
         )

@@ -41,8 +41,11 @@ SURFACE_PATH = Path("tests") / "api_surface.json"
 #: the result store, the sweep executor and the serve daemon;
 #: 5: added the static-analysis layer — the rule registry with
 #: categories/severities/fixability and the ``repro check`` entry
-#: points)
-SURFACE_SCHEMA = 5
+#: points;
+#: 6: added the observability layer — the metric registry with
+#: kinds/units, the trace recorder protocol, the enable switches and
+#: their environment variables)
+SURFACE_SCHEMA = 6
 
 
 def _signature_of(function: Any) -> list[dict[str, Any]]:
@@ -224,6 +227,45 @@ def _analysis_surface() -> dict[str, Any]:
     }
 
 
+def _obs_surface() -> dict[str, Any]:
+    """The metric registry, trace recorder and enable switches."""
+    import repro.obs as obs
+    from repro.obs.log import QUIET_ENV, progress
+    from repro.obs.metrics import (
+        METRICS_ENV,
+        register_metric,
+        registered_metrics,
+        render_prometheus,
+    )
+    from repro.obs.trace import (
+        TRACE_ARTIFACT_SCHEMA,
+        TRACE_ENV,
+        NullRecorder,
+        TraceRecorder,
+        trace_key,
+    )
+
+    metrics: dict[str, Any] = {}
+    for info in registered_metrics():
+        metrics[info.name] = {"kind": info.kind, "unit": info.unit}
+    return {
+        "all": sorted(obs.__all__),
+        "env": {
+            "metrics": METRICS_ENV,
+            "trace": TRACE_ENV,
+            "quiet": QUIET_ENV,
+        },
+        "trace_artifact_schema": TRACE_ARTIFACT_SCHEMA,
+        "metrics": metrics,
+        "register_metric": _signature_of(register_metric),
+        "render_prometheus": _signature_of(render_prometheus),
+        "null_recorder": _public_methods(NullRecorder),
+        "trace_recorder": _public_methods(TraceRecorder),
+        "trace_key": _signature_of(trace_key),
+        "progress": _signature_of(progress),
+    }
+
+
 def compute_surface() -> dict[str, Any]:
     """The current public-API surface as a JSON-stable document."""
     import repro
@@ -265,6 +307,7 @@ def compute_surface() -> dict[str, Any]:
         "scenarios": _scenarios_surface(),
         "orchestration": _orchestration_surface(),
         "analysis": _analysis_surface(),
+        "obs": _obs_surface(),
     }
 
 

@@ -62,6 +62,7 @@ from heapq import heapify, heapreplace
 import numpy as np
 
 from repro.cache.cache_set import NO_TAG
+from repro.obs.metrics import metrics_enabled
 
 #: references classified per prediction pass
 CHUNK = 2048
@@ -195,6 +196,15 @@ def run_batched(sim):  # repro: hot
     #: batching — their max is the run's true final key K_end
     freeze_keys = []
 
+    # Hoisted metric hook: one local None-check per segment when
+    # metrics are off, a bound method call when on.
+    if metrics_enabled():
+        from repro.obs.builtin import BATCHED_HIT_RUN_REFS
+
+        observe_batch = BATCHED_HIT_RUN_REFS.observe
+    else:
+        observe_batch = None
+
     while unfinished:
         if heap:
             now, core_id = heap[0]
@@ -280,6 +290,8 @@ def run_batched(sim):  # repro: hot
                 if writes_list[j]:
                     cset.dirty[way_list[j]] = 1
             l1_hits[core_id] += k
+            if observe_batch is not None:
+                observe_batch(k)
             core.time = int(ends[k - 1])
             core.instructions += int(
                 np.sum(lane.gaps[position:position + k])

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import ctypes
 from array import array
+from time import perf_counter
 
 from repro.engine.build import (
     ST_BOUNDARY,
@@ -45,6 +46,8 @@ from repro.engine.build import (
     ST_WARMUP_GATE,
     load_kernel,
 )
+from repro.obs.metrics import metrics_enabled
+from repro.obs.trace import recorder as obs_recorder
 
 _NEVER = 1 << 62
 _NO_TAG = -1
@@ -972,6 +975,13 @@ def _scalar_ref(sim, core, target, warmup, unfinished, warmed_up, clock,
 
 
 # ----------------------------------------------------------------------
+def _observe_kernel_span(seconds, refs):
+    from repro.obs import builtin as obs_metrics
+
+    obs_metrics.KERNEL_SPAN_SECONDS.observe(seconds)
+    obs_metrics.KERNEL_SPAN_REFS.observe(refs)
+
+
 def run_compiled(sim):
     """Run ``sim`` on the C kernel; bit-identical to the Python loop.
 
@@ -1021,12 +1031,28 @@ def run_compiled(sim):
     event_index = 0
     next_event = events[0].at_cycle if events else _NEVER
     clock = 0
+    rec = obs_recorder()
+    trace_spans = rec.enabled
+    observe_span = _observe_kernel_span if metrics_enabled() else None
+    # Span timing runs when either sink wants it; each sink is then
+    # fed independently (metrics without tracing and vice versa).
+    measure_spans = trace_spans or observe_span is not None
 
     while unfinished:
         boundary = next_epoch if next_epoch < next_event else next_event
+        if measure_spans:
+            refs_before = sum(c.refs_done for c in sim.cores)
+            span_start = perf_counter()
         marshal.span_in(boundary, unfinished, warmed_up)
         status = run_span(ctx_ptr)
         marshal.span_out()
+        if measure_spans:
+            seconds = perf_counter() - span_start
+            refs = sum(c.refs_done for c in sim.cores) - refs_before
+            if trace_spans:
+                rec.kernel_span(seconds, refs=refs, boundary=boundary)
+            if observe_span is not None:
+                observe_span(seconds, refs)
         unfinished = marshal.ctx.unfinished
         if status == ST_DONE:
             break

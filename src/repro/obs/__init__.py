@@ -1,0 +1,66 @@
+"""Observability: metrics registry, hierarchical tracing, progress log.
+
+Three small modules, all off by default and all zero-overhead when off:
+
+- :mod:`repro.obs.metrics` — counters/gauges/histograms behind a
+  ``register_metric`` decorator (``$REPRO_METRICS`` / ``--metrics``).
+- :mod:`repro.obs.trace` — sweep → task → run → epoch spans exported as
+  JSONL or Chrome trace-event JSON (``$REPRO_TRACE`` / ``--trace``).
+- :mod:`repro.obs.log` — the single progress-line helper honouring
+  ``--quiet`` / ``$REPRO_QUIET``.
+
+See docs/observability.md for the metric catalogue and trace format.
+"""
+
+from repro.obs.log import QUIET_ENV, progress, quiet, set_quiet
+from repro.obs.metrics import (
+    METRIC_NAMES,
+    METRICS_ENV,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    register_metric,
+    registered_metrics,
+    render_prometheus,
+    reset_metrics,
+    snapshot,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    TRACE_ENV,
+    NullRecorder,
+    TraceRecorder,
+    disable_tracing,
+    enable_tracing,
+    recorder,
+    set_recorder,
+    trace_key,
+    tracing_enabled,
+)
+
+__all__ = [
+    "METRIC_NAMES",
+    "METRICS_ENV",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "QUIET_ENV",
+    "TRACE_ENV",
+    "TraceRecorder",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "metrics_enabled",
+    "progress",
+    "quiet",
+    "recorder",
+    "register_metric",
+    "registered_metrics",
+    "render_prometheus",
+    "reset_metrics",
+    "set_quiet",
+    "set_recorder",
+    "snapshot",
+    "trace_key",
+    "tracing_enabled",
+]

@@ -1,0 +1,34 @@
+"""Progress output for long-running commands, with one quiet switch.
+
+Every human-facing progress line in the library routes through
+:func:`progress` so ``--quiet`` (or ``$REPRO_QUIET`` for pool workers and
+remotes) silences the lot in one place.  Output goes to stderr so piped
+stdout (reports, traces, metrics) stays machine-readable.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import TextIO
+
+QUIET_ENV = "REPRO_QUIET"
+
+_quiet = bool(os.environ.get(QUIET_ENV))
+
+
+def quiet() -> bool:
+    return _quiet
+
+
+def set_quiet(value: bool) -> None:
+    global _quiet
+    _quiet = bool(value)
+
+
+def progress(line: str, *, stream: TextIO | None = None) -> None:
+    """Emit one progress line unless quiet mode is on."""
+    if _quiet:
+        return
+    out = stream if stream is not None else sys.stderr
+    print(line, file=out, flush=True)

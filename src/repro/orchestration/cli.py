@@ -75,11 +75,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro`` console script; returns exit code."""
     parser = _build_parser()
     options = parser.parse_args(argv)
+    _apply_obs(options)
     try:
-        return options.handler(options)
+        code = options.handler(options)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+    _finish_obs(options)
+    return code
 
 
 # ----------------------------------------------------------------------
@@ -115,6 +118,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated ssh hosts for --pool ssh (the name "
              "'local' runs the same protocol in a local subprocess); "
              "default: $REPRO_HOSTS",
+    )
+
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record hierarchical trace spans (sweep/task/run/epoch) and "
+             "write the merged trace to FILE on exit — Chrome/Perfetto "
+             "JSON when FILE ends in .json, JSONL otherwise (convert "
+             "with `repro trace view`); workers inherit via $REPRO_TRACE",
+    )
+    obs_flags.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="collect registry metrics and write a Prometheus text dump "
+             "to FILE on exit ('-' prints to stdout); workers inherit "
+             "via $REPRO_METRICS",
+    )
+
+    quiet_flag = argparse.ArgumentParser(add_help=False)
+    quiet_flag.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress lines on stderr (also $REPRO_QUIET); "
+             "result tables still print to stdout",
     )
 
     selection = argparse.ArgumentParser(add_help=False)
@@ -156,7 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sweep = commands.add_parser(
-        "sweep", parents=[common, selection, pooling],
+        "sweep", parents=[common, selection, pooling, obs_flags, quiet_flag],
         help="run a group x scheme sweep in parallel and print the figure tables",
     )
     sweep.add_argument(
@@ -190,7 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(handler=_cmd_sweep)
 
     alone = commands.add_parser(
-        "alone", parents=[common, selection, pooling],
+        "alone", parents=[common, selection, pooling, quiet_flag],
         help="profile benchmarks in isolation (Table 3's MPKI classification)",
     )
     alone.add_argument(
@@ -221,7 +246,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.set_defaults(handler=_cmd_report)
 
     scenario = commands.add_parser(
-        "scenario", parents=[common, selection],
+        "scenario", parents=[common, selection, obs_flags, quiet_flag],
         help="run a time-varying schedule (arrivals/departures/phases) "
              "and print its timeline",
     )
@@ -287,7 +312,7 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.set_defaults(handler=_cmd_scenario)
 
     bench = commands.add_parser(
-        "bench",
+        "bench", parents=[obs_flags, quiet_flag],
         help="measure engine throughput (refs/s) on the fixed workload matrix",
     )
     bench.add_argument(
@@ -348,7 +373,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(handler=_cmd_bench)
 
     serve = commands.add_parser(
-        "serve", parents=[common, pooling],
+        "serve", parents=[common, pooling, quiet_flag],
         help="run the sweep-as-a-service daemon (HTTP job queue over the store)",
     )
     serve.add_argument(
@@ -370,6 +395,23 @@ def _build_parser() -> argparse.ArgumentParser:
              "pins one (default: $REPRO_ENGINE, then auto)",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    trace = commands.add_parser(
+        "trace",
+        help="inspect observability trace files (see docs/observability.md)",
+    )
+    trace_actions = trace.add_subparsers(dest="trace_command", required=True)
+    trace_view = trace_actions.add_parser(
+        "view",
+        help="convert a trace (JSONL or Chrome JSON) into a "
+             "Perfetto-loadable Chrome trace-event file",
+    )
+    trace_view.add_argument("file", metavar="TRACE")
+    trace_view.add_argument(
+        "-o", "--output", default=None, metavar="OUT.json",
+        help="where to write the Chrome JSON (default: stdout)",
+    )
+    trace_view.set_defaults(handler=_cmd_trace_view)
 
     clean = commands.add_parser(
         "clean", parents=[common], help="delete every stored artifact"
@@ -477,7 +519,102 @@ def _store_from(options: argparse.Namespace) -> ResultStore:
 
 
 def _progress(line: str) -> None:
-    print(line, file=sys.stderr, flush=True)
+    from repro.obs.log import progress
+
+    progress(line)
+
+
+def _stdout_progress(line: str) -> None:
+    """Progress that belongs on stdout (bench timing lines); honours --quiet."""
+    from repro.obs.log import progress
+
+    progress(line, stream=sys.stdout)
+
+
+def _apply_obs(options: argparse.Namespace) -> None:
+    """Honour --quiet/--trace/--metrics before the handler runs.
+
+    The env exports matter as much as the in-process switches: warm and
+    spawn pool workers inherit the parent environment, and the ssh pool
+    reads ``tracing_enabled()`` to decide whether to ask remotes for
+    traces, so setting state here covers every execution tier.
+    """
+    import os
+
+    from repro import obs
+
+    if getattr(options, "quiet", False):
+        obs.set_quiet(True)
+        os.environ[obs.QUIET_ENV] = "1"
+    if getattr(options, "trace", None):
+        os.environ[obs.TRACE_ENV] = "1"
+        obs.enable_tracing()
+    if getattr(options, "metrics", None):
+        os.environ[obs.METRICS_ENV] = "1"
+        obs.enable_metrics()
+
+
+def _finish_obs(options: argparse.Namespace) -> None:
+    """Write --trace/--metrics output after the handler returns.
+
+    Handlers that fan work out to pool workers stash their store and
+    planned experiments on the namespace (``_trace_store`` /
+    ``_trace_tasks``) so worker-side trace artifacts get merged in;
+    parent-process events are always included.
+    """
+    import os
+
+    from repro import obs
+
+    trace_path = getattr(options, "trace", None)
+    if trace_path:
+        events = list(obs.recorder().events())
+        store = getattr(options, "_trace_store", None)
+        tasks = getattr(options, "_trace_tasks", None)
+        if store is not None and tasks:
+            # Worker artifacts repeat the parent's own inline spans when
+            # tasks ran serially; the pid filter drops those duplicates.
+            pid = os.getpid()
+            events.extend(
+                event
+                for event in _collect_task_traces(store, tasks)
+                if event.get("pid") != pid
+            )
+        from repro.obs.trace import write_trace_file
+
+        count = write_trace_file(events, trace_path)
+        obs.progress(f"wrote {count} trace event(s) to {trace_path}")
+    metrics_path = getattr(options, "metrics", None)
+    if metrics_path:
+        text = obs.render_prometheus()
+        if metrics_path == "-":
+            sys.stdout.write(text)
+        else:
+            with open(metrics_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            obs.progress(f"wrote metrics to {metrics_path}")
+
+
+def _collect_task_traces(store: ResultStore, experiments: Sequence) -> list[dict]:
+    """Trace events persisted by workers for ``experiments`` (deps included).
+
+    Cached tasks never simulate, so their trace artifacts may be absent;
+    those are skipped silently.
+    """
+    from repro.obs.trace import trace_key
+
+    events: list[dict] = []
+    seen: set[str] = set()
+    for experiment in experiments:
+        for spec in (experiment, *experiment.alone_dependencies()):
+            key = spec.task_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            payload = store.get(trace_key(key))
+            if payload:
+                events.extend(payload.get("events", ()))
+    return events
 
 
 # ----------------------------------------------------------------------
@@ -603,6 +740,8 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
     experiments = Experiment.grid(config, groups, policies, governor=governor)
     if options.dry_run:
         return _render_dry_run(executor, experiments, store)
+    # _finish_obs merges worker-side trace artifacts for these tasks.
+    options._trace_store, options._trace_tasks = store, experiments
     computed, cached = executor.prefetch(experiments)
     executor.close()  # workers are done; assembly is cache hits
     # Assemble directly through the runner: the prefetch above already
@@ -676,6 +815,7 @@ def _cmd_sweep_spec(options: argparse.Namespace) -> int:
     executor = _executor_from(options, store)
     if options.dry_run:
         return _render_dry_run(executor, experiments, store)
+    options._trace_store, options._trace_tasks = store, experiments
     started = time.perf_counter()
     computed, cached = executor.prefetch(experiments)
     executor.close()  # workers are done; assembly is cache hits
@@ -1052,30 +1192,49 @@ def _cmd_bench(options: argparse.Namespace) -> int:
     except EngineUnavailableError as exc:
         raise SystemExit(str(exc))
     cases = bench_matrix(quick=options.quick)
-    print(f"timing {len(cases)} cases on the {engine} engine, "
-          f"best of {repeats} runs each:")
+    _stdout_progress(f"timing {len(cases)} cases on the {engine} engine, "
+                     f"best of {repeats} runs each:")
 
     if options.profile:
         # Profiling answers "where does the time go", not "how fast is
         # it": the instrumented numbers are not comparable to normal
-        # payloads, so nothing is persisted or checked.
+        # payloads, so nothing is persisted or checked.  The compiled
+        # engine's kernel is opaque to cProfile (one long C call), so a
+        # scratch trace recorder collects kernel span totals alongside
+        # the Python-side profile.
         import cProfile
 
+        from repro.obs import trace as obs_trace
+
+        scratch = obs_trace.TraceRecorder()
+        previous_recorder = obs_trace.set_recorder(scratch)
         profiler = cProfile.Profile()
         profiler.enable()
-        payload = run_benchmarks(
-            cases, repeats=repeats, progress=print, engine=engine
-        )
-        profiler.disable()
+        try:
+            payload = run_benchmarks(
+                cases, repeats=repeats, progress=_stdout_progress, engine=engine
+            )
+        finally:
+            profiler.disable()
+            obs_trace.set_recorder(previous_recorder)
         profiler.dump_stats(options.profile)
         print(
             f"aggregate: {payload['aggregate_refs_per_sec']:,.0f} refs/s "
             f"(geomean; includes profiler overhead)"
         )
+        spans = scratch.summary()
+        if spans.get("kernel_spans"):
+            print(
+                f"compiled kernel: {spans['kernel_spans']} span(s), "
+                f"{spans['kernel_seconds']:.3f}s inside the kernel, "
+                f"{spans['kernel_refs']:,} refs (invisible to cProfile)"
+            )
         print(f"wrote profile data to {options.profile}")
         return 0
 
-    payload = run_benchmarks(cases, repeats=repeats, progress=print, engine=engine)
+    payload = run_benchmarks(
+        cases, repeats=repeats, progress=_stdout_progress, engine=engine
+    )
     print(f"aggregate: {payload['aggregate_refs_per_sec']:,.0f} refs/s (geomean)")
 
     if options.baseline and Path(options.baseline).exists():
@@ -1139,7 +1298,7 @@ def _cmd_bench_sweep(options: argparse.Namespace) -> int:
             quick=options.quick,
             jobs=options.jobs,
             engine=options.engine,
-            progress=print,
+            progress=_stdout_progress,
         )
     except EngineUnavailableError as error:
         raise SystemExit(str(error))
@@ -1189,10 +1348,10 @@ def _cmd_serve(options: argparse.Namespace) -> int:
         server.start()
     except (OSError, ValueError) as error:
         raise SystemExit(f"cannot serve: {error}")
-    print(
+    _progress(
         f"serving sweeps on {server.url} (store {store.root}, "
-        f"{server.max_workers} workers); Ctrl-C to stop",
-        file=sys.stderr,
+        f"{server.max_workers} workers, metrics at {server.url}/v1/metrics); "
+        f"Ctrl-C to stop"
     )
     try:
         while True:
@@ -1201,7 +1360,32 @@ def _cmd_serve(options: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
-    print("stopped", file=sys.stderr)
+    _progress("stopped")
+    return 0
+
+
+def _cmd_trace_view(options: argparse.Namespace) -> int:
+    """``repro trace view``: emit a Perfetto-loadable Chrome trace."""
+    import json
+
+    from repro.obs.trace import read_events, to_chrome_trace
+
+    try:
+        events = read_events(options.file)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read trace {options.file}: {error}")
+    document = to_chrome_trace(events)
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.write("\n")
+        _progress(
+            f"wrote {len(events)} event(s) to {options.output} "
+            f"(load at https://ui.perfetto.dev)"
+        )
+    else:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
     return 0
 
 

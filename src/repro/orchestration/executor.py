@@ -63,6 +63,9 @@ import time
 from typing import Callable, Iterable
 
 from repro.experiment import Experiment
+from repro.obs import builtin as obs_metrics
+from repro.obs.metrics import metrics_enabled
+from repro.obs.trace import recorder as obs_recorder
 from repro.orchestration import pools
 from repro.orchestration.pools import PoolTask, SweepTaskError
 from repro.orchestration.store import ResultStore, default_store_path
@@ -283,7 +286,19 @@ class SweepExecutor:
         """
         alone_pending, main_pending, total = self.plan(tasks)
         computed = len(alone_pending) + len(main_pending)
-        self._run_phases(alone_pending, main_pending)
+        rec = obs_recorder()
+        token = (
+            rec.begin(
+                "sweep", cat="sweep", tasks=total, pending=computed,
+                backend=self.pool_name,
+            )
+            if rec.enabled
+            else -1
+        )
+        try:
+            self._run_phases(alone_pending, main_pending)
+        finally:
+            rec.end(token, cached=total - computed)
         return computed, total - computed
 
     def sweep(
@@ -390,6 +405,17 @@ class SweepExecutor:
             else:
                 ready_main.append(experiment)
         pool, ephemeral = self._phase_pool(workers)
+        metrics_on = metrics_enabled()
+        #: task key -> submit instant, for queue-time metrics
+        submitted: dict[str, float] = {}
+
+        def note_submit(keys: Iterable[str]) -> None:
+            if not metrics_on:
+                return
+            now = time.perf_counter()
+            for key in keys:
+                submitted[key] = now
+            obs_metrics.POOL_OUTSTANDING.set(pool.outstanding)
 
         def unblock(key: str) -> None:
             still: list[tuple[Experiment, set[str]]] = []
@@ -398,14 +424,19 @@ class SweepExecutor:
                 if deps:
                     still.append((experiment, deps))
                 else:
-                    pool.submit(PoolTask.from_experiment(experiment))
+                    task = PoolTask.from_experiment(experiment)
+                    pool.submit(task)
+                    note_submit((task.key,))
             blocked[:] = still
 
         try:
             pool.start()
-            pool.submit_many(
-                PoolTask.from_experiment(e) for e in (*pooled_alone, *ready_main)
-            )
+            batch = [
+                PoolTask.from_experiment(e)
+                for e in (*pooled_alone, *ready_main)
+            ]
+            pool.submit_many(batch)
+            note_submit(task.key for task in batch)
             for experiment in inline_alone:
                 seconds = self._run_inline(experiment)
                 done += 1
@@ -413,6 +444,10 @@ class SweepExecutor:
                 unblock(experiment.task_key())
             while pool.outstanding:
                 result = pool.wait_one()
+                if metrics_on:
+                    self._observe_completion(
+                        result, pool, submitted.pop(result.key, None)
+                    )
                 if result.error is not None:
                     raise SweepTaskError(
                         result.key, result.label, pool.name, result.error
@@ -432,13 +467,31 @@ class SweepExecutor:
             done += 1
             self._report(done, total, experiment.label, seconds, pools.SERIAL)
 
+    @staticmethod
+    def _observe_completion(
+        result: pools.PoolResult,
+        pool: pools.Pool,
+        queued_at: float | None,
+    ) -> None:
+        """Fold one collected pool task into the metric registry."""
+        backend = pool.name
+        outcome = "ok" if result.error is None else "error"
+        obs_metrics.TASKS_COMPLETED.inc(backend=backend, outcome=outcome)
+        obs_metrics.TASK_WALL_SECONDS.observe(result.seconds, backend=backend)
+        if queued_at is not None:
+            wait = time.perf_counter() - queued_at - result.seconds
+            obs_metrics.TASK_QUEUE_SECONDS.observe(
+                max(0.0, wait), backend=backend
+            )
+        obs_metrics.POOL_OUTSTANDING.set(pool.outstanding)
+
     def _run_inline(self, experiment: Experiment) -> float:
         """Run one spec in the parent, honouring the pinned engine;
         returns the wall time."""
         start = time.perf_counter()
         if self.engine is None:
             self.runner.run(experiment)
-            return time.perf_counter() - start
+            return self._inline_seconds(start)
         previous = os.environ.get("REPRO_ENGINE")
         os.environ["REPRO_ENGINE"] = self.engine
         try:
@@ -448,7 +501,19 @@ class SweepExecutor:
                 os.environ.pop("REPRO_ENGINE", None)
             else:
                 os.environ["REPRO_ENGINE"] = previous
-        return time.perf_counter() - start
+        return self._inline_seconds(start)
+
+    @staticmethod
+    def _inline_seconds(start: float) -> float:
+        seconds = time.perf_counter() - start
+        if metrics_enabled():
+            obs_metrics.TASK_WALL_SECONDS.observe(
+                seconds, backend=pools.SERIAL
+            )
+            obs_metrics.TASKS_COMPLETED.inc(
+                backend=pools.SERIAL, outcome="ok"
+            )
+        return seconds
 
     def _report(
         self, done: int, total: int, label: str, seconds: float, backend: str

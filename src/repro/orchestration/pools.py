@@ -572,11 +572,18 @@ class SSHPool(Pool):
         hosts: Iterable[str],
         engine: str | None = None,
         transport_factory: Callable[[str], Any] = transport_for,
+        trace: bool | None = None,
     ) -> None:
+        from repro.obs.trace import tracing_enabled
+
         super().__init__(store, engine)
         self.hosts = tuple(hosts)
         if not self.hosts:
             raise ValueError("the ssh pool needs at least one host")
+        #: ship traces back from remotes when the parent is tracing
+        #: (spawn/warm workers inherit ``$REPRO_TRACE`` via the
+        #: environment; remotes need it on the wire)
+        self.trace = tracing_enabled() if trace is None else trace
         self._transport_factory = transport_factory
         self._inbox: queue_module.Queue = queue_module.Queue()
         self._done: queue_module.Queue = queue_module.Queue()
@@ -652,6 +659,10 @@ class SSHPool(Pool):
             "tasks": [task.to_dict() for task in batch],
             "artifacts": artifacts,
         }
+        if self.trace:
+            # Optional key: requests without tracing keep the exact
+            # historical byte layout, so WIRE_SCHEMA stays at 1.
+            request["trace"] = True
         return json.dumps(
             request, separators=(",", ":"), sort_keys=True
         ).encode("utf-8")
@@ -711,6 +722,11 @@ def remote_main(stdin: Any = None, stdout: Any = None) -> int:
     engine = request.get("engine")
     if engine is not None:
         os.environ["REPRO_ENGINE"] = engine
+    traced = bool(request.get("trace"))
+    if traced:
+        from repro.obs.trace import enable_tracing
+
+        enable_tracing()
     results: list[dict] = []
     computed: list[str] = []
     with tempfile.TemporaryDirectory(prefix="repro-remote-") as scratch:
@@ -735,6 +751,12 @@ def remote_main(stdin: Any = None, stdout: Any = None) -> int:
             )
             if result.error is None:
                 computed.append(task.key)
+        if traced:
+            # Trace artifacts ride home inside the same envelope list
+            # as results; the parent's _ingest syncs them unchanged.
+            from repro.obs.trace import trace_key
+
+            computed.extend(trace_key(key) for key in list(computed))
         artifacts = [
             envelope
             for envelope in (store.get_envelope(key) for key in computed)

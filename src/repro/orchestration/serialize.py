@@ -229,6 +229,10 @@ def run_result_to_dict(run: RunResult) -> dict[str, Any]:
         payload["governor"] = run.governor
         payload["core_dynamic_energy_nj"] = run.core_dynamic_energy_nj
         payload["core_static_energy_nj"] = run.core_static_energy_nj
+    # Diagnostics exist only on traced runs; untraced artifacts (and
+    # every golden fixture) keep their historical byte layout.
+    if run.diagnostics:
+        payload["diagnostics"] = run.diagnostics
     return payload
 
 
@@ -256,6 +260,7 @@ def run_result_from_dict(data: dict[str, Any]) -> RunResult:
         governor=data.get("governor"),
         core_dynamic_energy_nj=data.get("core_dynamic_energy_nj", 0.0),
         core_static_energy_nj=data.get("core_static_energy_nj", 0.0),
+        diagnostics=data.get("diagnostics") or {},
     )
 
 

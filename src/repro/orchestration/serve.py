@@ -56,6 +56,8 @@ from typing import Any, Iterable, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.experiment import Experiment
+from repro.obs import builtin as obs_metrics
+from repro.obs.metrics import enable_metrics, render_prometheus
 from repro.orchestration.clock import Clock, wall_now
 from repro.orchestration.executor import SweepExecutor
 from repro.orchestration.pools import SweepTaskError
@@ -128,6 +130,10 @@ class SweepServer:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Bind, recover unfinished jobs, and serve in the background."""
+        # The daemon always collects metrics: it is long-lived, the
+        # per-sample cost is a dict update, and /v1/metrics must show
+        # live counters from the first scrape.
+        enable_metrics()
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self._recover()
         server = self
@@ -240,6 +246,7 @@ class SweepServer:
                 "error": None,
             }
             self._persist(record)
+        obs_metrics.SERVE_JOBS.inc(state=QUEUED)
         self._queue.put(job_id)
         return record, True
 
@@ -276,6 +283,8 @@ class SweepServer:
                 task["state"] = task_state
             record["events"].append(error if error else "done")
             self._persist(record)
+        obs_metrics.SERVE_JOBS.inc(state=state)
+        obs_metrics.SERVE_JOBS_ACTIVE.add(-1.0)
 
     def _run_job(self, job_id: str) -> None:
         with self._lock:
@@ -285,6 +294,8 @@ class SweepServer:
             record["state"] = RUNNING
             record["events"].append("running")
             self._persist(record)
+        obs_metrics.SERVE_JOBS.inc(state=RUNNING)
+        obs_metrics.SERVE_JOBS_ACTIVE.add(1.0)
         experiments = [Experiment.from_dict(doc) for doc in record["experiments"]]
         engine = record.get("engine") or self.engine
         with SweepExecutor(
@@ -348,6 +359,16 @@ class SweepServer:
                     "jobs": states,
                 },
             )
+            return
+        if parts == ["v1", "metrics"]:
+            body = render_prometheus().encode("utf-8")
+            handler.send_response(200)
+            handler.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
             return
         if parts == ["v1", "jobs"]:
             self._send_json(

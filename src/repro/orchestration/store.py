@@ -45,8 +45,11 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Iterable, Iterator
 
+from repro.obs import builtin as obs_metrics
+from repro.obs.metrics import metrics_enabled
 from repro.orchestration.serialize import SCHEMA_VERSION
 
 #: environment variable overriding the default store location
@@ -130,6 +133,15 @@ class ResultStore:
         so repeated probes of a pre-index store converge to the fast
         path.
         """
+        if not metrics_enabled():
+            return self._probe(key)
+        start = perf_counter()
+        try:
+            return self._probe(key)
+        finally:
+            obs_metrics.STORE_PROBE_SECONDS.observe(perf_counter() - start)
+
+    def _probe(self, key: str) -> bool:
         path = self.path_for(key)
         entry = self._load_index().get(key)
         if entry is not None:
@@ -175,6 +187,20 @@ class ResultStore:
         thousand renames and a handful of index appends instead of a
         thousand of each.
         """
+        if not metrics_enabled():
+            return self._put_many(artifacts)
+        start = perf_counter()
+        try:
+            paths = self._put_many(artifacts)
+        finally:
+            obs_metrics.STORE_PUT_SECONDS.observe(perf_counter() - start)
+        obs_metrics.STORE_ARTIFACTS_WRITTEN.inc(len(paths))
+        return paths
+
+    def _put_many(
+        self,
+        artifacts: Iterable[tuple[str, dict[str, Any], str, dict[str, Any] | None]],
+    ) -> list[Path]:
         paths: list[Path] = []
         lines_by_shard: dict[Path, list[bytes]] = {}
         for key, payload, kind, meta in artifacts:

@@ -123,10 +123,29 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def run(self, experiment: Experiment) -> RunResult | AloneResult:
         """Run one spec (L1/L2 cached): the single entry point for
-        alone, group and scenario simulations alike."""
+        alone, group and scenario simulations alike.
+
+        When tracing is enabled the cache-miss path records a task
+        span and — with a store attached — persists the task's trace
+        events as a ``kind="trace"`` artifact under
+        :func:`repro.obs.trace.trace_key`, so every execution tier
+        (inline, warm/spawn workers, ssh remotes, serve jobs) ships
+        its traces through the same store plumbing as results.
+        """
         result = self.cached(experiment)
         if result is not None:
             return result
+        from repro.obs.trace import recorder as obs_recorder
+
+        rec = obs_recorder()
+        if rec.enabled:
+            mark = rec.mark()
+            token = rec.begin(
+                experiment.label,
+                cat="task",
+                kind=experiment.kind,
+                key=experiment.task_key(),
+            )
         kind = experiment.kind
         if kind == "alone":
             result = self._simulate_alone(experiment)
@@ -135,6 +154,9 @@ class ExperimentRunner:
         else:
             result = self._simulate_scenario(experiment)
         self._to_store(experiment, result)
+        if rec.enabled:
+            rec.end(token)
+            self._trace_to_store(experiment, rec.events_since(mark))
         self._results[experiment] = result
         return result
 
@@ -304,6 +326,22 @@ class ExperimentRunner:
             payload,
             kind=experiment.kind,
             meta=experiment.store_meta(),
+        )
+
+    def _trace_to_store(
+        self, experiment: Experiment, events: list[dict]
+    ) -> None:
+        """Persist one task's trace events next to its result artifact."""
+        if self.store is None or not events:
+            return
+        from repro.obs.trace import task_trace_payload, trace_key
+
+        key = experiment.task_key()
+        self.store.put(
+            trace_key(key),
+            task_trace_payload(key, experiment.label, events),
+            kind="trace",
+            meta={"task": key, "label": experiment.label},
         )
 
     # ------------------------------------------------------------------

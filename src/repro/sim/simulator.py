@@ -70,6 +70,9 @@ from repro.energy.accounting import EnergyAccounting
 from repro.energy.cacti import CactiEnergyModel
 from repro.monitor.sampling import SetSampler
 from repro.monitor.umon import UtilityMonitor
+from repro.obs import builtin as obs_metrics
+from repro.obs.metrics import metrics_enabled
+from repro.obs.trace import recorder as obs_recorder
 from repro.partitioning.base import PolicyStats
 from repro.partitioning.registry import PolicySpec, build_policy
 from repro.scenarios.model import ARRIVE, DEPART, PHASE, Scenario, ScenarioEvent
@@ -136,6 +139,10 @@ class CMPSimulator:
         )
         self._measuring = False
         self._warmup = 0
+        #: engine-invariant run diagnostics (populated only when the
+        #: trace recorder is live; stays empty — and unserialized — by
+        #: default so golden fixtures are untouched)
+        self._diagnostics: dict = {}
         self.collect_curves = collect_curves
 
         self.cache = SetAssociativeCache(config.l2)
@@ -346,6 +353,15 @@ class CMPSimulator:
         )
         if warmed_up and self._timeline is not None:
             self._record_sample(0)
+        rec = obs_recorder()
+        if rec.enabled:
+            rec.run_begin(
+                policy=self.policy.name,
+                scenario=self.scenario.name,
+                cores=config.n_cores,
+                epoch_cycles=config.epoch_cycles,
+            )
+        self._diagnostics = {}
         return target, warmup, warmed_up, unfinished, next_epoch, initial
 
     def _advance_boundary(
@@ -467,7 +483,41 @@ class CMPSimulator:
         note_pending = getattr(self.policy, "note_pending", None)
         if note_pending is not None:
             note_pending(end_cycle)
+        rec = obs_recorder()
+        if rec.enabled:
+            summary = rec.run_end(end_cycle=end_cycle)
+            # Diagnostics carry only engine-invariant counts: the epoch
+            # and event schedules are part of the shared run protocol,
+            # so every engine (and every racing worker) serializes the
+            # same bytes.  Wall-clock data stays in the trace artifact.
+            self._diagnostics = {
+                "epochs": summary["epochs"],
+                "events": event_index,
+            }
+        self._record_run_metrics()
         return self._collect(end_cycle)
+
+    def _record_run_metrics(self) -> None:
+        """Fold run-end partitioning mechanics into the metric registry."""
+        if not metrics_enabled():
+            return
+        stats = self.stats
+        obs_metrics.ENGINE_RUNS.inc(policy=self.policy.name)
+        for kind, count in stats.takeover_events.items():
+            if count:
+                obs_metrics.TAKEOVER_EVENTS.inc(count, kind=kind)
+        if stats.transitions_started:
+            obs_metrics.WAY_TRANSITIONS.inc(stats.transitions_started)
+        if stats.transfer_flushes:
+            obs_metrics.TRANSFER_FLUSHES.inc(stats.transfer_flushes)
+        timeline = self._timeline or []
+        gate_drops = sum(
+            1
+            for before, after in zip(timeline, timeline[1:])
+            if after.powered_ways < before.powered_ways
+        )
+        if gate_drops:
+            obs_metrics.POWER_GATE_DROPS.inc(gate_drops)
 
     # ------------------------------------------------------------------
     def _run_python(self) -> RunResult:  # repro: hot
@@ -921,6 +971,17 @@ class CMPSimulator:
             self.dvfs.epoch(now, self.cores, self.policy.way_allocations())
         if self._timeline is not None and self._measuring:
             self._record_sample(now)
+        rec = obs_recorder()
+        if rec.enabled:
+            rec.epoch(
+                now,
+                measuring=self._measuring,
+                static_energy_nj=self.energy.static_nj_at(now),
+                dynamic_energy_nj=self.energy.dynamic_nj,
+                powered_ways=self.policy.active_ways(),
+            )
+        if metrics_enabled():
+            obs_metrics.ENGINE_EPOCHS.inc()
         stall = getattr(self.policy, "pending_stall", 0)
         if stall:
             for core in self.cores:
@@ -998,4 +1059,5 @@ class CMPSimulator:
             ),
             core_dynamic_energy_nj=self.energy.core_dynamic_nj,
             core_static_energy_nj=self.energy.core_static_nj,
+            diagnostics=self._diagnostics,
         )

@@ -74,6 +74,10 @@ class RunResult:
     core_dynamic_energy_nj: float = 0.0
     #: V-scaled core leakage energy (DVFS runs; 0.0 without a governor)
     core_static_energy_nj: float = 0.0
+    #: engine-invariant run diagnostics (epoch/event counts) recorded
+    #: only when tracing is enabled; empty — and omitted from the
+    #: serialized form — otherwise
+    diagnostics: dict = field(default_factory=dict)
 
     @property
     def core_energy_nj(self) -> float:

@@ -1,0 +1,39 @@
+"""Fixtures for the observability tests.
+
+Metrics and the trace recorder are process-global switches; every
+test in this package runs against a clean, *disabled* default and is
+responsible for enabling what it needs — the autouse fixture restores
+the disabled state afterwards so obs tests can never leak
+instrumentation into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs.metrics import disable_metrics, reset_metrics
+from repro.obs.trace import NULL_RECORDER, set_recorder
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_METRICS", raising=False)
+    monkeypatch.delenv("REPRO_QUIET", raising=False)
+    disable_metrics()
+    reset_metrics()
+    set_recorder(NULL_RECORDER)
+    yield
+    # the CLI's _apply_obs writes os.environ directly (so workers
+    # inherit the switches) — monkeypatch never saw those writes, so
+    # strip them by hand before the next test or package runs
+    for name in ("REPRO_TRACE", "REPRO_METRICS", "REPRO_QUIET"):
+        os.environ.pop(name, None)
+    disable_metrics()
+    reset_metrics()
+    set_recorder(NULL_RECORDER)
+    from repro.obs.log import set_quiet
+
+    set_quiet(False)

@@ -1,0 +1,79 @@
+"""``repro serve``'s /v1/metrics endpoint: live Prometheus counters
+over the job lifecycle."""
+
+import urllib.request
+
+import pytest
+
+from repro.experiment import Experiment
+from repro.orchestration.serve import SweepServer
+from repro.orchestration.store import ResultStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type"),
+            response.read().decode("utf-8"),
+        )
+
+
+def _post_job(base, specs):
+    import json
+
+    request = urllib.request.Request(
+        f"{base}/v1/jobs",
+        data=json.dumps({"experiments": specs}).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _wait_done(base, job_id, timeout=60.0):
+    import json
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(
+            f"{base}/v1/jobs/{job_id}", timeout=10
+        ) as response:
+            record = json.loads(response.read())
+        if record["state"] in ("done", "failed"):
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} stuck in {record['state']}")
+
+
+class TestMetricsEndpoint:
+    def test_scrape_before_any_job(self, store):
+        with SweepServer(store, max_workers=1, pool="serial") as server:
+            status, content_type, body = _get_text(f"{server.url}/v1/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        # the catalogue renders even with zero samples
+        assert "# TYPE repro_serve_jobs_total counter" in body
+        assert "# TYPE repro_engine_runs_total counter" in body
+
+    def test_job_lifecycle_shows_up_in_counters(self, store, tiny_two_core):
+        spec = Experiment("G2-4", "ucp", tiny_two_core)
+        with SweepServer(store, max_workers=1, pool="serial") as server:
+            record = _post_job(server.url, [spec.to_dict()])
+            _wait_done(server.url, record["id"])
+            _, _, body = _get_text(f"{server.url}/v1/metrics")
+        assert 'repro_serve_jobs_total{state="queued"} 1' in body
+        assert 'repro_serve_jobs_total{state="running"} 1' in body
+        assert 'repro_serve_jobs_total{state="done"} 1' in body
+        assert "repro_serve_jobs_active 0" in body
+        # the inline run's engine instrumentation fired too (labelled
+        # with the policy's display name)
+        assert 'repro_engine_runs_total{policy="UCP"} 1' in body
